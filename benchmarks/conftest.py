@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table or figure of the paper and prints
+the rows/series the paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(the ``-s`` shows the reproduced tables inline).
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks are single-shot experiment regenerations, not
+    # micro-benchmarks; calibration runs would multiply the runtime.
+    config.option.benchmark_min_rounds = 1
+    config.option.benchmark_warmup = False

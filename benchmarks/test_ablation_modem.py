@@ -1,0 +1,33 @@
+"""Ablation bench — modem design choices (DESIGN.md §5).
+
+Not a paper figure: quantifies the design decisions the paper (and our
+DESIGN.md) call out — CP fine synchronization and FFT-based pilot
+interpolation — on a noisy, clock-skewed channel.
+"""
+
+from repro.eval import experiments
+from repro.eval.reporting import format_table
+
+
+def test_ablation_sync_and_equalizer(benchmark):
+    result = benchmark.pedantic(
+        experiments.ablation_sync_and_equalizer, rounds=1, iterations=1
+    )
+
+    rows = [[k, f"{v:.4f}"] for k, v in result.items()]
+    print()
+    print(
+        format_table(
+            "Ablation — fine sync x equalizer interpolation "
+            "(QPSK, cafe, 40 ppm clock skew)",
+            ["configuration", "mean BER"],
+            rows,
+        )
+    )
+
+    full = result["fine_sync=on,equalizer=fft"]
+    # The full design must be competitive with every ablated variant.
+    assert full <= min(result.values()) + 0.05
+    # And everything stays in a sane range on this channel.
+    for key, ber in result.items():
+        assert 0.0 <= ber <= 0.5, key

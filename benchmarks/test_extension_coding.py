@@ -1,0 +1,109 @@
+"""Extension bench — channel coding rescues dense constellations.
+
+The paper notes 16QAM is "not usable in real experiments or at least
+may need heavy error correction techniques" (§III-7).  This extension
+quantifies that sentence: the same 16QAM link that fails raw becomes
+usable behind a convolutional code with interleaving, at half the
+spectral efficiency.
+"""
+
+import numpy as np
+
+from repro.channel.scenarios import get_environment
+from repro.eval.reporting import format_table
+from repro.eval.workloads import TrialSpec, ber_trial
+from repro.modem.bits import bit_error_rate, random_bits
+from repro.modem.coding import BlockInterleaver, ConvolutionalCode, get_code
+
+
+def _coded_trial(mode, code, interleave, n_bits, seed):
+    """One trial: encode -> (interleave) -> channel -> decode."""
+    env = get_environment("quiet_room")
+    rng = np.random.default_rng(seed)
+    bits = random_bits(n_bits, rng=rng)
+    coded = code.encode(bits)
+    il = BlockInterleaver(rows=8, cols=12) if interleave else None
+    stream = il.interleave(coded) if il else coded
+
+    from repro.channel.link import AcousticLink
+    from repro.config import ModemConfig
+    from repro.modem.constellation import get_constellation
+    from repro.modem.receiver import OfdmReceiver
+    from repro.modem.transmitter import OfdmTransmitter
+
+    config = ModemConfig()
+    constellation = get_constellation(mode)
+    tx = OfdmTransmitter(config, constellation)
+    rx = OfdmReceiver(config, constellation)
+    link = AcousticLink(
+        room=env.room, noise=env.noise, distance_m=0.4,
+        seed=seed,
+    )
+    recording, _ = link.transmit(
+        tx.modulate(stream).waveform, tx_spl=72.0, rng=rng
+    )
+    try:
+        received = rx.receive(recording, expected_bits=stream.size).bits
+    except Exception:
+        return 1.0, 1.0
+    channel_ber = bit_error_rate(stream, received)
+    deinter = (
+        il.deinterleave(received, coded.size) if il else received
+    )
+    decoded = code.decode(deinter, n_bits)
+    return channel_ber, bit_error_rate(bits, decoded)
+
+
+def test_extension_coding_rescues_16qam(benchmark):
+    def run():
+        rows = {}
+        for label, code_name, interleave in (
+            ("raw (no FEC)", None, False),
+            ("conv-k7", "conv-k7", False),
+            ("conv-k7 + interleaver", "conv-k7", True),
+            ("hamming74", "hamming74", False),
+        ):
+            chans, infos = [], []
+            for trial in range(4):
+                if code_name is None:
+                    spec = TrialSpec(
+                        mode="16QAM", distance_m=0.4, tx_spl=72.0,
+                        noise=get_environment("quiet_room").noise,
+                    )
+                    r = ber_trial(spec, rng=np.random.default_rng(trial))
+                    chans.append(r.ber)
+                    infos.append(r.ber)
+                else:
+                    c, i = _coded_trial(
+                        "16QAM", get_code(code_name), interleave,
+                        n_bits=96, seed=trial,
+                    )
+                    chans.append(c)
+                    infos.append(i)
+            rows[label] = (float(np.mean(chans)), float(np.mean(infos)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            "Extension — FEC makes 16QAM usable (quiet room, 0.4 m)",
+            ["scheme", "channel BER", "post-FEC BER"],
+            [
+                [label, f"{c:.4f}", f"{i:.4f}"]
+                for label, (c, i) in rows.items()
+            ],
+        )
+    )
+
+    raw = rows["raw (no FEC)"][1]
+    conv = rows["conv-k7"][1]
+    conv_il = rows["conv-k7 + interleaver"][1]
+
+    # Raw 16QAM sits on its error floor; the convolutional code
+    # delivers a usable (order-of-magnitude better) payload.
+    assert raw > 0.01
+    assert conv < raw / 2
+    assert conv_il <= conv + 0.005
+    assert conv_il < 0.01

@@ -1,0 +1,77 @@
+"""Extension bench — the §IV threat model as a success-rate matrix.
+
+One table summarizing every attack against its defense: brute force,
+record-and-replay, co-located at 1.5/2.5 m, and the live relay with and
+without the hardware-fingerprint countermeasure.
+"""
+
+from repro.eval import experiments
+from repro.eval.reporting import format_table
+
+
+def test_security_matrix(benchmark):
+    results = benchmark.pedantic(
+        experiments.security_matrix, rounds=1, iterations=1
+    )
+
+    rows = [
+        [name, f"{data['success']}/{data['n']}", data["defense"]]
+        for name, data in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            "Extension — attack success rates (§IV threat model)",
+            ["attack", "successes", "defense"],
+            rows,
+        )
+    )
+
+    # Every defended attack is fully stopped.
+    assert results["brute_force"]["success"] == 0
+    assert results["record_replay"]["success"] == 0
+    assert results["record_replay"]["timing_flagged"] == (
+        results["record_replay"]["n"]
+    )
+    assert results["co_located_1.5m"]["success"] == 0
+    assert results["co_located_2.5m"]["success"] == 0
+
+    # The relay beats the baseline system (the paper's admission)...
+    assert results["relay_no_fingerprint"]["success"] == (
+        results["relay_no_fingerprint"]["n"]
+    )
+    # ...and the fingerprinting counter-measure stops it.
+    assert results["relay_with_fingerprint"]["success"] == 0
+
+
+def test_throughput_by_mode(benchmark):
+    results = benchmark.pedantic(
+        experiments.throughput_by_mode, rounds=1, iterations=1
+    )
+
+    rows = [
+        [
+            mode,
+            f"{data['nominal_bps']:.0f}",
+            f"{data['goodput_bps']:.0f}",
+        ]
+        for mode, data in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            "Extension — nominal rate vs measured goodput "
+            "(quiet room, 0.3 m)",
+            ["mode", "R nominal b/s", "goodput b/s"],
+            rows,
+        )
+    )
+
+    # Nominal rates follow the paper's formula ordering.
+    assert results["8PSK"]["nominal_bps"] > results["QPSK"]["nominal_bps"]
+    assert results["16QAM"]["nominal_bps"] > results["8PSK"]["nominal_bps"]
+    # QPSK ≈ 2.4 kb/s nominal with the default plan (12 bins, 2 b/sym).
+    assert 2000 < results["QPSK"]["nominal_bps"] < 2800
+    # Goodput is positive and below nominal (preamble/guard overhead).
+    for mode, data in results.items():
+        assert 0 < data["goodput_bps"] <= data["nominal_bps"], mode

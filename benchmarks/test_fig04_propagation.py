@@ -1,0 +1,59 @@
+"""Fig. 4 — receiver SPL vs distance for several volume settings.
+
+Paper claim: SPL attenuation matches spherical propagation, decreasing
+by about 6 dB per distance doubling, measured in a quiet room with
+15-20 dB SPL ambient noise.
+"""
+
+import pytest
+
+from repro.eval import experiments
+from repro.eval.reporting import format_table
+
+
+def test_fig4_propagation(benchmark):
+    result = benchmark.pedantic(
+        experiments.fig4_propagation, rounds=1, iterations=1
+    )
+
+    rows = [
+        [
+            r["volume_step"],
+            f"{r['tx_spl']:.0f}",
+            r["distance_m"],
+            f"{r['measured_spl']:.1f}",
+            f"{r['theory_spl']:.1f}",
+        ]
+        for r in result["rows"]
+    ]
+    print()
+    print(
+        format_table(
+            "Fig. 4 — receiver SPL vs distance (quiet room, "
+            f"ambient ≈ {result['noise_spl']:.0f} dB SPL)",
+            ["vol step", "tx SPL", "distance m", "measured dB", "theory dB"],
+            rows,
+        )
+    )
+
+    # Shape assertions: ~6 dB per doubling, measured tracks theory.
+    by_volume = {}
+    for r in result["rows"]:
+        by_volume.setdefault(r["volume_step"], {})[r["distance_m"]] = r
+
+    # The measurement floor combines the room ambience with the
+    # microphone's own ~30 dB SPL noise floor.
+    floor = max(result["noise_spl"], 30.0)
+
+    for step, cells in by_volume.items():
+        # Measured matches theory within a few dB while above the floor.
+        for d, cell in cells.items():
+            if cell["theory_spl"] > floor + 8:
+                assert abs(
+                    cell["measured_spl"] - cell["theory_spl"]
+                ) < 4.0, (step, d)
+        # Doubling 0.5 -> 1.0 m loses ≈ 6 dB.
+        if 0.5 in cells and 1.0 in cells:
+            drop = cells[0.5]["measured_spl"] - cells[1.0]["measured_spl"]
+            if cells[1.0]["theory_spl"] > floor + 8:
+                assert drop == pytest.approx(6.0, abs=3.0)

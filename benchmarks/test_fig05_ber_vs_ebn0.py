@@ -1,0 +1,68 @@
+"""Fig. 5 — BER of different modulations vs Eb/N0.
+
+Paper claims reproduced here:
+* every modulation's BER falls as Eb/N0 rises;
+* 16QAM is not usable (error floor / needs heavy error correction);
+* 8PSK needs substantially more Eb/N0 than QPSK at the same BER.
+
+Documented delta (see EXPERIMENTS.md): on the authors' hardware the
+fitted ASK trend lines sat left of PSK ("ASK needs less SNR per bit");
+our simulated hardware's phase impairment is milder, so at low SNR the
+textbook ordering reasserts itself in the measured curves.
+"""
+
+import numpy as np
+
+from repro.eval import experiments
+from repro.eval.reporting import format_series, format_table
+
+
+def test_fig5_ber_vs_ebn0(benchmark):
+    result = benchmark.pedantic(
+        experiments.fig5_ber_vs_ebn0, rounds=1, iterations=1
+    )
+
+    print()
+    for mode, points in result["measured"].items():
+        rows = [[f"{e:.1f}", f"{b:.4f}"] for e, b in points]
+        print(
+            format_table(
+                f"Fig. 5 (measured) — {mode}",
+                ["Eb/N0 dB", "BER"],
+                rows,
+            )
+        )
+    print(
+        format_table(
+            "Fig. 5 — model min Eb/N0 at MaxBER = 0.1 "
+            "(the paper's 'Min Eb/N0' markers)",
+            ["mode", "min Eb/N0 dB"],
+            [
+                [m, f"{v:.1f}" if np.isfinite(v) else "inf"]
+                for m, v in result["min_ebn0_at_maxber_0.1"].items()
+            ],
+        )
+    )
+
+    measured = result["measured"]
+
+    # Monotone-ish: BER at the highest Eb/N0 below BER at the lowest.
+    for mode, points in measured.items():
+        pts = sorted(points)
+        assert pts[-1][1] <= pts[0][1] + 0.02, mode
+
+    # 16QAM unusable: its best measured BER stays above 1%.
+    best_16qam = min(b for _, b in measured["16QAM"])
+    assert best_16qam > 0.01
+
+    # 8PSK needs more Eb/N0 than QPSK: at comparable Eb/N0 its BER is
+    # higher at the high-SNR end.
+    qpsk_best = min(b for _, b in measured["QPSK"])
+    psk8_best = min(b for _, b in measured["8PSK"])
+    assert psk8_best > qpsk_best
+
+    # The deployed-model ordering gives finite thresholds for the three
+    # transmission modes and an unusable 16QAM at tight constraints.
+    thresholds = result["min_ebn0_at_maxber_0.1"]
+    for mode in ("QASK", "QPSK", "8PSK"):
+        assert np.isfinite(thresholds[mode])

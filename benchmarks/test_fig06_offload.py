@@ -1,0 +1,46 @@
+"""Fig. 6 — time and power: offloading vs local processing on the watch.
+
+Paper claim: offloading the post-recording DSP from the Moto 360 to the
+phone saves both processing time and watch energy (measured over 50
+unlock rounds).
+"""
+
+from repro.eval import experiments
+from repro.eval.reporting import format_table
+
+
+def test_fig6_offload(benchmark):
+    result = benchmark.pedantic(
+        experiments.fig6_offload, rounds=1, iterations=1
+    )
+
+    rows = [
+        [
+            label,
+            f"{data['median_delay_s'] * 1e3:.0f}",
+            f"{data['watch_energy_j']:.2f}",
+            f"{data['watch_battery_pct']:.3f}",
+        ]
+        for label, data in result["results"].items()
+    ]
+    print()
+    print(
+        format_table(
+            f"Fig. 6 — processing delay & watch energy over "
+            f"{result['rounds']} unlock rounds "
+            f"({result['work_mops']:.1f} Mops of DSP per round)",
+            ["placement", "median delay ms", "watch J", "watch battery %"],
+            rows,
+        )
+    )
+
+    local = result["results"]["local (Moto 360)"]
+    bt = result["results"]["offload (BT -> phone)"]
+    wifi = result["results"]["offload (WiFi -> phone)"]
+
+    # The paper's claim: offload saves BOTH time and energy.
+    assert bt["median_delay_s"] < local["median_delay_s"]
+    assert bt["watch_energy_j"] < local["watch_energy_j"]
+    # WiFi offload is the extreme case.
+    assert wifi["median_delay_s"] < bt["median_delay_s"]
+    assert wifi["watch_energy_j"] < bt["watch_energy_j"]

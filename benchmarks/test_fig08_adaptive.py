@@ -1,0 +1,60 @@
+"""Fig. 8 — adaptive modulation under different BER constraints.
+
+Paper claim: "by constraining the BER, we can adaptively change the
+modulation schemes"; the measured BER honours the constraint while the
+mode steps down as the constraint tightens (8PSK under MaxBER 0.1,
+QPSK/QASK under 0.01).
+"""
+
+from repro.eval import experiments
+from repro.eval.reporting import format_table
+
+
+def test_fig8_adaptive(benchmark):
+    result = benchmark.pedantic(
+        experiments.fig8_adaptive, rounds=1, iterations=1
+    )
+
+    rows = [
+        [
+            r["max_ber"],
+            r["distance_m"],
+            ", ".join(f"{m}x{c}" for m, c in sorted(r["modes"].items())),
+            f"{r['mean_ber']:.4f}",
+        ]
+        for r in result["rows"]
+    ]
+    print()
+    print(
+        format_table(
+            f"Fig. 8 — adaptive modulation (near-ultrasound, office, "
+            f"tx {result['tx_spl']:.0f} dB)",
+            ["MaxBER", "distance m", "modes chosen", "measured BER"],
+            rows,
+        )
+    )
+
+    loose = [r for r in result["rows"] if r["max_ber"] == 0.1]
+    tight = [r for r in result["rows"] if r["max_ber"] == 0.01]
+
+    order = {"8PSK": 3, "QPSK": 2, "QASK": 1, "none": 0}
+
+    def dominant(r):
+        return max(r["modes"], key=r["modes"].get)
+
+    # Within the 1 m design range the constraint is honoured.
+    for r in loose:
+        if r["distance_m"] <= 1.0:
+            assert r["mean_ber"] <= 0.1 + 0.05, r
+    for r in tight:
+        if r["distance_m"] <= 1.0 and dominant(r) != "none":
+            assert r["mean_ber"] <= 0.01 + 0.01, r
+
+    # Tightening the constraint never raises the selected mode order.
+    for lo, ti in zip(loose, tight):
+        assert order[dominant(ti)] <= order[dominant(lo)], (lo, ti)
+
+    # And the tight constraint actually changes the selection somewhere.
+    assert any(
+        dominant(ti) != dominant(lo) for lo, ti in zip(loose, tight)
+    )

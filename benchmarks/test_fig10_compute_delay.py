@@ -1,0 +1,44 @@
+"""Fig. 10 — computation delay of each phase on different devices.
+
+Paper claim: phase processing (channel probing, preprocessing,
+demodulation) costs tens of ms on a Nexus 6, noticeably more on a
+Galaxy Nexus, and hundreds of ms on the Moto 360 — the gap that makes
+offloading worthwhile.
+"""
+
+from repro.eval import experiments
+from repro.eval.reporting import format_table
+
+
+def test_fig10_compute_delay(benchmark):
+    result = benchmark.pedantic(
+        experiments.fig10_compute_delay, rounds=1, iterations=1
+    )
+
+    rows = [
+        [r["phase"], r["device"], f"{r['delay_ms']:.1f}"]
+        for r in result["rows"]
+    ]
+    print()
+    print(
+        format_table(
+            "Fig. 10 — computation delay per phase per device",
+            ["phase", "device", "delay ms"],
+            rows,
+        )
+    )
+
+    by = {(r["phase"], r["device"]): r["delay_ms"] for r in result["rows"]}
+    phases = sorted({p for p, _ in by})
+    for phase in phases:
+        nexus = by[(phase, "Nexus 6")]
+        galaxy = by[(phase, "Galaxy Nexus")]
+        moto = by[(phase, "Moto 360")]
+        # Strict device ordering, watch an order of magnitude slower.
+        assert nexus < galaxy < moto
+        assert moto > 5 * nexus
+
+    # Absolute regime: probing on the watch is hundreds of ms, on the
+    # Nexus 6 tens of ms (the paper's Fig. 10 scale).
+    assert 5.0 < by[("phase1_probing", "Nexus 6")] < 100.0
+    assert 100.0 < by[("phase1_probing", "Moto 360")] < 1500.0

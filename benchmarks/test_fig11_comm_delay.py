@@ -1,0 +1,38 @@
+"""Fig. 11 — communication delay between smartphone and smartwatch.
+
+Paper claim: WiFi messages and file transfers are several times faster
+than Bluetooth's (the reason Config 1 offloads over WiFi).
+"""
+
+from repro.eval import experiments
+from repro.eval.reporting import format_table
+
+
+def test_fig11_comm_delay(benchmark):
+    result = benchmark.pedantic(
+        experiments.fig11_comm_delay, rounds=1, iterations=1
+    )
+
+    rows = []
+    for transport in ("bluetooth", "wifi"):
+        data = result[transport]
+        rows.append(
+            [transport, f"{data['message_ms']:.1f}", f"{data['file_ms']:.1f}"]
+        )
+    print()
+    print(
+        format_table(
+            f"Fig. 11 — communication delay "
+            f"(file = {result['file_bytes']} bytes of recorded audio)",
+            ["transport", "message ms", "file ms"],
+            rows,
+        )
+    )
+
+    bt = result["bluetooth"]
+    wifi = result["wifi"]
+    assert wifi["message_ms"] < bt["message_ms"] / 2
+    assert wifi["file_ms"] < bt["file_ms"] / 4
+    # Absolute regimes: BT message tens of ms, BT file hundreds of ms.
+    assert 20.0 < bt["message_ms"] < 120.0
+    assert 150.0 < bt["file_ms"] < 1500.0

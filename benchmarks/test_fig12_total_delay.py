@@ -1,0 +1,58 @@
+"""Fig. 12 — total unlock delay vs manually entering PIN codes.
+
+Paper claims: WearLock beats manual PIN entry in every configuration;
+the worst case (Config 2: Bluetooth + low-end phone) still achieves at
+least ~18% speedup and the best case (Config 1: WiFi + high-end phone)
+at least ~59%; Config 1 is fastest, Config 2 slowest.
+"""
+
+from repro.eval import experiments
+from repro.eval.reporting import format_table
+
+
+def test_fig12_total_delay(benchmark):
+    result = benchmark.pedantic(
+        experiments.fig12_total_delay, rounds=1, iterations=1
+    )
+
+    rows = []
+    for label, data in result["wearlock"].items():
+        rows.append(
+            [
+                label,
+                f"{data['median_s']:.2f}",
+                f"{data['success']}/{data['n']}",
+                f"{100 * result['speedup_vs_pin4'][label]:.1f}%",
+            ]
+        )
+    for label, data in result["pin"].items():
+        rows.append([label, f"{data['median_s']:.2f}", "-", "baseline"])
+    print()
+    print(
+        format_table(
+            "Fig. 12 — total unlock delay (median) vs manual PIN entry",
+            ["configuration", "median s", "success", "speedup vs 4-digit"],
+            rows,
+        )
+    )
+
+    wl = result["wearlock"]
+    pin4 = result["pin"]["4-digit PIN"]["median_s"]
+    pin6 = result["pin"]["6-digit PIN"]["median_s"]
+
+    c1 = wl["Config1 (WiFi + Nexus 6)"]["median_s"]
+    c2 = wl["Config2 (BT + Galaxy Nexus)"]["median_s"]
+    c3 = wl["Config3 (local on Moto 360)"]["median_s"]
+
+    # Every configuration unlocks reliably and beats both PINs.
+    for label, data in wl.items():
+        assert data["success"] == data["n"], label
+        assert data["median_s"] < pin4, label
+        assert data["median_s"] < pin6, label
+
+    # Ordering: Config 1 fastest, Config 2 slowest (paper's labels).
+    assert c1 < c3 <= c2 * 1.05
+
+    # Speedups in the paper's regime: worst >= ~18%, best >= ~59%.
+    assert (pin4 - c2) / pin4 >= 0.177
+    assert (pin4 - c1) / pin4 >= 0.50

@@ -1,0 +1,71 @@
+"""Table I — field test: BER across locations, hand placements, bands.
+
+Paper claims: average BER ≈ 0.08 across the field test; near-ultrasound
+is cleaner with devices on different hands but suffers badly from
+direct-path blocking in the same-hand case; the audible band is more
+usable in noisy scenes; modes chosen are 8PSK/QPSK depending on SNR.
+"""
+
+import numpy as np
+
+from repro.eval import experiments
+from repro.eval.reporting import format_table
+
+
+def test_table1_field_test(benchmark):
+    result = benchmark.pedantic(
+        experiments.table1_field_test, rounds=1, iterations=1
+    )
+
+    rows = [
+        [
+            c["band"],
+            c["hand"],
+            c["location"],
+            f"{c['ber']:.4f}",
+            c["mode"],
+        ]
+        for c in result["cells"]
+    ]
+    print()
+    print(
+        format_table(
+            f"Table I — field test "
+            f"(average BER = {result['average_ber']:.3f}; paper ≈ 0.08)",
+            ["band", "hand", "location", "BER", "mode"],
+            rows,
+        )
+    )
+
+    cells = {
+        (c["band"], c["hand"], c["location"]): c for c in result["cells"]
+    }
+
+    # Headline: average BER in the paper's regime.
+    assert result["average_ber"] < 0.15
+
+    # Same-hand near-ultrasound suffers most (direct-path blocking):
+    # its mean BER exceeds the different-hand near-ultrasound mean.
+    locations = ("office", "classroom", "cafe", "grocery_store")
+    us_same = np.mean(
+        [cells[("ultrasound", "same_hand", l)]["ber"] for l in locations]
+    )
+    us_diff = np.mean(
+        [cells[("ultrasound", "diff_hand", l)]["ber"] for l in locations]
+    )
+    assert us_same > 2 * us_diff
+
+    # Different-hand near-ultrasound is the cleanest configuration.
+    audible_diff = np.mean(
+        [cells[("audible", "diff_hand", l)]["ber"] for l in locations]
+    )
+    assert us_diff <= audible_diff + 0.02
+
+    # Audible same-hand stays usable (paper: 0.05-0.09) — under ~0.2
+    # everywhere, i.e. recoverable with the repetition coding.
+    for l in locations:
+        assert cells[("audible", "same_hand", l)]["ber"] < 0.25, l
+
+    # Modes come from the deployed set.
+    for c in result["cells"]:
+        assert c["mode"] in ("8PSK", "QPSK", "QASK"), c

@@ -1,0 +1,95 @@
+"""A day in the life: WearLock across the paper's field-test scenes.
+
+Simulates a user moving through the paper's four environments with
+different activities and hand placements, including a stretch where a
+colleague (different body) handles the phone — which the motion filter
+should turn away before any acoustic work happens.
+
+Run::
+
+    python examples/day_in_the_life.py
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro import WearLock, summarize_outcomes
+from repro.sensors.traces import ActivityKind
+
+#: (label, environment, distance m, LOS, activity, co-located)
+SCHEDULE = [
+    ("morning email at the desk", "office", 0.35, True,
+     ActivityKind.SITTING, True),
+    ("walking to a lecture", "classroom", 0.45, True,
+     ActivityKind.WALKING, True),
+    ("checking slides in class", "classroom", 0.40, True,
+     ActivityKind.SITTING, True),
+    ("coffee run", "cafe", 0.40, True, ActivityKind.SITTING, True),
+    ("colleague grabs the phone", "cafe", 0.60, True,
+     ActivityKind.SITTING, False),
+    ("colleague tries again", "cafe", 0.60, True,
+     ActivityKind.SITTING, False),
+    ("grocery shopping, same hand", "grocery_store", 0.15, False,
+     ActivityKind.WALKING, True),
+    ("jog home, quick check", "office", 0.40, True,
+     ActivityKind.JOGGING, True),
+]
+
+
+def main() -> None:
+    wearlock = WearLock.pair(secret=b"day-in-the-life")
+    rng = np.random.default_rng(20170605)
+
+    outcomes = []
+    print(f"{'moment':32s} {'result':10s} {'why/mode':18s} "
+          f"{'BER':>6s} {'delay':>7s}")
+    print("-" * 80)
+    for label, env, dist, los, activity, co_located in SCHEDULE:
+        outcome = wearlock.unlock_attempt(
+            environment=env,
+            distance_m=dist,
+            los=los,
+            activity=activity,
+            co_located=co_located,
+            rng=rng,
+        )
+        outcomes.append(outcome)
+        result = "UNLOCKED" if outcome.unlocked else "refused"
+        why = (
+            outcome.mode or outcome.abort_reason.value
+        )
+        ber = "-" if outcome.raw_ber is None else f"{outcome.raw_ber:.3f}"
+        print(
+            f"{label:32s} {result:10s} {why:18s} {ber:>6s} "
+            f"{outcome.total_delay_s:6.2f}s"
+        )
+        wearlock.lock()
+
+    print("-" * 80)
+    summary = summarize_outcomes(outcomes)
+    print(f"Unlocks: {summary['success'].successes}"
+          f"/{summary['success'].attempts}"
+          f"  median delay {summary['delay'].median:.2f}s")
+
+    reasons = Counter(o.abort_reason.value for o in outcomes)
+    print("Outcomes:", dict(reasons))
+
+    refused = [o for o in outcomes if not o.unlocked]
+    owner_attempts = [
+        o for (row, o) in zip(SCHEDULE, outcomes) if row[5]
+    ]
+    stranger_attempts = [
+        o for (row, o) in zip(SCHEDULE, outcomes) if not row[5]
+    ]
+    print(
+        f"Owner success: "
+        f"{sum(o.unlocked for o in owner_attempts)}/{len(owner_attempts)}; "
+        f"stranger handled: "
+        f"{sum(o.unlocked for o in stranger_attempts)}"
+        f"/{len(stranger_attempts)} unlocked"
+    )
+
+
+if __name__ == "__main__":
+    main()

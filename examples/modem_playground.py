@@ -1,0 +1,142 @@
+"""Modem playground: the low-level acoustic OFDM API.
+
+Shows the pieces under the WearLock facade: building frames by hand,
+probing the channel, re-planning sub-channels around a jammer, and
+sweeping modulation modes against distance.
+
+Run::
+
+    python examples/modem_playground.py
+"""
+
+import numpy as np
+
+from repro.channel.link import AcousticLink
+from repro.channel.scenarios import get_environment
+from repro.config import ModemConfig
+from repro.modem.adaptive import AdaptiveModulator
+from repro.modem.bits import bit_error_rate, random_bits
+from repro.modem.constellation import get_constellation
+from repro.modem.probe import ChannelProber
+from repro.modem.receiver import OfdmReceiver
+from repro.modem.subchannels import ChannelPlan
+from repro.modem.transmitter import OfdmTransmitter
+
+
+def frame_anatomy() -> None:
+    print("=== Frame anatomy ===")
+    config = ModemConfig()
+    plan = ChannelPlan.from_config(config)
+    tx = OfdmTransmitter(config, get_constellation("QPSK"), plan=plan)
+    bits = random_bits(48, rng=0)
+    result = tx.modulate(bits)
+    layout = result.layout
+    print(f"sample rate        {config.sample_rate:.0f} Hz")
+    print(f"sub-channel width  {config.subchannel_bandwidth:.1f} Hz")
+    print(f"data bins          {plan.data}")
+    print(f"pilot bins         {plan.pilots}")
+    print(f"payload            {bits.size} bits "
+          f"→ {layout.n_symbols} OFDM symbols")
+    print(f"frame              preamble {layout.preamble_length} + guard "
+          f"{layout.guard_length} + {layout.n_symbols} x "
+          f"(CP {layout.cp_length} + body {layout.fft_size} + Tg "
+          f"{layout.symbol_guard}) = {layout.total_length} samples "
+          f"({layout.total_length / config.sample_rate * 1e3:.1f} ms)")
+    print()
+
+
+def adaptive_range_sweep() -> None:
+    print("=== Mode vs distance (office, audible band) ===")
+    config = ModemConfig()
+    env = get_environment("office")
+    prober = ChannelProber(config)
+    modulator = AdaptiveModulator()
+    rng = np.random.default_rng(1)
+
+    print(f"{'distance':>9s} {'PSNR':>7s} {'mode@0.1':>9s} {'BER':>7s}")
+    for distance in (0.2, 0.5, 1.0, 2.0, 4.0):
+        link = AcousticLink(
+            room=env.room, noise=env.noise, distance_m=distance, seed=2
+        )
+        probe_rec, _ = link.transmit(
+            prober.build_probe(), tx_spl=81.0, rng=rng
+        )
+        report = prober.analyze(probe_rec)
+        if not report.detected:
+            print(f"{distance:8.1f}m {'-':>7s} {'(lost)':>9s} {'-':>7s}")
+            continue
+        plan = report.recommended_plan or prober.plan
+        chosen = None
+        for mode in modulator.modes:
+            need = modulator.model.min_ebn0_db(mode, 0.1)
+            if report.ebn0_db(config, plan, mode) >= need:
+                chosen = mode
+                break
+        if chosen is None:
+            print(f"{distance:8.1f}m {report.psnr_db:6.1f}d "
+                  f"{'(none)':>9s} {'-':>7s}")
+            continue
+        constellation = get_constellation(chosen)
+        tx = OfdmTransmitter(config, constellation, plan=plan)
+        rx = OfdmReceiver(config, constellation, plan=plan)
+        bits = random_bits(96, rng=rng)
+        rec, _ = link.transmit(tx.modulate(bits).waveform, 81.0, rng=rng)
+        try:
+            out = rx.receive(rec, expected_bits=96)
+            ber = bit_error_rate(bits, out.bits)
+        except Exception:
+            ber = 1.0
+        print(f"{distance:8.1f}m {report.psnr_db:6.1f}d {chosen:>9s} "
+              f"{ber:7.3f}")
+    print()
+
+
+def jammer_avoidance() -> None:
+    print("=== Sub-channel selection around a jammer ===")
+    config = ModemConfig()
+    env = get_environment("quiet_room")
+    base_plan = ChannelPlan.from_config(config)
+    prober = ChannelProber(config, base_plan)
+    rng = np.random.default_rng(3)
+
+    jam_bins = (17, 21, 25)
+    jam_freqs = [b * config.subchannel_bandwidth for b in jam_bins]
+    noise = env.noise.with_jammer(jam_freqs, 66.0)
+    print(f"jammer on bins {jam_bins} "
+          f"({', '.join(f'{f:.0f} Hz' for f in jam_freqs)})")
+
+    link = AcousticLink(
+        room=env.room, noise=noise, distance_m=0.15,
+        leading_silence=0.15, seed=4,
+    )
+    probe_rec, _ = link.transmit(prober.build_probe(), 72.0, rng=rng)
+    report = prober.analyze(probe_rec)
+    new_plan = report.recommended_plan
+    print(f"default data bins:   {base_plan.data}")
+    print(f"re-planned data bins: {new_plan.data}")
+    avoided = set(jam_bins) - set(new_plan.data)
+    print(f"jammed bins avoided: {sorted(avoided)}")
+
+    constellation = get_constellation("QPSK")
+    bits = random_bits(96, rng=rng)
+    for label, plan in (("default", base_plan), ("re-planned", new_plan)):
+        tx = OfdmTransmitter(config, constellation, plan=plan)
+        rx = OfdmReceiver(config, constellation, plan=plan)
+        rec, _ = link.transmit(tx.modulate(bits).waveform, 72.0, rng=rng)
+        try:
+            out = rx.receive(rec, expected_bits=96)
+            ber = bit_error_rate(bits, out.bits)
+        except Exception:
+            ber = 1.0
+        print(f"  BER with {label:11s} plan: {ber:.3f}")
+    print()
+
+
+def main() -> None:
+    frame_anatomy()
+    adaptive_range_sweep()
+    jammer_avoidance()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Offload study: where should the watch's DSP run?
+
+Sweeps the offload decision across links (BT vs WiFi), phones, and
+recording lengths — reproducing §V's reasoning about when shipping the
+audio clip beats computing on wearable silicon.
+
+Run::
+
+    python examples/offload_study.py
+"""
+
+from repro.config import ModemConfig
+from repro.devices.compute import (
+    demodulation_workload,
+    probe_processing_workload,
+)
+from repro.devices.profiles import GALAXY_NEXUS, MOTO360, NEXUS6
+from repro.offload.executor import OffloadExecutor
+from repro.offload.planner import OffloadPlanner
+from repro.wireless.radio import BleLink, WifiLink
+
+
+def main() -> None:
+    config = ModemConfig()
+
+    print(f"{'clip':>6s} {'link':>9s} {'phone':>13s} "
+          f"{'decision':>14s} {'delay':>9s} {'watch energy':>13s}")
+    print("-" * 72)
+
+    for clip_seconds in (0.2, 0.35, 0.8):
+        n = int(clip_seconds * config.sample_rate)
+        work = probe_processing_workload(
+            n, config.preamble_length, config.fft_size
+        ) + demodulation_workload(7, config.fft_size, 12, 8)
+        clip_bytes = n * 2
+
+        for link_name, link_cls in (("bluetooth", BleLink), ("wifi", WifiLink)):
+            for phone in (NEXUS6, GALAXY_NEXUS):
+                link = link_cls(seed=5)
+                planner = OffloadPlanner(MOTO360, phone, link)
+                plan = planner.plan(work, clip_bytes)
+                executor = OffloadExecutor(MOTO360, phone, link)
+                report = executor.execute(plan, work)
+                print(
+                    f"{clip_seconds:5.2f}s {link_name:>9s} "
+                    f"{phone.name:>13s} {plan.placement.value:>14s} "
+                    f"{report.delay_s * 1e3:7.1f}ms "
+                    f"{report.watch_energy_j * 1e3:10.1f}mJ"
+                )
+        print("-" * 72)
+
+    # The wearable-battery argument, paper-style: 50 rounds a day.
+    print()
+    work = probe_processing_workload(
+        int(0.35 * config.sample_rate),
+        config.preamble_length,
+        config.fft_size,
+    ) + demodulation_workload(7, config.fft_size, 12, 8)
+    local_j = 50 * MOTO360.compute_energy_j(work.mops)
+    print(f"50 unlocks/day computed locally on the Moto 360: "
+          f"{local_j:.1f} J = "
+          f"{100 * MOTO360.battery_fraction(local_j):.2f}% of its battery")
+    link = BleLink(seed=6)
+    xfer = link.send_file(int(0.35 * config.sample_rate) * 2)
+    offload_j = 50 * (
+        MOTO360.radio_energy_j(xfer.seconds)
+        + MOTO360.idle_power_w * NEXUS6.compute_seconds(work.mops)
+    )
+    print(f"Same day with Bluetooth offloading:             "
+          f"{offload_j:.1f} J = "
+          f"{100 * MOTO360.battery_fraction(offload_j):.2f}% of its battery")
+
+
+if __name__ == "__main__":
+    main()

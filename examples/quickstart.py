@@ -1,0 +1,56 @@
+"""Quickstart: pair a phone and watch, unlock the phone via acoustics.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+from repro import WearLock
+
+
+def main() -> None:
+    # Pair the devices: in the real system the shared secret and the
+    # OTP counter are negotiated over the trusted Bluetooth link.
+    wearlock = WearLock.pair(secret=b"example-shared-secret")
+
+    print("Paired. Token width:", wearlock.pairing.token_bits, "bits")
+    print("Keyguard locked:", wearlock.keyguard.is_locked)
+    print()
+
+    # The user presses the power button in an office, phone in hand,
+    # watch on the wrist, about 40 cm apart.
+    outcome = wearlock.unlock_attempt(
+        environment="office",
+        distance_m=0.4,
+        seed=2017,
+    )
+
+    print("Unlocked:          ", outcome.unlocked)
+    print("Abort reason:      ", outcome.abort_reason.value)
+    print("Modulation chosen: ", outcome.mode)
+    print("Raw channel BER:   ",
+          None if outcome.raw_ber is None else f"{outcome.raw_ber:.3f}")
+    print("Pilot SNR:         ",
+          None if outcome.psnr_db is None else f"{outcome.psnr_db:.1f} dB")
+    print("Motion DTW score:  ",
+          None if outcome.motion_score is None
+          else f"{outcome.motion_score:.3f}")
+    print("NLOS detected:     ", outcome.nlos)
+    print(f"Total delay:        {outcome.total_delay_s:.2f} s")
+    print()
+
+    print("Delay breakdown by category:")
+    for category, seconds in sorted(outcome.timeline.by_category().items()):
+        print(f"  {category:16s} {seconds * 1e3:7.1f} ms")
+    print()
+    print(f"Watch energy: {outcome.watch_energy_j:.3f} J, "
+          f"phone energy: {outcome.phone_energy_j:.3f} J")
+
+    # Security state persisted on the pairing.
+    print()
+    print("OTP counter now:", wearlock.pairing.counter)
+    print("Keyguard locked:", wearlock.keyguard.is_locked)
+
+
+if __name__ == "__main__":
+    main()

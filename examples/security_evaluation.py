@@ -1,0 +1,165 @@
+"""Security evaluation: run the paper's threat model against WearLock.
+
+Exercises each §IV attack against a live pairing and shows which
+defense stops it:
+
+* brute force       → 3-strike lockout over a 2^31 keyspace;
+* record-and-replay → OTP freshness + the timing window;
+* co-located        → the ~1 m BER boundary (and NLOS when concealed);
+* live relay        → partially effective (the paper's open problem),
+                      degraded by relay hardware distortion.
+
+Run::
+
+    python examples/security_evaluation.py
+"""
+
+import numpy as np
+
+from repro.channel.link import AcousticLink
+from repro.channel.scenarios import get_environment
+from repro.config import SystemConfig
+from repro.modem.bits import bit_error_rate
+from repro.protocol.controllers import PhoneController, WatchController
+from repro.security.attacks import (
+    BruteForceAttacker,
+    CoLocatedAttacker,
+    RelayAttacker,
+    ReplayAttacker,
+)
+from repro.security.otp import OtpManager
+from repro.security.timing import TimingGuard, TimingObservation
+from repro.security.tokens import token_to_bits
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def brute_force() -> None:
+    banner("1. Brute force (watch out of range, Bluetooth still linked)")
+    otp = OtpManager(b"victim-secret")
+    attacker = BruteForceAttacker(token_bits=otp.token_bits, rng=1)
+    outcome = attacker.attack(otp)
+    print("Attack outcome:", outcome.detail)
+    print("Pairing locked out:", otp.locked_out,
+          "→ phone now demands the PIN")
+    print(f"Keyspace: 2^{otp.token_bits} ≈ {2**otp.token_bits:.2e}; "
+          "3 guesses before lockout")
+
+
+def record_and_replay() -> None:
+    banner("2. Record-and-replay (MITM with recorder + player)")
+    system = SystemConfig()
+    otp = OtpManager(b"victim-secret")
+    phone = PhoneController(system, otp)
+    watch = WatchController(system)
+
+    decision = phone.modulator.select(ebn0_db=35.0, max_ber=0.1)
+    tt = phone.prepare_token(decision, None, tx_spl=75.0)
+    cfg = phone.channel_config_message(tt)
+
+    attacker = ReplayAttacker(replay_latency=0.9)
+    attacker.capture(tt.result.waveform)
+
+    # The legitimate round consumes the token...
+    bits = watch.demodulate(tt.result.waveform, cfg)
+    ok, _ = phone.verify_token_bits(tt, bits)
+    print("Legitimate round verified:", ok)
+
+    # ...so the bit-exact replay fails on freshness alone.
+    replay_bits = watch.demodulate(attacker.replay(), cfg)
+    ok2, _ = phone.verify_token_bits(tt, replay_bits)
+    print("Replay verified:", ok2, "(OTP freshness)")
+
+    # And the timing window flags the replay independently.
+    guard = TimingGuard(budget=0.35)
+    legit = TimingObservation(
+        wireless_rtt=0.09, stack_delay=0.12, acoustic_onset=0.20
+    )
+    print("Timing guard accepts legitimate onset:",
+          guard.is_legitimate(legit))
+    print("Timing guard accepts replayed onset:",
+          guard.is_legitimate(attacker.timing_observation(legit)))
+
+
+def co_located() -> None:
+    banner("3. Co-located attacker (carrying the victim's phone closer)")
+    system = SystemConfig()
+    env = get_environment("office")
+    otp = OtpManager(b"victim-secret")
+    phone = PhoneController(system, otp)
+    watch = WatchController(system)
+
+    for label, attacker in (
+        ("attacker at 2.0 m", CoLocatedAttacker(distance_m=2.0)),
+        ("attacker at 1.5 m, phone concealed",
+         CoLocatedAttacker(distance_m=1.5, concealed=True)),
+        ("legitimate user at 0.4 m", CoLocatedAttacker(distance_m=0.4)),
+    ):
+        decision = phone.modulator.select(ebn0_db=12.0, max_ber=0.1)
+        tt = phone.prepare_token(decision, None, tx_spl=62.0)
+        cfg = phone.channel_config_message(tt)
+        link = AcousticLink(
+            room=env.room, noise=env.noise,
+            **attacker.channel_kwargs(),
+        )
+        recording, budget = link.transmit(
+            tt.result.waveform, tx_spl=tt.tx_spl,
+            rng=np.random.default_rng(7),
+        )
+        try:
+            bits = watch.demodulate(recording, cfg)
+            sent = np.repeat(
+                token_to_bits(tt.token, otp.token_bits), phone.repetition
+            )
+            ber = bit_error_rate(sent, bits)
+        except Exception:
+            ber = 1.0
+        print(f"{label:38s} budget SNR {budget.snr_db:5.1f} dB "
+              f"→ raw BER {ber:.3f}")
+        otp.resync(otp.counter)  # keep the demo pairing healthy
+
+
+def live_relay() -> None:
+    banner("4. Live relay (the paper's acknowledged open problem)")
+    system = SystemConfig()
+    otp = OtpManager(b"victim-secret")
+    phone = PhoneController(system, otp)
+    watch = WatchController(system)
+
+    decision = phone.modulator.select(ebn0_db=35.0, max_ber=0.1)
+    tt = phone.prepare_token(decision, None, tx_spl=75.0)
+    cfg = phone.channel_config_message(tt)
+
+    relay = RelayAttacker(relay_latency=0.25, extra_phase_ripple_rad=0.5)
+    relayed = relay.distort(tt.result.waveform, 44_100.0)
+    bits = watch.demodulate(relayed, cfg)
+    ok, ber = phone.verify_token_bits(tt, bits)
+    print(f"Relay with imperfect audio chain: verified={ok}, "
+          f"raw BER {ber:.3f}")
+    guard = TimingGuard(budget=0.35)
+    legit = TimingObservation(
+        wireless_rtt=0.09, stack_delay=0.12, acoustic_onset=0.20
+    )
+    flagged = not guard.is_legitimate(relay.timing_observation(legit))
+    print("Timing window flags this relay:", flagged,
+          "(relay latency 250 ms)")
+    print("A sufficiently fast, flat-response relay remains effective —")
+    print("the paper suggests hardware fingerprinting or distance "
+          "bounding as future countermeasures.")
+
+
+def main() -> None:
+    brute_force()
+    record_and_replay()
+    co_located()
+    live_relay()
+    print()
+
+
+if __name__ == "__main__":
+    main()

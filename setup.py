@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so `pip install -e .` works in offline
+environments whose setuptools lacks wheel support (legacy editable
+installs go through `setup.py develop`, which needs no wheel).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,91 @@
+"""WearLock reproduction: acoustic smartwatch-assisted phone unlocking.
+
+A full-system reproduction of *WearLock: Unlocking Your Phone via
+Acoustics using Smartwatch* (Yi, Qin, Carter, Li — ICDCS 2017), built
+on a calibrated simulation of the acoustic world (speakers, rooms,
+microphones, noise) in place of the paper's physical testbed.
+
+Quickstart::
+
+    from repro import WearLock
+
+    wl = WearLock.pair(secret=b"shared-secret")
+    outcome = wl.unlock_attempt(environment="office", distance_m=0.4)
+    print(outcome.unlocked, outcome.mode, outcome.raw_ber)
+
+Subpackages
+-----------
+``repro.dsp``       signal-processing primitives
+``repro.channel``   acoustic world simulator (speaker→room→mic, noise)
+``repro.modem``     the acoustic OFDM modem (paper §III)
+``repro.security``  HOTP tokens, replay/NLOS defenses (paper §IV)
+``repro.sensors``   accelerometer traces, DTW, motion filter (paper §V)
+``repro.wireless``  BLE/WiFi control-channel models
+``repro.devices``   device compute/power profiles
+``repro.offload``   computation offloading (paper §V)
+``repro.protocol``  the two-phase unlocking protocol (paper §II)
+``repro.core``      the WearLock facade and metrics
+``repro.eval``      experiment harness reproducing every figure/table
+"""
+
+from .config import (
+    ModemConfig,
+    MotionFilterConfig,
+    SecurityConfig,
+    SystemConfig,
+)
+from .core.system import WearLock, PairingInfo
+from .core.metrics import summarize_outcomes
+from .errors import (
+    ChannelError,
+    ConfigurationError,
+    DemodulationError,
+    DspError,
+    LockedOutError,
+    ModemError,
+    PreambleNotFoundError,
+    ProtocolError,
+    ReplayDetectedError,
+    SecurityError,
+    SynchronizationError,
+    TokenMismatchError,
+    TransmissionAborted,
+    WearLockError,
+)
+from .protocol.session import (
+    AbortReason,
+    SessionConfig,
+    UnlockOutcome,
+    UnlockSession,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ModemConfig",
+    "MotionFilterConfig",
+    "SecurityConfig",
+    "SystemConfig",
+    "WearLock",
+    "PairingInfo",
+    "summarize_outcomes",
+    "AbortReason",
+    "SessionConfig",
+    "UnlockOutcome",
+    "UnlockSession",
+    "WearLockError",
+    "ConfigurationError",
+    "DspError",
+    "ModemError",
+    "PreambleNotFoundError",
+    "SynchronizationError",
+    "DemodulationError",
+    "ChannelError",
+    "ProtocolError",
+    "TransmissionAborted",
+    "SecurityError",
+    "TokenMismatchError",
+    "LockedOutError",
+    "ReplayDetectedError",
+    "__version__",
+]

@@ -1,0 +1,52 @@
+"""Acoustic world simulator.
+
+Replaces the paper's physical testbed (COTS phone speaker → air → watch
+microphone, in real rooms) with a calibrated simulation:
+
+* :mod:`repro.channel.acoustics` — spherical spreading loss and SPL math;
+* :mod:`repro.channel.noise` — ambient noise scenes and tone jammers;
+* :mod:`repro.channel.multipath` — room impulse responses, LOS/NLOS;
+* :mod:`repro.channel.hardware` — speaker rise/ringing, mic low-pass;
+* :mod:`repro.channel.link` — the composed end-to-end channel;
+* :mod:`repro.channel.scenarios` — the named environments of the paper's
+  field test (office, classroom, cafe, grocery store, quiet room).
+"""
+
+from .acoustics import (
+    spreading_loss_db,
+    received_spl,
+    required_tx_spl,
+    VolumeControl,
+)
+from .noise import (
+    white_noise,
+    pink_noise,
+    shaped_noise,
+    tone_jammer,
+    NoiseScene,
+)
+from .multipath import RoomImpulseResponse, rms_delay_spread
+from .hardware import SpeakerModel, MicrophoneModel
+from .link import AcousticLink, LinkBudget
+from .scenarios import Environment, ENVIRONMENTS, get_environment
+
+__all__ = [
+    "spreading_loss_db",
+    "received_spl",
+    "required_tx_spl",
+    "VolumeControl",
+    "white_noise",
+    "pink_noise",
+    "shaped_noise",
+    "tone_jammer",
+    "NoiseScene",
+    "RoomImpulseResponse",
+    "rms_delay_spread",
+    "SpeakerModel",
+    "MicrophoneModel",
+    "AcousticLink",
+    "LinkBudget",
+    "Environment",
+    "ENVIRONMENTS",
+    "get_environment",
+]

@@ -1,0 +1,111 @@
+"""Open-air sound propagation and SPL bookkeeping.
+
+Implements the paper's attenuation model (§III, "Sound propagation and
+attenuation")::
+
+    SPL_tx - SPL_rx = 20 g log10(d / d0)
+
+with ``g = 1`` for spherical propagation from a point source and ``d0``
+the reference distance between the transmitter's own mic and speaker.
+Spherical spreading loses ≈6 dB per distance doubling, which is exactly
+what the paper measures in Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ChannelError
+
+#: Reference distance d0 in meters (transmitter's own mic-speaker gap).
+D0_METERS: float = 0.05
+
+
+def spreading_loss_db(
+    distance_m: float, d0: float = D0_METERS, geometry: float = 1.0
+) -> float:
+    """Spreading loss in dB between ``d0`` and ``distance_m``.
+
+    ``geometry`` is the paper's geometric constant ``g`` (1 = spherical).
+    Distances inside ``d0`` incur no loss (the near field is not modeled;
+    clamping keeps link budgets monotone).
+    """
+    if distance_m <= 0:
+        raise ChannelError("distance must be positive")
+    if d0 <= 0:
+        raise ChannelError("reference distance d0 must be positive")
+    if distance_m <= d0:
+        return 0.0
+    return 20.0 * geometry * np.log10(distance_m / d0)
+
+
+def received_spl(
+    tx_spl: float, distance_m: float, d0: float = D0_METERS,
+    geometry: float = 1.0,
+) -> float:
+    """SPL at a receiver ``distance_m`` away from a ``tx_spl`` source."""
+    return tx_spl - spreading_loss_db(distance_m, d0=d0, geometry=geometry)
+
+
+def required_tx_spl(
+    noise_spl: float,
+    min_snr_db: float,
+    range_m: float = 1.0,
+    d0: float = D0_METERS,
+) -> float:
+    """Transmit SPL that guarantees ``min_snr_db`` at ``range_m``.
+
+    Implements the paper's volume rule (§III-7, "How adaptive modulation
+    works")::
+
+        SPL_tx - 20 log10(range / d0) - SPL_noise > SNR_min
+
+    A receiver anywhere inside ``range_m`` then sees at least
+    ``min_snr_db`` of SNR, which bounds the usable transmission range
+    without explicit ranging.
+    """
+    if min_snr_db < 0:
+        raise ChannelError("min_snr_db must be non-negative")
+    return noise_spl + min_snr_db + spreading_loss_db(range_m, d0=d0)
+
+
+@dataclass
+class VolumeControl:
+    """Maps an abstract volume step to a transmit SPL.
+
+    Phones expose a small number of volume steps; WearLock picks the step
+    whose SPL meets the link budget.  ``min_spl``/``max_spl`` bracket the
+    speaker's capability at ``d0``; steps interpolate linearly in dB.
+    """
+
+    min_spl: float = 45.0
+    max_spl: float = 95.0
+    steps: int = 15
+
+    def __post_init__(self) -> None:
+        if self.steps < 2:
+            raise ChannelError("need at least two volume steps")
+        if self.min_spl >= self.max_spl:
+            raise ChannelError("min_spl must be < max_spl")
+
+    def spl_for_step(self, step: int) -> float:
+        """SPL produced at reference distance by volume ``step``."""
+        if not 0 <= step < self.steps:
+            raise ChannelError(
+                f"volume step {step} outside [0, {self.steps - 1}]"
+            )
+        frac = step / (self.steps - 1)
+        return self.min_spl + frac * (self.max_spl - self.min_spl)
+
+    def step_for_spl(self, target_spl: float) -> int:
+        """Smallest volume step whose SPL is >= ``target_spl``.
+
+        Returns the loudest step if even it cannot reach the target —
+        the caller should then check the link budget and possibly abort.
+        """
+        for step in range(self.steps):
+            if self.spl_for_step(step) >= target_spl:
+                return step
+        return self.steps - 1

@@ -1,0 +1,218 @@
+"""Speaker and microphone hardware models.
+
+§III of the paper identifies the hardware impairments the modem must
+survive:
+
+* **rise effect** — the speaker cannot reach full power instantly;
+* **ringing effect** — the speaker output outlasts its input with a
+  slowly decaying reverberation tail (motivating the symbol guard Tg);
+* the **Moto 360 microphone low-pass** — a mandatory built-in filter
+  limiting the usable band to <7 kHz with heavy fade from 5 to 7 kHz
+  (which forced the audible 1-6 kHz phone-watch design);
+* amplitude clipping in the DAC/amplifier;
+* an uneven amplitude-vs-phase response that makes ASK cheaper in SNR
+  than PSK on these devices (visible in the Fig. 5 ordering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ChannelError
+from ..dsp.filters import design_lowpass_fir, fir_filter
+from ..dsp.windows import raised_cosine_ramp
+
+
+@dataclass
+class SpeakerModel:
+    """Phone speaker: rise ramp, ringing tail, clipping.
+
+    Attributes
+    ----------
+    sample_rate:
+        Sampling rate in Hz.
+    rise_time:
+        Seconds for the driver to reach full output (rise effect).
+    ringing_time:
+        Decay constant, in seconds, of the exponential ringing tail.
+    ringing_gain:
+        Linear gain of the ringing feedback (0 disables ringing).
+    clip_level:
+        Absolute amplitude above which the output hard-clips.
+    phase_ripple_rad:
+        RMS amplitude (radians) of the speaker's *phase-response ripple*
+        — an all-pass distortion from driver resonances.  The ripple's
+        frequency detail is finer than the OFDM pilot spacing, so the
+        receiver's interpolated channel estimate cannot fully track it:
+        phase-keyed constellations pay for it, amplitude-keyed ones do
+        not.  This is the hardware asymmetry behind the paper's Fig. 5
+        finding that ASK needs *less* SNR per bit than PSK on phone
+        audio hardware (and that 16QAM is unusable).
+    phase_ripple_detail_hz:
+        Characteristic frequency scale of the ripple (smaller = finer
+        detail = harder to equalize).
+    device_seed:
+        Seed fixing this speaker's ripple realization; a given device
+        has one stable (if ugly) response.
+    """
+
+    sample_rate: float = 44_100.0
+    rise_time: float = 1.0e-3
+    ringing_time: float = 0.4e-3
+    ringing_gain: float = 0.15
+    clip_level: float = 1.0
+    phase_ripple_rad: float = 0.25
+    phase_ripple_detail_hz: float = 500.0
+    device_seed: int = 1717
+
+    def __post_init__(self) -> None:
+        if self.rise_time < 0 or self.ringing_time < 0:
+            raise ChannelError("time constants must be non-negative")
+        if self.clip_level <= 0:
+            raise ChannelError("clip_level must be positive")
+        if self.phase_ripple_rad < 0:
+            raise ChannelError("phase_ripple_rad must be non-negative")
+        # The ripple is a fixed random Fourier series in frequency —
+        # equivalent to a sparse all-pass with echo delays up to
+        # ~1/detail_hz, i.e. a stable per-device response.
+        rng = np.random.default_rng(self.device_seed)
+        n_terms = 24
+        max_delay = 1.0 / max(self.phase_ripple_detail_hz, 1e-6)
+        self._ripple_delays = rng.uniform(0.2 * max_delay, max_delay, n_terms)
+        self._ripple_phases = rng.uniform(0.0, 2.0 * np.pi, n_terms)
+        amps = rng.uniform(0.5, 1.0, n_terms)
+        norm = np.sqrt(0.5 * np.sum(amps ** 2))
+        self._ripple_amps = (
+            amps * (self.phase_ripple_rad / norm) if norm > 0 else amps * 0.0
+        )
+
+    def phase_response(self, freqs_hz: np.ndarray) -> np.ndarray:
+        """The device's phase ripple φ(f) in radians at ``freqs_hz``."""
+        f = np.asarray(freqs_hz, dtype=np.float64)
+        phi = np.zeros_like(f)
+        for a, tau, theta in zip(
+            self._ripple_amps, self._ripple_delays, self._ripple_phases
+        ):
+            phi += a * np.cos(2.0 * np.pi * f * tau + theta)
+        return phi
+
+    def _apply_phase_ripple(self, signal: np.ndarray) -> np.ndarray:
+        if self.phase_ripple_rad <= 0 or signal.size < 2:
+            return signal
+        spec = np.fft.rfft(signal)
+        freqs = np.fft.rfftfreq(signal.size, d=1.0 / self.sample_rate)
+        spec *= np.exp(1j * self.phase_response(freqs))
+        return np.fft.irfft(spec, signal.size)
+
+    def play(self, signal: np.ndarray) -> np.ndarray:
+        """Render ``signal`` through the speaker model.
+
+        The output is longer than the input by the ringing tail —
+        matching the paper's observation that the speaker "generates a
+        longer output than the real length of input".
+        """
+        x = np.asarray(signal, dtype=np.float64)
+        if x.ndim != 1:
+            raise ChannelError("signal must be 1-D")
+        if x.size == 0:
+            return x.copy()
+
+        # Rise effect: multiply the head by a raised-cosine ramp.
+        rise_samples = int(self.rise_time * self.sample_rate)
+        out = x.copy()
+        if rise_samples > 1:
+            n = min(rise_samples, out.size)
+            out[:n] *= raised_cosine_ramp(n, rising=True)
+
+        # Ringing: convolve with 1 + g * exponential tail.
+        if self.ringing_gain > 0 and self.ringing_time > 0:
+            tail_len = int(4 * self.ringing_time * self.sample_rate)
+            tail_len = max(tail_len, 1)
+            t = np.arange(1, tail_len + 1) / self.sample_rate
+            tail = self.ringing_gain * np.exp(-t / self.ringing_time)
+            ir = np.concatenate(([1.0], tail))
+            out = np.convolve(out, ir)
+
+        out = self._apply_phase_ripple(out)
+        return np.clip(out, -self.clip_level, self.clip_level)
+
+
+@dataclass
+class MicrophoneModel:
+    """Receiver microphone: low-pass filter, noise floor, saturation.
+
+    ``lowpass_hz=7000`` with a soft knee starting near 5 kHz reproduces
+    the Moto 360's mandatory filter; set ``lowpass_hz=None`` for the
+    phone-phone near-ultrasound pair (whose mics pass 20 kHz).
+    """
+
+    sample_rate: float = 44_100.0
+    lowpass_hz: Optional[float] = 7_000.0
+    knee_hz: float = 5_000.0
+    knee_loss_db: float = 8.0
+    noise_floor_spl: float = 30.0
+    clip_level: float = 1.0
+    num_taps: int = 257
+
+    def __post_init__(self) -> None:
+        if self.lowpass_hz is not None:
+            if not 0 < self.lowpass_hz < self.sample_rate / 2:
+                raise ChannelError("lowpass_hz must be inside (0, Nyquist)")
+            if not 0 < self.knee_hz <= self.lowpass_hz:
+                raise ChannelError("knee_hz must be in (0, lowpass_hz]")
+        if self.clip_level <= 0:
+            raise ChannelError("clip_level must be positive")
+        self._taps: Optional[np.ndarray] = None
+        self._knee_taps: Optional[np.ndarray] = None
+
+    def _ensure_filters(self) -> None:
+        if self.lowpass_hz is None or self._taps is not None:
+            return
+        self._taps = design_lowpass_fir(
+            self.lowpass_hz, self.sample_rate, num_taps=self.num_taps
+        )
+        # Soft knee: an extra gentle low-pass blended in to fade
+        # 5-7 kHz progressively rather than brick-walling at 7 kHz.
+        self._knee_taps = design_lowpass_fir(
+            self.knee_hz, self.sample_rate, num_taps=self.num_taps
+        )
+
+    def record(
+        self,
+        signal: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Record ``signal`` through the microphone model."""
+        from ..dsp.energy import spl_to_amplitude  # local to avoid cycle
+
+        x = np.asarray(signal, dtype=np.float64)
+        if x.ndim != 1:
+            raise ChannelError("signal must be 1-D")
+        out = x.copy()
+        if self.lowpass_hz is not None and out.size:
+            self._ensure_filters()
+            sharp = fir_filter(out, self._taps)
+            soft = fir_filter(out, self._knee_taps)
+            blend = 10.0 ** (-self.knee_loss_db / 20.0)
+            # Progressive fade: mix the 7 kHz-limited signal with a
+            # 5 kHz-limited copy so the 5-7 kHz region loses knee_loss_db.
+            out = blend * sharp + (1.0 - blend) * soft
+        if self.noise_floor_spl > -np.inf and out.size:
+            generator = rng if rng is not None else np.random.default_rng()
+            floor = generator.standard_normal(out.size)
+            level = spl_to_amplitude(self.noise_floor_spl)
+            floor *= level / max(np.sqrt(np.mean(floor ** 2)), 1e-300)
+            out = out + floor
+        return np.clip(out, -self.clip_level, self.clip_level)
+
+    @staticmethod
+    def wide_band(sample_rate: float = 44_100.0) -> "MicrophoneModel":
+        """A phone-grade microphone without the wearable low-pass."""
+        return MicrophoneModel(
+            sample_rate=sample_rate,
+            lowpass_hz=None,
+            noise_floor_spl=28.0,
+        )

@@ -1,0 +1,187 @@
+"""The composed end-to-end acoustic link.
+
+``AcousticLink`` chains every impairment between the phone's WearLock
+controller writing samples to the speaker and the watch's controller
+reading samples from its microphone::
+
+    waveform -> SpeakerModel -> RoomImpulseResponse -> spreading loss
+             -> (clock skew) -> + ambient NoiseScene -> MicrophoneModel
+
+The link also produces a :class:`LinkBudget` describing the SPL/SNR
+arithmetic of the transmission — the numbers Fig. 4 plots and the
+adaptive-modulation logic consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ChannelError
+from ..dsp.energy import rms, spl_to_amplitude
+from ..dsp.resample import apply_clock_skew
+from .acoustics import D0_METERS, received_spl, spreading_loss_db
+from .hardware import MicrophoneModel, SpeakerModel
+from .multipath import RoomImpulseResponse
+from .noise import NoiseScene
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """SPL bookkeeping for one transmission."""
+
+    tx_spl: float
+    rx_spl: float
+    noise_spl: float
+    distance_m: float
+
+    @property
+    def snr_db(self) -> float:
+        """Estimated received SNR: SPL_rx − SPL_noise (paper §III-2)."""
+        return self.rx_spl - self.noise_spl
+
+
+@dataclass
+class AcousticLink:
+    """Simulated speaker→air→microphone channel.
+
+    Attributes
+    ----------
+    sample_rate:
+        Audio sampling rate (must match the modem's).
+    speaker, microphone:
+        Hardware models at each end.
+    room:
+        Room impulse response generator; ``None`` disables multipath.
+    noise:
+        Ambient noise scene at the receiver; ``None`` means silence.
+    distance_m:
+        Transmitter-receiver separation.
+    los:
+        ``False`` applies the room's NLOS variant (body blocking).
+    clock_skew_ppm:
+        Receiver sampling-clock offset relative to the transmitter.
+    leading_silence / trailing_silence:
+        Seconds of noise-only audio recorded before/after the signal, so
+        receivers must genuinely *detect* the frame.
+    """
+
+    sample_rate: float = 44_100.0
+    speaker: SpeakerModel = field(default_factory=SpeakerModel)
+    microphone: MicrophoneModel = field(default_factory=MicrophoneModel)
+    room: Optional[RoomImpulseResponse] = field(
+        default_factory=RoomImpulseResponse
+    )
+    noise: Optional[NoiseScene] = None
+    distance_m: float = 0.5
+    los: bool = True
+    clock_skew_ppm: float = 0.0
+    leading_silence: float = 0.05
+    trailing_silence: float = 0.03
+    nlos_blocking_db: float = 18.0
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.distance_m <= 0:
+            raise ChannelError("distance_m must be positive")
+        if self.leading_silence < 0 or self.trailing_silence < 0:
+            raise ChannelError("silence durations must be non-negative")
+
+    def _generator(self, rng) -> np.random.Generator:
+        if isinstance(rng, np.random.Generator):
+            return rng
+        if rng is not None:
+            return np.random.default_rng(rng)
+        return np.random.default_rng(self.seed)
+
+    def budget(self, tx_spl: float) -> LinkBudget:
+        """Compute the SPL/SNR budget for a given transmit level."""
+        noise_spl = (
+            self.noise.effective_spl() if self.noise is not None else 0.0
+        )
+        rx = received_spl(tx_spl, self.distance_m)
+        if not self.los:
+            rx -= self.nlos_blocking_db
+        return LinkBudget(
+            tx_spl=tx_spl,
+            rx_spl=rx,
+            noise_spl=noise_spl,
+            distance_m=self.distance_m,
+        )
+
+    def transmit(
+        self,
+        waveform: np.ndarray,
+        tx_spl: float,
+        rng=None,
+    ) -> Tuple[np.ndarray, LinkBudget]:
+        """Send ``waveform`` at ``tx_spl`` and return what the mic records.
+
+        The waveform's own scale is irrelevant: it is renormalized so its
+        RMS at the speaker face corresponds to ``tx_spl`` dB SPL, then
+        every impairment in the chain is applied.
+        """
+        x = np.asarray(waveform, dtype=np.float64)
+        if x.ndim != 1 or x.size == 0:
+            raise ChannelError("waveform must be a non-empty 1-D array")
+        generator = self._generator(rng)
+        budget = self.budget(tx_spl)
+
+        level = rms(x)
+        if level <= 0.0:
+            raise ChannelError("waveform has zero energy")
+        driven = x * (spl_to_amplitude(tx_spl) / level)
+
+        emitted = self.speaker.play(driven)
+
+        if self.room is not None:
+            room = self.room if self.los else self.room.nlos(
+                self.nlos_blocking_db
+            )
+            # The IR's direct tap is unit gain; NLOS attenuation of the
+            # direct path is inside the IR, so only spreading loss is
+            # applied separately below.
+            propagated = room.apply(emitted, rng=generator)
+        else:
+            propagated = emitted
+            if not self.los:
+                propagated = propagated * 10.0 ** (
+                    -self.nlos_blocking_db / 20.0
+                )
+
+        loss_db = spreading_loss_db(self.distance_m, d0=D0_METERS)
+        propagated = propagated * 10.0 ** (-loss_db / 20.0)
+
+        if self.clock_skew_ppm:
+            propagated = apply_clock_skew(propagated, self.clock_skew_ppm)
+
+        lead = int(self.leading_silence * self.sample_rate)
+        trail = int(self.trailing_silence * self.sample_rate)
+        at_mic = np.concatenate(
+            [np.zeros(lead), propagated, np.zeros(trail)]
+        )
+
+        if self.noise is not None:
+            at_mic = at_mic + self.noise.sample(at_mic.size, rng=generator)
+
+        recorded = self.microphone.record(at_mic, rng=generator)
+        return recorded, budget
+
+    def record_ambient(self, duration_s: float, rng=None) -> np.ndarray:
+        """Record ``duration_s`` of ambient noise only (no signal).
+
+        Used for the noise-floor measurement in Phase 1 and for the
+        ambient-noise similarity filter.
+        """
+        if duration_s <= 0:
+            raise ChannelError("duration must be positive")
+        generator = self._generator(rng)
+        n = int(duration_s * self.sample_rate)
+        ambient = (
+            self.noise.sample(n, rng=generator)
+            if self.noise is not None
+            else np.zeros(n)
+        )
+        return self.microphone.record(ambient, rng=generator)

@@ -1,0 +1,198 @@
+"""Ambient-noise generation: white/pink/shaped noise, jammers, scenes.
+
+The paper's field test runs in offices, classrooms, cafes and grocery
+stores — environments whose noise is colored (energy concentrated below
+a few kHz: voices, HVAC, machinery) and occasionally narrowband (tones
+from appliances, or the Audacity tone-jammer in Fig. 9).  A
+:class:`NoiseScene` composes these ingredients at a calibrated SPL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ChannelError
+from ..dsp.energy import rms, spl_to_amplitude
+from ..dsp.filters import design_bandpass_fir, design_lowpass_fir, fir_filter
+
+
+def _rng(seed_or_rng) -> np.random.Generator:
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def _scale_to_spl(signal: np.ndarray, spl_db: float) -> np.ndarray:
+    """Rescale ``signal`` so its RMS corresponds to ``spl_db`` SPL."""
+    level = rms(signal)
+    if level <= 0.0:
+        return signal
+    return signal * (spl_to_amplitude(spl_db) / level)
+
+
+def white_noise(
+    n_samples: int, spl_db: float, rng=None
+) -> np.ndarray:
+    """Gaussian white noise with RMS calibrated to ``spl_db`` SPL."""
+    if n_samples < 0:
+        raise ChannelError("n_samples must be non-negative")
+    generator = _rng(rng)
+    noise = generator.standard_normal(n_samples)
+    return _scale_to_spl(noise, spl_db)
+
+
+def pink_noise(
+    n_samples: int, spl_db: float, rng=None
+) -> np.ndarray:
+    """Approximate 1/f (pink) noise via the Voss-style FFT method.
+
+    Pink noise matches broadband room ambience better than white noise:
+    most real ambient energy sits at low frequency, which is the premise
+    behind WearLock's choice of signal bands.
+    """
+    if n_samples < 0:
+        raise ChannelError("n_samples must be non-negative")
+    if n_samples == 0:
+        return np.zeros(0)
+    generator = _rng(rng)
+    white = generator.standard_normal(n_samples)
+    spec = np.fft.rfft(white)
+    freqs = np.fft.rfftfreq(n_samples)
+    shaping = np.ones_like(freqs)
+    nonzero = freqs > 0
+    shaping[nonzero] = 1.0 / np.sqrt(freqs[nonzero])
+    shaping[0] = 0.0
+    colored = np.fft.irfft(spec * shaping, n_samples)
+    return _scale_to_spl(colored, spl_db)
+
+
+def shaped_noise(
+    n_samples: int,
+    spl_db: float,
+    sample_rate: float,
+    bands: Sequence[Tuple[float, float, float]],
+    rng=None,
+) -> np.ndarray:
+    """Noise composed of band-limited components.
+
+    ``bands`` is a sequence of ``(low_hz, high_hz, relative_weight)``;
+    each band contributes white noise filtered to that band, weighted,
+    and the sum is calibrated to ``spl_db``.
+    """
+    if not bands:
+        raise ChannelError("bands must be non-empty")
+    generator = _rng(rng)
+    total = np.zeros(n_samples)
+    for low, high, weight in bands:
+        if weight < 0:
+            raise ChannelError("band weights must be non-negative")
+        if weight == 0.0 or n_samples == 0:
+            continue
+        raw = generator.standard_normal(n_samples)
+        if low <= 0.0:
+            taps = design_lowpass_fir(high, sample_rate, num_taps=257)
+        else:
+            taps = design_bandpass_fir(low, high, sample_rate, num_taps=257)
+        component = fir_filter(raw, taps)
+        level = rms(component)
+        if level > 0:
+            component = component / level * weight
+        total = total + component
+    return _scale_to_spl(total, spl_db)
+
+
+def tone_jammer(
+    n_samples: int,
+    sample_rate: float,
+    freqs_hz: Sequence[float],
+    spl_db: float,
+    rng=None,
+) -> np.ndarray:
+    """Sum of pure tones at ``freqs_hz``, calibrated to ``spl_db`` SPL.
+
+    Emulates the paper's Fig. 9 jammer: an external tone generator
+    (Audacity) playing up to 6 simultaneous mono tracks.
+    """
+    if len(freqs_hz) == 0:
+        return np.zeros(n_samples)
+    if len(freqs_hz) > 6:
+        raise ChannelError(
+            "the paper's jammer (Audacity) supports at most 6 tones"
+        )
+    generator = _rng(rng)
+    t = np.arange(n_samples) / sample_rate
+    total = np.zeros(n_samples)
+    for f in freqs_hz:
+        if not 0 < f < sample_rate / 2:
+            raise ChannelError(f"jammer tone {f} Hz outside (0, Nyquist)")
+        phase = generator.uniform(0, 2 * np.pi)
+        total += np.sin(2 * np.pi * f * t + phase)
+    return _scale_to_spl(total, spl_db)
+
+
+@dataclass
+class NoiseScene:
+    """A reproducible ambient-noise source for one environment.
+
+    Attributes
+    ----------
+    spl_db:
+        Long-term ambient SPL of the scene.
+    sample_rate:
+        Sampling rate of generated noise.
+    bands:
+        Spectral shape as ``(low, high, weight)`` triples; empty means
+        plain white noise.
+    jam_tones_hz:
+        Optional persistent narrowband interferers (e.g. an HVAC whine
+        or an intentional jammer) and their SPL.
+    jam_spl_db:
+        SPL of the combined jam tones (independent of the broadband bed).
+    """
+
+    spl_db: float
+    sample_rate: float = 44_100.0
+    bands: Tuple[Tuple[float, float, float], ...] = ()
+    jam_tones_hz: Tuple[float, ...] = ()
+    jam_spl_db: float = -np.inf
+    seed: Optional[int] = None
+
+    def sample(self, n_samples: int, rng=None) -> np.ndarray:
+        """Generate ``n_samples`` of scene noise."""
+        generator = _rng(rng if rng is not None else self.seed)
+        if self.bands:
+            bed = shaped_noise(
+                n_samples, self.spl_db, self.sample_rate,
+                self.bands, rng=generator,
+            )
+        else:
+            bed = white_noise(n_samples, self.spl_db, rng=generator)
+        if self.jam_tones_hz and np.isfinite(self.jam_spl_db):
+            bed = bed + tone_jammer(
+                n_samples, self.sample_rate, self.jam_tones_hz,
+                self.jam_spl_db, rng=generator,
+            )
+        return bed
+
+    def with_jammer(
+        self, freqs_hz: Sequence[float], jam_spl_db: float
+    ) -> "NoiseScene":
+        """Return a copy of the scene with an added tone jammer."""
+        return NoiseScene(
+            spl_db=self.spl_db,
+            sample_rate=self.sample_rate,
+            bands=self.bands,
+            jam_tones_hz=tuple(freqs_hz),
+            jam_spl_db=jam_spl_db,
+            seed=self.seed,
+        )
+
+    def effective_spl(self) -> float:
+        """Total scene SPL including jam tones (power sum in dB)."""
+        powers: List[float] = [10.0 ** (self.spl_db / 10.0)]
+        if self.jam_tones_hz and np.isfinite(self.jam_spl_db):
+            powers.append(10.0 ** (self.jam_spl_db / 10.0))
+        return float(10.0 * np.log10(sum(powers)))

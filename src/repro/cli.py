@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``unlock``       run one unlock attempt and print the outcome
+``experiment``   regenerate one of the paper's figures/tables
+``encode``       modulate a payload (hex) into a WAV file
+``decode``       demodulate a WAV recording back to a payload
+``info``         print the modem configuration and environments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_unlock(args: argparse.Namespace) -> int:
+    from .core.system import WearLock
+
+    wearlock = WearLock.pair(secret=args.secret.encode())
+    outcome = wearlock.unlock_attempt(
+        environment=args.environment,
+        distance_m=args.distance,
+        los=not args.nlos,
+        wireless=args.wireless,
+        band=args.band,
+        seed=args.seed,
+    )
+    print(f"unlocked:  {outcome.unlocked}")
+    print(f"reason:    {outcome.abort_reason.value}")
+    print(f"mode:      {outcome.mode}")
+    if outcome.raw_ber is not None:
+        print(f"raw BER:   {outcome.raw_ber:.4f}")
+    if outcome.psnr_db is not None:
+        print(f"pilot SNR: {outcome.psnr_db:.1f} dB")
+    print(f"delay:     {outcome.total_delay_s:.2f} s")
+    return 0 if outcome.unlocked else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .eval.runner import EXPERIMENT_REGISTRY, run_all, save_report
+
+    aliases = {
+        "fig4": "fig4_propagation",
+        "fig5": "fig5_ber_vs_ebn0",
+        "fig6": "fig6_offload",
+        "fig7": "fig7_range",
+        "fig8": "fig8_adaptive",
+        "fig9": "fig9_jamming",
+        "fig10": "fig10_compute_delay",
+        "fig11": "fig11_comm_delay",
+        "fig12": "fig12_total_delay",
+        "table1": "table1_field_test",
+        "table2": "table2_dtw",
+        "case-study": "case_study",
+    }
+    name = aliases.get(args.name, args.name)
+    if name != "all" and name not in EXPERIMENT_REGISTRY:
+        known = sorted(set(aliases) | set(EXPERIMENT_REGISTRY) | {"all"})
+        print(
+            f"unknown experiment {args.name!r}; "
+            f"choose from {', '.join(known)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    only = None if name == "all" else [name]
+    results = run_all(
+        only=only,
+        progress=lambda n: print(f"running {n}...", file=sys.stderr),
+    )
+    if args.out:
+        save_report(results, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        import json
+
+        print(json.dumps(results, indent=2))
+    return 0
+
+
+def _cmd_encode(args: argparse.Namespace) -> int:
+    from .config import ModemConfig
+    from .modem.bits import unpack_bits
+    from .modem.constellation import get_constellation
+    from .modem.transmitter import OfdmTransmitter
+    from .modem.wavio import write_wav
+
+    config = ModemConfig()
+    if args.band == "ultrasound":
+        config = config.near_ultrasound()
+    payload = bytes.fromhex(args.payload)
+    bits = unpack_bits(payload)
+    tx = OfdmTransmitter(config, get_constellation(args.mode))
+    result = tx.modulate(bits)
+    write_wav(args.output, result.waveform, config.sample_rate)
+    print(
+        f"wrote {args.output}: {bits.size} bits, {args.mode}, "
+        f"{result.layout.n_symbols} symbols, "
+        f"{result.waveform.size / config.sample_rate * 1e3:.1f} ms"
+    )
+    return 0
+
+
+def _cmd_decode(args: argparse.Namespace) -> int:
+    from .config import ModemConfig
+    from .errors import WearLockError
+    from .modem.bits import pack_bits
+    from .modem.constellation import get_constellation
+    from .modem.receiver import OfdmReceiver
+    from .modem.wavio import read_wav
+
+    config = ModemConfig()
+    if args.band == "ultrasound":
+        config = config.near_ultrasound()
+    samples, rate = read_wav(args.input)
+    if abs(rate - config.sample_rate) > 1.0:
+        print(
+            f"warning: WAV rate {rate:.0f} != modem rate "
+            f"{config.sample_rate:.0f}",
+            file=sys.stderr,
+        )
+    rx = OfdmReceiver(config, get_constellation(args.mode))
+    try:
+        result = rx.receive(samples, expected_bits=args.bits)
+    except WearLockError as exc:
+        print(f"decode failed: {exc}", file=sys.stderr)
+        return 1
+    print(pack_bits(result.bits).hex())
+    print(
+        f"# preamble score {result.preamble_score:.3f}, "
+        f"pilot SNR {result.psnr_db:.1f} dB",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .channel.scenarios import ENVIRONMENTS
+    from .config import ModemConfig
+
+    config = ModemConfig()
+    print("modem defaults (paper §VI):")
+    print(f"  sample rate      {config.sample_rate:.0f} Hz")
+    print(f"  FFT size         {config.fft_size}")
+    print(f"  sub-channel BW   {config.subchannel_bandwidth:.1f} Hz")
+    print(f"  CP / guard       {config.cp_length} / {config.guard_length}")
+    print(f"  data bins        {config.data_channels}")
+    print(f"  pilot bins       {config.pilot_channels}")
+    print()
+    print("environments:")
+    for name, env in ENVIRONMENTS.items():
+        print(
+            f"  {name:15s} {env.noise.effective_spl():5.1f} dB SPL — "
+            f"{env.description}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WearLock reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    unlock = sub.add_parser("unlock", help="run one unlock attempt")
+    unlock.add_argument("--environment", default="office")
+    unlock.add_argument("--distance", type=float, default=0.4)
+    unlock.add_argument("--nlos", action="store_true")
+    unlock.add_argument("--wireless", choices=("ble", "wifi"), default="ble")
+    unlock.add_argument(
+        "--band", choices=("audible", "ultrasound"), default="audible"
+    )
+    unlock.add_argument("--secret", default="cli-demo-secret")
+    unlock.add_argument("--seed", type=int, default=None)
+    unlock.set_defaults(func=_cmd_unlock)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a figure/table (or 'all') as JSON"
+    )
+    experiment.add_argument("name")
+    experiment.add_argument(
+        "--out", default=None, help="write a JSON report to this path"
+    )
+    experiment.set_defaults(func=_cmd_experiment)
+
+    encode = sub.add_parser("encode", help="modulate hex payload to WAV")
+    encode.add_argument("payload", help="payload as hex, e.g. deadbeef")
+    encode.add_argument("output")
+    encode.add_argument("--mode", default="QPSK")
+    encode.add_argument(
+        "--band", choices=("audible", "ultrasound"), default="audible"
+    )
+    encode.set_defaults(func=_cmd_encode)
+
+    decode = sub.add_parser("decode", help="demodulate WAV to hex payload")
+    decode.add_argument("input")
+    decode.add_argument("--bits", type=int, required=True)
+    decode.add_argument("--mode", default="QPSK")
+    decode.add_argument(
+        "--band", choices=("audible", "ultrasound"), default="audible"
+    )
+    decode.set_defaults(func=_cmd_decode)
+
+    info = sub.add_parser("info", help="print configuration summary")
+    info.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Public facade of the WearLock reproduction."""
+
+from .system import WearLock, PairingInfo
+from .metrics import BerStats, DelayStats, SuccessStats, summarize_outcomes
+from .pipeline import FilterChain, FilterResult
+from .colocation import AmbientComparator
+
+__all__ = [
+    "WearLock",
+    "PairingInfo",
+    "BerStats",
+    "DelayStats",
+    "SuccessStats",
+    "summarize_outcomes",
+    "FilterChain",
+    "FilterResult",
+    "AmbientComparator",
+]

@@ -1,0 +1,91 @@
+"""Ambient-noise co-location detection (the Sound-Proof-style filter).
+
+Paper §V: "the technique used in Sound-Proof is complementary to
+WearLock by leveraging the similarity of ambient noise, to eliminate
+unnecessary acoustic transmission...  If the ambient noise similarity
+is below a threshold, we believe those two devices are not co-located
+with a high confidence and then the transmission is aborted."
+
+:class:`AmbientComparator` compares two ambient recordings by the
+correlation of their log band powers over quasi-third-octave bands —
+two microphones in the same room hear the same spectral fingerprint
+(the HVAC hum, the babble, the espresso machine), while rooms apart
+decorrelate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..dsp.spectrum import welch_psd
+from ..errors import WearLockError
+
+
+@dataclass
+class AmbientComparator:
+    """Spectral-fingerprint similarity between two ambient recordings.
+
+    Attributes
+    ----------
+    sample_rate:
+        Sampling rate of both recordings.
+    low_hz / high_hz:
+        Analysis band.  Sound-Proof uses 50 Hz-4 kHz where ambient
+        energy lives; we default to 80 Hz up to just below Nyquist so
+        the same comparator serves both of WearLock's bands.
+    n_bands:
+        Number of log-spaced bands (quasi-third-octave at the default).
+    threshold:
+        Similarity at/above which the devices are deemed co-located.
+    """
+
+    sample_rate: float = 44_100.0
+    low_hz: float = 80.0
+    high_hz: float = 18_000.0
+    n_bands: int = 18
+    threshold: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0 < self.low_hz < self.high_hz <= self.sample_rate / 2:
+            raise WearLockError("need 0 < low < high <= Nyquist")
+        if self.n_bands < 3:
+            raise WearLockError("need at least 3 bands")
+        if not -1.0 <= self.threshold <= 1.0:
+            raise WearLockError("threshold must be a correlation value")
+
+    def band_profile(self, recording: np.ndarray) -> np.ndarray:
+        """Log band-power fingerprint of one recording."""
+        x = np.asarray(recording, dtype=np.float64)
+        if x.ndim != 1 or x.size < 64:
+            raise WearLockError(
+                "recording must be 1-D with at least 64 samples"
+            )
+        freqs, psd = welch_psd(x, self.sample_rate, segment_size=512)
+        edges = np.geomspace(self.low_hz, self.high_hz, self.n_bands + 1)
+        profile = []
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            mask = (freqs >= lo) & (freqs < hi)
+            if not np.any(mask):
+                continue
+            profile.append(np.log10(float(np.mean(psd[mask])) + 1e-20))
+        if len(profile) < 3:
+            raise WearLockError("too few usable bands — recording too short")
+        return np.asarray(profile)
+
+    def similarity(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Pearson correlation of the two band profiles, in [-1, 1]."""
+        pa = self.band_profile(a)
+        pb = self.band_profile(b)
+        n = min(pa.size, pb.size)
+        pa, pb = pa[:n], pb[:n]
+        if np.std(pa) < 1e-12 or np.std(pb) < 1e-12:
+            return 0.0
+        return float(np.corrcoef(pa, pb)[0, 1])
+
+    def co_located(self, a: np.ndarray, b: np.ndarray) -> Tuple[bool, float]:
+        """Decision + score: are these two recordings from one place?"""
+        score = self.similarity(a, b)
+        return score >= self.threshold, score

@@ -1,0 +1,93 @@
+"""Aggregation of unlock outcomes into the paper's reported metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import WearLockError
+from ..protocol.session import UnlockOutcome
+
+
+@dataclass(frozen=True)
+class BerStats:
+    """Bit-error-rate statistics over a set of transmissions."""
+
+    mean: float
+    median: float
+    p90: float
+    n: int
+
+    @staticmethod
+    def from_values(values: Sequence[float]) -> "BerStats":
+        v = [x for x in values if x is not None]
+        if not v:
+            raise WearLockError("no BER values to aggregate")
+        arr = np.asarray(v, dtype=np.float64)
+        return BerStats(
+            mean=float(np.mean(arr)),
+            median=float(np.median(arr)),
+            p90=float(np.percentile(arr, 90)),
+            n=arr.size,
+        )
+
+
+@dataclass(frozen=True)
+class DelayStats:
+    """End-to-end delay statistics (seconds)."""
+
+    mean: float
+    median: float
+    p90: float
+    n: int
+
+    @staticmethod
+    def from_values(values: Sequence[float]) -> "DelayStats":
+        if not values:
+            raise WearLockError("no delay values to aggregate")
+        arr = np.asarray(values, dtype=np.float64)
+        return DelayStats(
+            mean=float(np.mean(arr)),
+            median=float(np.median(arr)),
+            p90=float(np.percentile(arr, 90)),
+            n=arr.size,
+        )
+
+    def speedup_vs(self, baseline_median: float) -> float:
+        """Relative speedup of this delay against a baseline median."""
+        if baseline_median <= 0:
+            raise WearLockError("baseline must be positive")
+        return (baseline_median - self.median) / baseline_median
+
+
+@dataclass(frozen=True)
+class SuccessStats:
+    """Unlock success counts."""
+
+    successes: int
+    attempts: int
+
+    @property
+    def rate(self) -> float:
+        if self.attempts == 0:
+            return 0.0
+        return self.successes / self.attempts
+
+
+def summarize_outcomes(outcomes: Iterable[UnlockOutcome]) -> dict:
+    """Roll a batch of outcomes into the headline numbers."""
+    outcome_list: List[UnlockOutcome] = list(outcomes)
+    if not outcome_list:
+        raise WearLockError("no outcomes to summarize")
+    bers = [o.raw_ber for o in outcome_list if o.raw_ber is not None]
+    delays = [o.total_delay_s for o in outcome_list]
+    successes = sum(1 for o in outcome_list if o.unlocked)
+    summary = {
+        "success": SuccessStats(successes, len(outcome_list)),
+        "delay": DelayStats.from_values(delays),
+    }
+    if bers:
+        summary["ber"] = BerStats.from_values(bers)
+    return summary

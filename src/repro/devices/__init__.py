@@ -1,0 +1,30 @@
+"""Device substrate: compute-speed and power profiles of the testbed.
+
+The paper's hardware: Nexus 6 (high-end phone), Galaxy Nexus (low-end
+phone), Moto 360 (smartwatch).  Profiles drive the delay and energy
+models behind Figs. 6, 10 and 12.
+"""
+
+from .profiles import DeviceProfile, NEXUS6, GALAXY_NEXUS, MOTO360, DEVICES
+from .compute import (
+    Workload,
+    correlation_workload,
+    demodulation_workload,
+    probe_processing_workload,
+    dtw_workload,
+)
+from .battery import EnergyMeter
+
+__all__ = [
+    "DeviceProfile",
+    "NEXUS6",
+    "GALAXY_NEXUS",
+    "MOTO360",
+    "DEVICES",
+    "Workload",
+    "correlation_workload",
+    "demodulation_workload",
+    "probe_processing_workload",
+    "dtw_workload",
+    "EnergyMeter",
+]

@@ -1,0 +1,85 @@
+"""Energy accounting across one or many unlock rounds.
+
+The paper measures watch battery drain over 50 unlock rounds via the
+Android battery API and admits the measurement is rough; this meter
+does honest bookkeeping over the same events (compute, radio, audio,
+idle) so offloading comparisons (Fig. 6) are at least self-consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import ConfigurationError
+from .profiles import DeviceProfile
+
+
+@dataclass
+class EnergyMeter:
+    """Accumulates energy per category for one device."""
+
+    device: DeviceProfile
+    joules_by_category: Dict[str, float] = field(default_factory=dict)
+    events: List[str] = field(default_factory=list)
+
+    def _add(self, category: str, joules: float, note: str) -> None:
+        if joules < 0:
+            raise ConfigurationError("energy must be non-negative")
+        self.joules_by_category[category] = (
+            self.joules_by_category.get(category, 0.0) + joules
+        )
+        self.events.append(note)
+
+    def record_compute(self, mops: float) -> float:
+        """Charge a compute burst; returns its duration in seconds."""
+        seconds = self.device.compute_seconds(mops)
+        self._add(
+            "compute",
+            self.device.compute_energy_j(mops),
+            f"compute {mops:.2f} Mops in {seconds * 1e3:.1f} ms",
+        )
+        return seconds
+
+    def record_radio(self, seconds: float) -> None:
+        """Charge active radio time."""
+        self._add(
+            "radio",
+            self.device.radio_energy_j(seconds),
+            f"radio active for {seconds * 1e3:.1f} ms",
+        )
+
+    def record_audio(self, seconds: float) -> None:
+        """Charge mic/speaker active time."""
+        if seconds < 0:
+            raise ConfigurationError("seconds must be >= 0")
+        self._add(
+            "audio",
+            seconds * self.device.audio_power_w,
+            f"audio path live for {seconds * 1e3:.1f} ms",
+        )
+
+    def record_idle(self, seconds: float) -> None:
+        """Charge awake-but-idle time (waiting on the peer)."""
+        if seconds < 0:
+            raise ConfigurationError("seconds must be >= 0")
+        self._add(
+            "idle",
+            seconds * self.device.idle_power_w,
+            f"idle-awake for {seconds * 1e3:.1f} ms",
+        )
+
+    @property
+    def total_joules(self) -> float:
+        return sum(self.joules_by_category.values())
+
+    @property
+    def battery_fraction(self) -> float:
+        """Fraction of the device battery consumed so far."""
+        return self.device.battery_fraction(self.total_joules)
+
+    def summary(self) -> Dict[str, float]:
+        """Category → joules, plus the total."""
+        out = dict(self.joules_by_category)
+        out["total"] = self.total_joules
+        return out

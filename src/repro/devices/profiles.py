@@ -1,0 +1,128 @@
+"""Compute-speed and power profiles for the paper's three devices.
+
+Effective throughputs are for the paper's pure-Java DSP library (no
+native SIMD), which is why they sit far below the devices' raw FLOPS.
+The ordering and the roughly order-of-magnitude phone-vs-watch gap are
+what Figs. 6/10/12 depend on; absolute values are calibrated to land
+the paper's delay regime (tens of ms on the Nexus 6, hundreds of ms on
+the Moto 360).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Compute and power characteristics of one device.
+
+    Attributes
+    ----------
+    name:
+        Device name as in the paper.
+    mops:
+        Effective millions of DSP operations per second (Java library).
+    active_power_w:
+        Power draw while computing at full tilt.
+    idle_power_w:
+        Power draw while awake but idle (screen-off baseline).
+    radio_tx_power_w:
+        Extra power while actively transferring on the radio.
+    audio_power_w:
+        Extra power while the mic/speaker path is live.
+    is_wearable:
+        True for watch-class devices (battery capacity is precious).
+    battery_mwh:
+        Battery capacity in milliwatt-hours (for % drain estimates).
+    """
+
+    name: str
+    mops: float
+    active_power_w: float
+    idle_power_w: float
+    radio_tx_power_w: float
+    audio_power_w: float
+    is_wearable: bool
+    battery_mwh: float
+
+    def __post_init__(self) -> None:
+        if self.mops <= 0:
+            raise ConfigurationError("mops must be positive")
+        for field_name in (
+            "active_power_w",
+            "idle_power_w",
+            "radio_tx_power_w",
+            "audio_power_w",
+            "battery_mwh",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ConfigurationError(f"{field_name} must be >= 0")
+
+    def compute_seconds(self, mops_of_work: float) -> float:
+        """Wall-clock seconds to execute ``mops_of_work`` Mops."""
+        if mops_of_work < 0:
+            raise ConfigurationError("work must be non-negative")
+        return mops_of_work / self.mops
+
+    def compute_energy_j(self, mops_of_work: float) -> float:
+        """Energy (joules) to execute ``mops_of_work`` locally."""
+        return self.compute_seconds(mops_of_work) * self.active_power_w
+
+    def radio_energy_j(self, seconds: float) -> float:
+        """Energy spent keeping the radio in active transfer."""
+        if seconds < 0:
+            raise ConfigurationError("seconds must be >= 0")
+        return seconds * self.radio_tx_power_w
+
+    def battery_fraction(self, joules: float) -> float:
+        """Fraction of the battery consumed by ``joules``."""
+        capacity_j = self.battery_mwh * 3.6
+        if capacity_j <= 0:
+            return 0.0
+        return joules / capacity_j
+
+
+#: Nexus 6: the paper's high-end phone (Config 1 offload target).
+NEXUS6 = DeviceProfile(
+    name="Nexus 6",
+    mops=1400.0,
+    active_power_w=2.6,
+    idle_power_w=0.35,
+    radio_tx_power_w=0.9,
+    audio_power_w=0.25,
+    is_wearable=False,
+    battery_mwh=12_300.0,
+)
+
+#: Galaxy Nexus: the paper's low-end phone (Config 2 offload target).
+GALAXY_NEXUS = DeviceProfile(
+    name="Galaxy Nexus",
+    mops=170.0,
+    active_power_w=1.9,
+    idle_power_w=0.30,
+    radio_tx_power_w=0.8,
+    audio_power_w=0.22,
+    is_wearable=False,
+    battery_mwh=6_500.0,
+)
+
+#: Moto 360: the paper's smartwatch (Config 3 runs locally here).
+MOTO360 = DeviceProfile(
+    name="Moto 360",
+    mops=60.0,
+    active_power_w=0.48,
+    idle_power_w=0.06,
+    radio_tx_power_w=0.22,
+    audio_power_w=0.08,
+    is_wearable=True,
+    battery_mwh=1_200.0,
+)
+
+#: All profiles keyed by name.
+DEVICES: Dict[str, DeviceProfile] = {
+    d.name: d for d in (NEXUS6, GALAXY_NEXUS, MOTO360)
+}

@@ -1,0 +1,75 @@
+"""Linear frequency-modulated (LFM) chirp synthesis and matched filtering.
+
+The WearLock preamble is a chirp (§III-3): a signal sweeping from
+``f_min`` to ``f_max`` over ``T_p`` seconds.  Chirps correlate strongly
+with themselves even under small Doppler/frequency shifts, which is why
+the paper uses one for signal detection and coarse synchronization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DspError
+from .windows import fade_edges
+
+
+def linear_chirp(
+    length: int,
+    sample_rate: float,
+    f_start: float,
+    f_end: float,
+    amplitude: float = 1.0,
+    fade_samples: int = 16,
+) -> np.ndarray:
+    """Synthesize a linear chirp of ``length`` samples.
+
+    The instantaneous frequency moves linearly from ``f_start`` to
+    ``f_end`` over the duration of the signal; edges are faded to avoid
+    spectral splatter and speaker clicks.
+
+    Parameters
+    ----------
+    length:
+        Number of samples (the paper uses 256 at 44.1 kHz).
+    sample_rate:
+        Sampling rate in Hz.
+    f_start, f_end:
+        Sweep endpoint frequencies in Hz; both must be below Nyquist.
+    amplitude:
+        Peak amplitude of the chirp.
+    fade_samples:
+        Raised-cosine fade applied to each edge.
+    """
+    if length < 2:
+        raise DspError("chirp length must be >= 2")
+    if sample_rate <= 0:
+        raise DspError("sample_rate must be positive")
+    nyquist = sample_rate / 2.0
+    for f in (f_start, f_end):
+        if not 0.0 <= f <= nyquist:
+            raise DspError(
+                f"chirp frequency {f} Hz outside [0, Nyquist={nyquist} Hz]"
+            )
+    t = np.arange(length) / sample_rate
+    duration = length / sample_rate
+    sweep_rate = (f_end - f_start) / duration
+    phase = 2.0 * np.pi * (f_start * t + 0.5 * sweep_rate * t * t)
+    signal = amplitude * np.sin(phase)
+    return fade_edges(signal, fade_samples)
+
+
+def chirp_matched_filter(preamble: np.ndarray) -> np.ndarray:
+    """Return the matched-filter template for a known chirp preamble.
+
+    For a real signal the matched filter is the time-reversed template;
+    we return the template normalized to unit energy so correlation
+    scores are comparable across preamble lengths.
+    """
+    p = np.asarray(preamble, dtype=np.float64)
+    if p.ndim != 1 or p.size == 0:
+        raise DspError("preamble must be a non-empty 1-D array")
+    energy = float(np.dot(p, p))
+    if energy <= 0.0:
+        raise DspError("preamble has zero energy")
+    return p / np.sqrt(energy)

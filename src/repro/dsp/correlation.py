@@ -1,0 +1,87 @@
+"""Cross-correlation primitives used for preamble detection and sync.
+
+The receiver slides the known chirp template over the recording and
+computes a *normalized* cross-correlation (NCC) score in [-1, 1] at every
+lag.  Normalization by the local energy of the recording makes the
+detection threshold volume-independent — essential because WearLock
+adapts its speaker volume to the ambient noise level.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import DspError
+
+
+def normalized_cross_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Return the NCC of two equal-length vectors in [-1, 1].
+
+    Zero-energy inputs yield a score of 0 rather than NaN so detection
+    loops can treat silence gracefully.
+    """
+    x = np.asarray(a, dtype=np.float64)
+    y = np.asarray(b, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise DspError("inputs must be 1-D arrays of equal length")
+    ex = float(np.dot(x, x))
+    ey = float(np.dot(y, y))
+    if ex <= 0.0 or ey <= 0.0:
+        return 0.0
+    return float(np.dot(x, y) / np.sqrt(ex * ey))
+
+
+def sliding_normalized_correlation(
+    signal: np.ndarray, template: np.ndarray
+) -> np.ndarray:
+    """NCC of ``template`` against every lag of ``signal``.
+
+    Returns an array of length ``len(signal) - len(template) + 1`` whose
+    ``i``-th entry is the NCC between ``template`` and
+    ``signal[i : i + len(template)]``.  Implemented with one FFT-backed
+    correlation plus a cumulative-sum local-energy pass, so it is
+    O(n log n) rather than the naive O(n·m).
+    """
+    x = np.asarray(signal, dtype=np.float64)
+    t = np.asarray(template, dtype=np.float64)
+    if x.ndim != 1 or t.ndim != 1:
+        raise DspError("signal and template must be 1-D")
+    if t.size == 0:
+        raise DspError("template must be non-empty")
+    if x.size < t.size:
+        raise DspError(
+            f"signal shorter ({x.size}) than template ({t.size})"
+        )
+    te = float(np.dot(t, t))
+    if te <= 0.0:
+        raise DspError("template has zero energy")
+
+    # Raw correlation via FFT (correlate 'valid').
+    n = x.size
+    m = t.size
+    nfft = 1
+    while nfft < n + m:
+        nfft <<= 1
+    spec = np.fft.rfft(x, nfft) * np.conj(np.fft.rfft(t, nfft))
+    raw = np.fft.irfft(spec, nfft)[: n - m + 1]
+
+    # Local energy of the signal under each template placement.
+    csum = np.concatenate(([0.0], np.cumsum(x * x)))
+    local = csum[m:] - csum[: n - m + 1]
+    denom = np.sqrt(np.maximum(local * te, 0.0))
+    out = np.zeros_like(raw)
+    nonzero = denom > 1e-300
+    out[nonzero] = raw[nonzero] / denom[nonzero]
+    # Guard against tiny numeric excursions outside [-1, 1].
+    return np.clip(out, -1.0, 1.0)
+
+
+def best_alignment(
+    signal: np.ndarray, template: np.ndarray
+) -> Tuple[int, float]:
+    """Return ``(lag, score)`` of the best NCC placement of ``template``."""
+    scores = sliding_normalized_correlation(signal, template)
+    lag = int(np.argmax(scores))
+    return lag, float(scores[lag])

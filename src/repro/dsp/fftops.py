@@ -1,0 +1,98 @@
+"""FFT helpers: pilot interpolation, spectrum access, Goertzel tone power.
+
+:func:`fft_interpolate` is the paper's channel-estimation interpolator
+(§III-6): pilot tones are equispaced in frequency, so the pilot vector
+can be expanded to the full band by zero-padding its inverse transform —
+exact for channels whose impulse response is shorter than the pilot
+spacing allows, and smooth otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DspError
+
+
+def fft_interpolate(values: np.ndarray, factor: int) -> np.ndarray:
+    """Interpolate a complex sequence by ``factor`` using FFT zero-padding.
+
+    Given ``M`` equispaced samples of a band-limited function, returns
+    ``M * factor`` samples of the same function on the refined grid.  The
+    first output sample coincides with the first input sample.
+
+    Parameters
+    ----------
+    values:
+        Complex (or real) 1-D array of equispaced samples.
+    factor:
+        Integer interpolation factor ≥ 1.
+    """
+    v = np.asarray(values, dtype=np.complex128)
+    if v.ndim != 1 or v.size == 0:
+        raise DspError("values must be a non-empty 1-D array")
+    if factor < 1:
+        raise DspError("interpolation factor must be >= 1")
+    if factor == 1:
+        return v.copy()
+    m = v.size
+    spec = np.fft.fft(v)
+    padded = np.zeros(m * factor, dtype=np.complex128)
+    half = m // 2
+    padded[: half + 1] = spec[: half + 1]
+    if half:
+        tail = m - half - 1
+        if tail:
+            padded[-tail:] = spec[half + 1:]
+        # Split the Nyquist coefficient if m is even to keep the
+        # interpolant real-valued for real inputs.
+        if m % 2 == 0:
+            padded[half] *= 0.5
+            padded[m * factor - half] = padded[half]
+    return np.fft.ifft(padded) * factor
+
+
+def spectrum_bins(block: np.ndarray, fft_size: int) -> np.ndarray:
+    """FFT a time-domain OFDM block and return all complex bins.
+
+    The block is truncated or zero-padded to ``fft_size``.  This is the
+    receiver's time-to-frequency step; bin ``k`` corresponds to the
+    sub-channel ``k`` of :class:`repro.config.ModemConfig`.
+    """
+    x = np.asarray(block, dtype=np.float64)
+    if x.ndim != 1:
+        raise DspError("block must be 1-D")
+    if fft_size <= 0:
+        raise DspError("fft_size must be positive")
+    if x.size >= fft_size:
+        x = x[:fft_size]
+    else:
+        x = np.pad(x, (0, fft_size - x.size))
+    return np.fft.fft(x)
+
+
+def goertzel_power(signal: np.ndarray, sample_rate: float, freq: float) -> float:
+    """Single-bin DFT power at ``freq`` via the Goertzel recurrence.
+
+    Cheaper than a full FFT when only one tone matters — used by the
+    channel prober to measure jammer power on individual sub-channels.
+    Returns the squared magnitude normalized by the signal length.
+    """
+    x = np.asarray(signal, dtype=np.float64)
+    if x.ndim != 1 or x.size == 0:
+        raise DspError("signal must be a non-empty 1-D array")
+    if sample_rate <= 0:
+        raise DspError("sample_rate must be positive")
+    if not 0 <= freq <= sample_rate / 2:
+        raise DspError("freq outside [0, Nyquist]")
+    n = x.size
+    k = freq * n / sample_rate
+    omega = 2.0 * np.pi * k / n
+    coeff = 2.0 * np.cos(omega)
+    s_prev = s_prev2 = 0.0
+    for sample in x:
+        s = sample + coeff * s_prev - s_prev2
+        s_prev2 = s_prev
+        s_prev = s
+    power = s_prev2 * s_prev2 + s_prev * s_prev - coeff * s_prev * s_prev2
+    return float(max(power, 0.0)) / (n * n)

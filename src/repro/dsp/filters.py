@@ -1,0 +1,81 @@
+"""Windowed-sinc FIR design and filtering.
+
+Used to emulate the Moto 360's mandatory microphone low-pass (the paper
+found signal fading sharply above ~5-7 kHz) and for band-limiting noise
+scenes.  Filtering is FFT-based overlap-free convolution via
+:func:`numpy.convolve` semantics implemented with rFFTs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DspError
+from .windows import hamming_window
+
+
+def design_lowpass_fir(
+    cutoff_hz: float, sample_rate: float, num_taps: int = 129
+) -> np.ndarray:
+    """Design a linear-phase low-pass FIR via the windowed-sinc method.
+
+    Parameters
+    ----------
+    cutoff_hz:
+        -6 dB cutoff frequency in Hz.
+    sample_rate:
+        Sampling rate in Hz.
+    num_taps:
+        Filter length; odd values give an integer group delay of
+        ``(num_taps - 1) / 2`` samples.
+    """
+    if num_taps < 3:
+        raise DspError("num_taps must be >= 3")
+    if num_taps % 2 == 0:
+        raise DspError("num_taps must be odd for a symmetric low-pass")
+    if sample_rate <= 0:
+        raise DspError("sample_rate must be positive")
+    if not 0 < cutoff_hz < sample_rate / 2:
+        raise DspError("cutoff must lie strictly inside (0, Nyquist)")
+    fc = cutoff_hz / sample_rate
+    mid = (num_taps - 1) / 2.0
+    n = np.arange(num_taps) - mid
+    taps = 2.0 * fc * np.sinc(2.0 * fc * n)
+    taps *= hamming_window(num_taps)
+    taps /= np.sum(taps)
+    return taps
+
+
+def design_bandpass_fir(
+    low_hz: float, high_hz: float, sample_rate: float, num_taps: int = 129
+) -> np.ndarray:
+    """Design a linear-phase band-pass FIR (difference of two low-passes)."""
+    if not 0 < low_hz < high_hz < sample_rate / 2:
+        raise DspError("need 0 < low < high < Nyquist")
+    hi = design_lowpass_fir(high_hz, sample_rate, num_taps)
+    lo = design_lowpass_fir(low_hz, sample_rate, num_taps)
+    return hi - lo
+
+
+def fir_filter(signal: np.ndarray, taps: np.ndarray) -> np.ndarray:
+    """Filter ``signal`` with FIR ``taps``; output has the input's length.
+
+    Group delay is compensated (the output is time-aligned with the
+    input) so hardware models can be inserted into the channel chain
+    without shifting frame timing.
+    """
+    x = np.asarray(signal, dtype=np.float64)
+    h = np.asarray(taps, dtype=np.float64)
+    if x.ndim != 1 or h.ndim != 1:
+        raise DspError("signal and taps must be 1-D")
+    if h.size == 0:
+        raise DspError("taps must be non-empty")
+    if x.size == 0:
+        return x.copy()
+    n = x.size + h.size - 1
+    nfft = 1
+    while nfft < n:
+        nfft <<= 1
+    y = np.fft.irfft(np.fft.rfft(x, nfft) * np.fft.rfft(h, nfft), nfft)[:n]
+    delay = (h.size - 1) // 2
+    return y[delay: delay + x.size]

@@ -1,0 +1,43 @@
+"""Resampling utilities, mainly for emulating ADC/DAC clock skew.
+
+Real phone and watch audio clocks differ by tens of ppm; the receiver's
+fine synchronization (cyclic-prefix search) must tolerate this.  The
+channel simulator uses :func:`apply_clock_skew` to stretch the received
+waveform by a small factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DspError
+
+
+def linear_resample(signal: np.ndarray, factor: float) -> np.ndarray:
+    """Resample by linear interpolation.
+
+    ``factor`` > 1 stretches the signal (more output samples, as if the
+    receiver's clock runs fast); ``factor`` < 1 compresses it.  Linear
+    interpolation is adequate for the sub-100 ppm skews modeled here.
+    """
+    x = np.asarray(signal, dtype=np.float64)
+    if x.ndim != 1:
+        raise DspError("signal must be 1-D")
+    if factor <= 0:
+        raise DspError("factor must be positive")
+    if x.size < 2:
+        return x.copy()
+    out_len = max(2, int(round(x.size * factor)))
+    src_positions = np.linspace(0.0, x.size - 1.0, out_len)
+    return np.interp(src_positions, np.arange(x.size), x)
+
+
+def apply_clock_skew(signal: np.ndarray, ppm: float) -> np.ndarray:
+    """Apply a clock-skew of ``ppm`` parts-per-million to ``signal``.
+
+    Positive ppm means the receiving device samples slightly fast, so the
+    recorded waveform appears stretched.
+    """
+    if abs(ppm) > 10_000:
+        raise DspError("clock skew beyond 10000 ppm is not a skew model")
+    return linear_resample(signal, 1.0 + ppm * 1e-6)

@@ -1,0 +1,79 @@
+"""Window functions and edge fading.
+
+The paper applies a fade at the beginning of each transmitted signal to
+mitigate the speaker *rise effect* (§III, "Microphone and Speaker
+Characteristics").  :func:`fade_edges` implements that fade with a raised
+cosine ramp; the classic Hann/Hamming windows support PSD estimation in
+:mod:`repro.dsp.spectrum`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DspError
+
+
+def hann_window(length: int) -> np.ndarray:
+    """Return a Hann window of ``length`` samples.
+
+    Implemented directly (rather than via :func:`numpy.hanning`) to keep
+    the periodic/symmetric convention explicit: this is the *symmetric*
+    window, suitable for FIR design and PSD tapering.
+    """
+    if length < 1:
+        raise DspError(f"window length must be >= 1, got {length}")
+    if length == 1:
+        return np.ones(1)
+    n = np.arange(length)
+    return 0.5 - 0.5 * np.cos(2.0 * np.pi * n / (length - 1))
+
+
+def hamming_window(length: int) -> np.ndarray:
+    """Return a symmetric Hamming window of ``length`` samples."""
+    if length < 1:
+        raise DspError(f"window length must be >= 1, got {length}")
+    if length == 1:
+        return np.ones(1)
+    n = np.arange(length)
+    return 0.54 - 0.46 * np.cos(2.0 * np.pi * n / (length - 1))
+
+
+def raised_cosine_ramp(length: int, rising: bool = True) -> np.ndarray:
+    """Return a smooth 0→1 (or 1→0) raised-cosine ramp.
+
+    Parameters
+    ----------
+    length:
+        Ramp duration in samples.
+    rising:
+        ``True`` for a fade-in ramp (0 → 1), ``False`` for fade-out.
+    """
+    if length < 0:
+        raise DspError("ramp length must be non-negative")
+    if length == 0:
+        return np.zeros(0)
+    n = np.arange(length)
+    ramp = 0.5 - 0.5 * np.cos(np.pi * n / max(length - 1, 1))
+    return ramp if rising else ramp[::-1]
+
+
+def fade_edges(signal: np.ndarray, fade_samples: int) -> np.ndarray:
+    """Apply raised-cosine fades to both ends of ``signal``.
+
+    Mitigates speaker rise/ringing clicks.  Returns a copy; the input is
+    never modified.  ``fade_samples`` longer than half the signal is
+    clamped so the two fades never overlap destructively.
+    """
+    x = np.asarray(signal, dtype=np.float64)
+    if x.ndim != 1:
+        raise DspError("fade_edges expects a 1-D signal")
+    if fade_samples < 0:
+        raise DspError("fade_samples must be non-negative")
+    out = x.copy()
+    n = min(fade_samples, x.size // 2)
+    if n == 0:
+        return out
+    out[:n] *= raised_cosine_ramp(n, rising=True)
+    out[-n:] *= raised_cosine_ramp(n, rising=False)
+    return out

@@ -1,0 +1,90 @@
+"""Exception hierarchy for the WearLock reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`WearLockError` so
+applications can catch the whole family with a single ``except`` clause.
+The sub-classes mirror the major subsystems: DSP/modem failures, channel
+configuration problems, protocol aborts, and security rejections.
+"""
+
+from __future__ import annotations
+
+
+class WearLockError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(WearLockError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class DspError(WearLockError):
+    """A signal-processing routine received malformed input."""
+
+
+class ModemError(WearLockError):
+    """Base class for acoustic modem failures."""
+
+
+class PreambleNotFoundError(ModemError):
+    """No preamble could be detected in the recorded signal.
+
+    Carries the best normalized cross-correlation ``score`` seen so the
+    caller can log how far below threshold the detection was.
+    """
+
+    def __init__(self, score: float, threshold: float):
+        super().__init__(
+            f"preamble not detected: best score {score:.4f} "
+            f"below threshold {threshold:.4f}"
+        )
+        self.score = float(score)
+        self.threshold = float(threshold)
+
+
+class SynchronizationError(ModemError):
+    """Frame synchronization failed after a preamble was detected."""
+
+
+class DemodulationError(ModemError):
+    """The receiver could not demodulate the detected frame."""
+
+
+class ChannelError(WearLockError):
+    """The acoustic channel simulator was configured inconsistently."""
+
+
+class ProtocolError(WearLockError):
+    """The unlocking protocol reached an invalid state."""
+
+
+class TransmissionAborted(ProtocolError):
+    """The protocol aborted a transmission on purpose.
+
+    Raised (or recorded) when a pre-filter — Bluetooth link check, ambient
+    noise similarity, motion DTW, or NLOS detection — decides the acoustic
+    transmission should not happen.  ``reason`` names the filter.
+    """
+
+    def __init__(self, reason: str, detail: str = ""):
+        message = f"transmission aborted by {reason}"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.reason = reason
+        self.detail = detail
+
+
+class SecurityError(WearLockError):
+    """Base class for security-policy rejections."""
+
+
+class TokenMismatchError(SecurityError):
+    """The received OTP token failed verification."""
+
+
+class LockedOutError(SecurityError):
+    """Too many consecutive failures; the keyguard refuses further tries."""
+
+
+class ReplayDetectedError(SecurityError):
+    """The timing window indicates a record-and-replay attack."""

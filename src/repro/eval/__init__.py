@@ -1,0 +1,16 @@
+"""Experiment harness reproducing every figure and table of the paper."""
+
+from .workloads import ber_trial, BerTrialResult, TrialSpec
+from .pin_entry import PinEntryModel
+from .reporting import format_table, format_series
+from . import experiments
+
+__all__ = [
+    "ber_trial",
+    "BerTrialResult",
+    "TrialSpec",
+    "PinEntryModel",
+    "format_table",
+    "format_series",
+    "experiments",
+]

@@ -1,0 +1,108 @@
+"""One-command evaluation runner: regenerate and persist everything.
+
+``run_all()`` executes every experiment in
+:mod:`repro.eval.experiments`, returns the results keyed by experiment
+id, and (optionally) writes them to a JSON report — the artifact a
+downstream user diffs against EXPERIMENTS.md.
+
+From the CLI::
+
+    python -m repro experiment all --out results.json
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Dict, Optional, Union
+
+import numpy as np
+
+from ..errors import WearLockError
+from . import experiments
+
+PathLike = Union[str, Path]
+
+#: Experiment id -> callable, in the paper's presentation order.
+EXPERIMENT_REGISTRY: Dict[str, Callable[[], dict]] = {
+    "fig4_propagation": experiments.fig4_propagation,
+    "fig5_ber_vs_ebn0": experiments.fig5_ber_vs_ebn0,
+    "fig6_offload": experiments.fig6_offload,
+    "fig7_range": experiments.fig7_range,
+    "fig8_adaptive": experiments.fig8_adaptive,
+    "fig9_jamming": experiments.fig9_jamming,
+    "fig10_compute_delay": experiments.fig10_compute_delay,
+    "fig11_comm_delay": experiments.fig11_comm_delay,
+    "fig12_total_delay": experiments.fig12_total_delay,
+    "table1_field_test": experiments.table1_field_test,
+    "table2_dtw": experiments.table2_dtw,
+    "case_study": experiments.case_study,
+    "ablation_sync_and_equalizer": experiments.ablation_sync_and_equalizer,
+    "security_matrix": experiments.security_matrix,
+    "throughput_by_mode": experiments.throughput_by_mode,
+}
+
+
+def _jsonable(obj):
+    """Recursively convert experiment results to JSON-safe values."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    if isinstance(obj, float) and (obj != obj or obj in (float("inf"),
+                                                         float("-inf"))):
+        return str(obj)
+    return obj
+
+
+def run_all(
+    only: Optional[list] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, dict]:
+    """Run every (or a subset of) registered experiment.
+
+    Parameters
+    ----------
+    only:
+        Optional list of experiment ids; ``None`` runs everything.
+    progress:
+        Optional callback invoked with each experiment id before it
+        runs (for CLI progress lines).
+    """
+    selected = only if only is not None else list(EXPERIMENT_REGISTRY)
+    unknown = [name for name in selected if name not in EXPERIMENT_REGISTRY]
+    if unknown:
+        raise WearLockError(
+            f"unknown experiments: {unknown}; "
+            f"known: {sorted(EXPERIMENT_REGISTRY)}"
+        )
+    results: Dict[str, dict] = {}
+    for name in selected:
+        if progress is not None:
+            progress(name)
+        results[name] = _jsonable(EXPERIMENT_REGISTRY[name]())
+    return results
+
+
+def save_report(results: Dict[str, dict], path: PathLike) -> None:
+    """Write a results dictionary as an indented JSON report."""
+    payload = {
+        "paper": (
+            "WearLock: Unlocking Your Phone via Acoustics using "
+            "Smartwatch (ICDCS 2017)"
+        ),
+        "experiments": results,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_report(path: PathLike) -> Dict[str, dict]:
+    """Read back a report written by :func:`save_report`."""
+    payload = json.loads(Path(path).read_text())
+    if "experiments" not in payload:
+        raise WearLockError(f"{path} is not a WearLock evaluation report")
+    return payload["experiments"]

@@ -1,0 +1,95 @@
+"""The WearLock acoustic OFDM modem (paper §III).
+
+A pure-software modem: constellation mapping, OFDM framing with chirp
+preamble and cyclic prefix, time synchronization, pilot-based channel
+estimation/equalization, pilot-SNR estimation, adaptive modulation and
+sub-channel selection.  Mirrors the paper's block diagram (Fig. 3).
+"""
+
+from .bits import (
+    pack_bits,
+    unpack_bits,
+    random_bits,
+    prbs_bits,
+    bit_errors,
+    bit_error_rate,
+)
+from .constellation import (
+    Constellation,
+    BASK,
+    QASK,
+    BPSK,
+    QPSK,
+    PSK8,
+    QAM16,
+    get_constellation,
+    CONSTELLATIONS,
+)
+from .subchannels import ChannelPlan
+from .preamble import PreambleDetector, build_preamble
+from .frame import modulate_symbol, demodulate_block, frame_layout, FrameLayout
+from .transmitter import OfdmTransmitter
+from .synchronizer import Synchronizer, fine_sync_offset
+from .equalizer import estimate_channel, equalize
+from .receiver import OfdmReceiver, ReceiveResult
+from .snr import pilot_snr_linear, pilot_snr_db, ebn0_db_from_psnr, data_rate
+from .adaptive import BerModel, AdaptiveModulator, TRANSMISSION_MODES
+from .probe import ChannelProber, ProbeReport
+from .coding import (
+    Code,
+    RepetitionCode,
+    HammingCode,
+    ConvolutionalCode,
+    BlockInterleaver,
+    get_code,
+)
+from .wavio import read_wav, write_wav
+
+__all__ = [
+    "pack_bits",
+    "unpack_bits",
+    "random_bits",
+    "prbs_bits",
+    "bit_errors",
+    "bit_error_rate",
+    "Constellation",
+    "BASK",
+    "QASK",
+    "BPSK",
+    "QPSK",
+    "PSK8",
+    "QAM16",
+    "get_constellation",
+    "CONSTELLATIONS",
+    "ChannelPlan",
+    "PreambleDetector",
+    "build_preamble",
+    "modulate_symbol",
+    "demodulate_block",
+    "frame_layout",
+    "FrameLayout",
+    "OfdmTransmitter",
+    "Synchronizer",
+    "fine_sync_offset",
+    "estimate_channel",
+    "equalize",
+    "OfdmReceiver",
+    "ReceiveResult",
+    "pilot_snr_linear",
+    "pilot_snr_db",
+    "ebn0_db_from_psnr",
+    "data_rate",
+    "BerModel",
+    "AdaptiveModulator",
+    "TRANSMISSION_MODES",
+    "ChannelProber",
+    "ProbeReport",
+    "Code",
+    "RepetitionCode",
+    "HammingCode",
+    "ConvolutionalCode",
+    "BlockInterleaver",
+    "get_code",
+    "read_wav",
+    "write_wav",
+]

@@ -1,0 +1,226 @@
+"""Adaptive modulation: the BER-vs-Eb/N0 model and mode selection.
+
+The paper measures BER against Eb/N0 for six modulations (Fig. 5), fits
+logarithmic trend lines, and derives per-mode *minimum Eb/N0* values for
+a given ``MaxBER``.  Two hardware quirks shape the result:
+
+* amplitude-shift keying needs *less* SNR per bit than phase-shift
+  keying on phone audio hardware (uneven amplitude/phase response), the
+  opposite of textbook AWGN theory;
+* 16QAM is effectively unusable.
+
+:class:`BerModel` encodes the textbook formulas plus per-family hardware
+penalties calibrated to reproduce the paper's ordering.  Unlike
+throughput-seeking adaptation, WearLock's :class:`AdaptiveModulator`
+picks the **highest-order feasible mode**: it keeps BER under MaxBER for
+the in-range receiver while guaranteeing that a farther eavesdropper —
+whose Eb/N0 is lower — sees a much higher BER (§VI, Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import erfc, log2, sqrt
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ModemError
+from .constellation import Constellation, get_constellation
+
+#: The three deployed transmission modes, highest order first (§III-7).
+TRANSMISSION_MODES: Tuple[str, ...] = ("8PSK", "QPSK", "QASK")
+
+
+def _q(x: float) -> float:
+    """Gaussian tail function Q(x)."""
+    return 0.5 * erfc(x / sqrt(2.0))
+
+
+@dataclass(frozen=True)
+class BerModel:
+    """Per-mode BER as a function of Eb/N0, fitted to the link hardware.
+
+    This is the reproduction's analogue of the paper's Fig. 5 trend
+    lines: the authors measured BER-vs-Eb/N0 on *their* phone/watch
+    audio hardware, fitted curves, and derived per-mode minimum Eb/N0
+    values for mode selection.  We do the same against *our* simulated
+    hardware — ``penalty_db`` shifts each mode's textbook AWGN curve to
+    match the measured behaviour of the full chain (envelope-detected
+    unipolar ASK pays heavily under noise; PSK pays for the speaker's
+    phase ripple; 16QAM pays for both).
+
+    ``floor_by_mode`` models the *residual error floor*: the
+    unequalizable phase ripple leaves dense constellations (8PSK,
+    16QAM) with errors no SNR can remove.  This is what makes 8PSK
+    infeasible under a MaxBER of 0.01 and forces the adaptive modulator
+    down to QPSK (Fig. 8's behaviour), and what makes 16QAM "not usable
+    in real experiments" (the paper's words).
+
+    Known delta vs the paper: on the authors' hardware the fitted ASK
+    curves sat *left* of the PSK curves (ASK needed less SNR per bit);
+    in our simulator the phase impairment is milder and envelope
+    detection costs more, so the textbook ordering reasserts itself.
+    Mode selection is unaffected — it only needs the fit to match the
+    channel it actually drives.  See EXPERIMENTS.md (Fig. 5).
+    """
+
+    penalty_db: Dict[str, float] = field(
+        default_factory=lambda: {
+            "BASK": 18.0,
+            "QASK": 13.0,
+            "BPSK": 6.5,
+            "QPSK": 8.0,
+            "8PSK": 10.5,
+            "16QAM": 9.0,
+        }
+    )
+    floor_by_mode: Dict[str, float] = field(
+        default_factory=lambda: {
+            "BASK": 1e-3,
+            "QASK": 3e-3,
+            "BPSK": 1e-4,
+            "QPSK": 1e-3,
+            "8PSK": 3.5e-2,
+            "16QAM": 4e-2,
+        }
+    )
+    default_floor: float = 1e-4
+
+    def floor(self, mode: str) -> float:
+        """Residual error floor for ``mode``."""
+        return self.floor_by_mode.get(mode, self.default_floor)
+
+    def ber(self, mode: str, ebn0_db: float) -> float:
+        """Predicted BER of ``mode`` at ``ebn0_db``."""
+        constellation = get_constellation(mode)
+        penalty = self.penalty_db.get(mode, 0.0)
+        gamma = 10.0 ** ((ebn0_db - penalty) / 10.0)
+        raw = self._awgn_ber(mode, constellation, gamma)
+        return float(min(0.5, max(raw, self.floor(mode))))
+
+    @staticmethod
+    def _awgn_ber(
+        mode: str, constellation: Constellation, gamma: float
+    ) -> float:
+        """Textbook AWGN bit-error probability at Eb/N0 = ``gamma``."""
+        m = constellation.order
+        k = constellation.bits_per_symbol
+        if gamma <= 0:
+            return 0.5
+        if mode == "BPSK":
+            return _q(sqrt(2.0 * gamma))
+        if mode == "QPSK":
+            return _q(sqrt(2.0 * gamma))
+        if mode.endswith("PSK"):
+            # Gray-coded M-PSK approximation.
+            arg = sqrt(2.0 * k * gamma) * np.sin(np.pi / m)
+            return (2.0 / k) * _q(float(arg))
+        if mode.endswith("ASK"):
+            # Unipolar M-ASK with unit average symbol energy:
+            # d_min scales as sqrt(6 k / ((M-1)(2M-1))) in amplitude.
+            arg = sqrt(6.0 * k * gamma / ((m - 1) * (2 * m - 1)))
+            return (2.0 * (m - 1) / (m * k)) * _q(arg)
+        if mode == "16QAM":
+            arg = sqrt(3.0 * k * gamma / (m - 1))
+            return (4.0 / k) * (1.0 - 1.0 / sqrt(m)) * _q(arg)
+        raise ModemError(f"no BER formula for mode {mode!r}")
+
+    def min_ebn0_db(
+        self, mode: str, max_ber: float, lo: float = -20.0, hi: float = 90.0
+    ) -> float:
+        """Smallest Eb/N0 (dB) at which ``mode`` meets ``max_ber``.
+
+        Returns ``inf`` when the mode cannot reach ``max_ber`` at any
+        Eb/N0 in range (e.g. below the model's error floor).
+        """
+        if not 0 < max_ber < 0.5:
+            raise ModemError("max_ber must be in (0, 0.5)")
+        if self.ber(mode, hi) > max_ber:
+            return float("inf")
+        if self.ber(mode, lo) <= max_ber:
+            return lo
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if self.ber(mode, mid) <= max_ber:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+
+@dataclass
+class ModeDecision:
+    """Outcome of adaptive mode selection."""
+
+    mode: Optional[str]
+    ebn0_db: float
+    max_ber: float
+    required_ebn0_db: Dict[str, float]
+
+    @property
+    def feasible(self) -> bool:
+        """True when some mode meets the BER constraint."""
+        return self.mode is not None
+
+
+class AdaptiveModulator:
+    """Selects a transmission mode from the estimated Eb/N0 (§III-7).
+
+    Parameters
+    ----------
+    model:
+        BER model used to derive per-mode minimum Eb/N0.
+    modes:
+        Candidate modes, *highest order first*.  WearLock prefers the
+        highest-order feasible mode — shorter packets, more redundancy
+        headroom, and worse BER for out-of-range eavesdroppers.
+    """
+
+    def __init__(
+        self,
+        model: Optional[BerModel] = None,
+        modes: Tuple[str, ...] = TRANSMISSION_MODES,
+    ):
+        if not modes:
+            raise ModemError("need at least one candidate mode")
+        self._model = model if model is not None else BerModel()
+        self._modes = tuple(modes)
+        # Validate early: every mode must have a BER formula.
+        for m in self._modes:
+            self._model.ber(m, 20.0)
+
+    @property
+    def model(self) -> BerModel:
+        return self._model
+
+    @property
+    def modes(self) -> Tuple[str, ...]:
+        return self._modes
+
+    def select(self, ebn0_db: float, max_ber: float) -> ModeDecision:
+        """Pick the highest-order mode whose min Eb/N0 is satisfied."""
+        required = {
+            m: self._model.min_ebn0_db(m, max_ber) for m in self._modes
+        }
+        chosen: Optional[str] = None
+        for m in self._modes:
+            if ebn0_db >= required[m]:
+                chosen = m
+                break
+        return ModeDecision(
+            mode=chosen,
+            ebn0_db=ebn0_db,
+            max_ber=max_ber,
+            required_ebn0_db=required,
+        )
+
+    def constellation_for(self, decision: ModeDecision) -> Constellation:
+        """Constellation object for a feasible decision."""
+        if decision.mode is None:
+            raise ModemError(
+                "no feasible transmission mode at "
+                f"Eb/N0 = {decision.ebn0_db:.1f} dB "
+                f"(MaxBER = {decision.max_ber})"
+            )
+        return get_constellation(decision.mode)

@@ -1,0 +1,91 @@
+"""Bit-vector utilities: packing, PRBS generation, BER computation."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ModemError
+
+
+def pack_bits(bits: np.ndarray) -> bytes:
+    """Pack a 0/1 array (MSB first) into bytes, zero-padding the tail."""
+    b = np.asarray(bits)
+    if b.ndim != 1:
+        raise ModemError("bits must be 1-D")
+    if b.size == 0:
+        return b""
+    if not np.all((b == 0) | (b == 1)):
+        raise ModemError("bits must contain only 0 and 1")
+    pad = (-b.size) % 8
+    padded = np.concatenate([b.astype(np.uint8), np.zeros(pad, np.uint8)])
+    return np.packbits(padded).tobytes()
+
+
+def unpack_bits(data: bytes, n_bits: Optional[int] = None) -> np.ndarray:
+    """Unpack bytes into a 0/1 array (MSB first), truncated to ``n_bits``."""
+    arr = np.frombuffer(bytes(data), dtype=np.uint8)
+    bits = np.unpackbits(arr)
+    if n_bits is not None:
+        if n_bits < 0 or n_bits > bits.size:
+            raise ModemError(
+                f"n_bits {n_bits} out of range for {bits.size} unpacked bits"
+            )
+        bits = bits[:n_bits]
+    return bits.astype(np.uint8)
+
+
+def random_bits(n: int, rng=None) -> np.ndarray:
+    """Uniform random 0/1 array of length ``n``."""
+    if n < 0:
+        raise ModemError("n must be non-negative")
+    generator = (
+        rng if isinstance(rng, np.random.Generator)
+        else np.random.default_rng(rng)
+    )
+    return generator.integers(0, 2, size=n, dtype=np.uint8)
+
+
+def prbs_bits(n: int, seed: int = 0b1010101) -> np.ndarray:
+    """Pseudo-random binary sequence from a 7-bit LFSR (PRBS-7).
+
+    Deterministic test payloads: the same seed always yields the same
+    sequence, handy for BER sweeps where tx and rx must agree without a
+    side channel.
+    """
+    if n < 0:
+        raise ModemError("n must be non-negative")
+    state = seed & 0x7F
+    if state == 0:
+        raise ModemError("LFSR seed must be non-zero in its low 7 bits")
+    out = np.empty(n, dtype=np.uint8)
+    for i in range(n):
+        # x^7 + x^6 + 1
+        new_bit = ((state >> 6) ^ (state >> 5)) & 1
+        out[i] = state & 1
+        state = ((state << 1) | new_bit) & 0x7F
+    return out
+
+
+def bit_errors(sent: np.ndarray, received: np.ndarray) -> int:
+    """Count positions where ``sent`` and ``received`` differ.
+
+    If the lengths differ, the comparison runs over the common prefix
+    and every missing/extra bit counts as an error — a dropped symbol is
+    a real failure, not something to silently ignore.
+    """
+    a = np.asarray(sent).astype(np.uint8)
+    b = np.asarray(received).astype(np.uint8)
+    n = min(a.size, b.size)
+    errors = int(np.count_nonzero(a[:n] != b[:n]))
+    errors += abs(a.size - b.size)
+    return errors
+
+
+def bit_error_rate(sent: np.ndarray, received: np.ndarray) -> float:
+    """BER between two bit vectors (denominator = len(sent))."""
+    a = np.asarray(sent)
+    if a.size == 0:
+        raise ModemError("sent must be non-empty to compute a BER")
+    return bit_errors(a, received) / float(a.size)

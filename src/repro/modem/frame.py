@@ -1,0 +1,149 @@
+"""OFDM symbol/frame construction exactly as the paper defines it.
+
+Equation (1): the frequency-domain vector ``X`` is inverse-FFT'd and the
+transmitted baseband signal is the *real part* ``s_n = Re(x_n)``.  The
+mirror-image energy loss this implies is absorbed by the unit-power
+pilot equalization at the receiver (both pilots and data are halved by
+the same factor).
+
+Frame layout::
+
+    | preamble | guard | CP | body | Tg | CP | body | Tg | ... |
+
+* ``CP`` — cyclic prefix: the last ``cp_length`` samples of the body,
+  prepended (ISI guard + fine-sync anchor, eq. 2);
+* ``Tg`` — zero symbol guard absorbing speaker ringing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import ModemConfig
+from ..errors import ModemError
+from .subchannels import ChannelPlan
+
+#: Unit-power pilot value inserted on every pilot bin.
+PILOT_VALUE: complex = 1.0 + 0.0j
+
+
+@dataclass(frozen=True)
+class FrameLayout:
+    """Sample-accurate offsets of a frame with ``n_symbols`` symbols."""
+
+    preamble_length: int
+    guard_length: int
+    cp_length: int
+    fft_size: int
+    symbol_guard: int
+    n_symbols: int
+
+    @property
+    def symbol_stride(self) -> int:
+        """Samples from one symbol's CP start to the next's."""
+        return self.cp_length + self.fft_size + self.symbol_guard
+
+    @property
+    def first_symbol_offset(self) -> int:
+        """Offset of the first CP sample from the frame start."""
+        return self.preamble_length + self.guard_length
+
+    @property
+    def total_length(self) -> int:
+        return self.first_symbol_offset + self.n_symbols * self.symbol_stride
+
+    def symbol_offsets(self) -> np.ndarray:
+        """CP-start offset of every symbol relative to the frame start."""
+        base = self.first_symbol_offset
+        return base + self.symbol_stride * np.arange(self.n_symbols)
+
+
+def frame_layout(config: ModemConfig, n_symbols: int) -> FrameLayout:
+    """Build the :class:`FrameLayout` for ``n_symbols`` OFDM symbols."""
+    if n_symbols < 1:
+        raise ModemError("a frame needs at least one symbol")
+    return FrameLayout(
+        preamble_length=config.preamble_length,
+        guard_length=config.guard_length,
+        cp_length=config.cp_length,
+        fft_size=config.fft_size,
+        symbol_guard=config.symbol_guard,
+        n_symbols=n_symbols,
+    )
+
+
+def modulate_symbol(
+    config: ModemConfig,
+    plan: ChannelPlan,
+    data_symbols: np.ndarray,
+    hermitian: bool = False,
+) -> np.ndarray:
+    """Build one time-domain OFDM symbol (CP + body + guard).
+
+    Parameters
+    ----------
+    data_symbols:
+        One complex value per data bin of ``plan`` (in ascending bin
+        order).  Pilot bins get :data:`PILOT_VALUE`; everything else is
+        null.
+    hermitian:
+        Ablation switch: ``True`` builds a conjugate-symmetric spectrum
+        (textbook real-OFDM) instead of the paper's ``Re(IFFT(X))``.
+        Both produce real signals; the paper's variant wastes the mirror
+        half's energy but is what the system actually shipped.
+    """
+    s = np.asarray(data_symbols, dtype=np.complex128)
+    if s.size != len(plan.data):
+        raise ModemError(
+            f"expected {len(plan.data)} data symbols, got {s.size}"
+        )
+    n = config.fft_size
+    spectrum = np.zeros(n, dtype=np.complex128)
+    for bin_index, value in zip(sorted(plan.data), s):
+        spectrum[bin_index] = value
+    for bin_index in plan.pilots:
+        spectrum[bin_index] = PILOT_VALUE
+
+    if hermitian:
+        # Mirror the occupied bins so the IFFT itself is real.
+        for k in range(1, n // 2):
+            if spectrum[k] != 0:
+                spectrum[n - k] = np.conj(spectrum[k])
+        body = np.fft.ifft(spectrum).real
+    else:
+        body = np.real(np.fft.ifft(spectrum))
+
+    cp = body[-config.cp_length:] if config.cp_length else body[:0]
+    guard = np.zeros(config.symbol_guard)
+    return np.concatenate([cp, body, guard])
+
+
+def demodulate_block(
+    config: ModemConfig, block: np.ndarray
+) -> np.ndarray:
+    """FFT one received OFDM body (CP already stripped) to all bins."""
+    x = np.asarray(block, dtype=np.float64)
+    if x.size < config.fft_size:
+        raise ModemError(
+            f"block of {x.size} samples shorter than FFT size "
+            f"{config.fft_size}"
+        )
+    return np.fft.fft(x[: config.fft_size])
+
+
+def assemble_frame(
+    config: ModemConfig,
+    preamble: np.ndarray,
+    symbols: np.ndarray,
+) -> np.ndarray:
+    """Concatenate preamble, post-preamble guard, and symbol train."""
+    p = np.asarray(preamble, dtype=np.float64)
+    if p.size != config.preamble_length:
+        raise ModemError(
+            f"preamble length {p.size} != configured "
+            f"{config.preamble_length}"
+        )
+    guard = np.zeros(config.guard_length)
+    return np.concatenate([p, guard, np.asarray(symbols, dtype=np.float64)])

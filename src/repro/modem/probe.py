@@ -1,0 +1,178 @@
+"""Channel probing: the RTS/CTS phase of adaptive modulation (§III-7).
+
+The phone sends a probing packet (preamble + block pilot symbol); the
+watch analyzes its recording and reports back:
+
+* the preamble's NCC score and RMS delay spread (NLOS filtering),
+* per-sub-channel noise power measured from the pre-signal audio
+  (long/short-term interferers like a restarting air conditioner),
+* the pilot SNR, converted to Eb/N0 for mode selection,
+* a re-planned data sub-channel assignment avoiding noisy bins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..config import ModemConfig
+from ..errors import PreambleNotFoundError
+from ..dsp.energy import signal_spl
+from ..dsp.spectrum import noise_power_per_bin
+from ..channel.multipath import rms_delay_spread
+from .constellation import get_constellation
+from .frame import demodulate_block, frame_layout
+from .snr import ebn0_db_from_psnr, pilot_snr_db
+from .subchannels import ChannelPlan
+from .synchronizer import Synchronizer
+from .transmitter import OfdmTransmitter
+
+
+@dataclass(frozen=True)
+class ProbeReport:
+    """The watch's CTS payload after analyzing a probing packet."""
+
+    detected: bool
+    preamble_score: float
+    tau_rms: float
+    noise_spl: float
+    psnr_db: float
+    noise_per_bin: Optional[np.ndarray]
+    recommended_plan: Optional[ChannelPlan]
+
+    def ebn0_db(
+        self, config: ModemConfig, plan: ChannelPlan, mode: str
+    ) -> float:
+        """Eb/N0 this probe predicts for transmitting with ``mode``."""
+        return ebn0_db_from_psnr(
+            self.psnr_db, config, plan, get_constellation(mode)
+        )
+
+    @staticmethod
+    def failed(score: float = 0.0) -> "ProbeReport":
+        """Report for a probe whose preamble was never detected."""
+        return ProbeReport(
+            detected=False,
+            preamble_score=score,
+            tau_rms=float("inf"),
+            noise_spl=float("-inf"),
+            psnr_db=float("-inf"),
+            noise_per_bin=None,
+            recommended_plan=None,
+        )
+
+
+class ChannelProber:
+    """Builds probing packets and analyzes their recordings.
+
+    Parameters
+    ----------
+    config:
+        Modem configuration.
+    plan:
+        Current sub-channel plan (defines candidates for re-planning).
+    n_pilot_symbols:
+        Block-pilot symbols per probe; more symbols average noise better
+        at the cost of probe airtime.
+    """
+
+    def __init__(
+        self,
+        config: ModemConfig,
+        plan: Optional[ChannelPlan] = None,
+        n_pilot_symbols: int = 2,
+    ):
+        self._config = config
+        self._plan = plan if plan is not None else ChannelPlan.from_config(config)
+        self._n_pilot_symbols = n_pilot_symbols
+        # Probe carrier constellation is irrelevant (pilots only); use
+        # QPSK as a placeholder for the transmitter's bookkeeping.
+        self._tx = OfdmTransmitter(
+            config, get_constellation("QPSK"), plan=self._plan
+        )
+        self._sync = Synchronizer(config)
+
+    @property
+    def plan(self) -> ChannelPlan:
+        return self._plan
+
+    def build_probe(self) -> np.ndarray:
+        """The RTS probing waveform."""
+        waveform, _ = self._tx.probe_waveform(self._n_pilot_symbols)
+        return waveform
+
+    def analyze(self, recording: np.ndarray) -> ProbeReport:
+        """Analyze the watch-side recording of a probing packet."""
+        x = np.asarray(recording, dtype=np.float64)
+        layout = frame_layout(self._config, self._n_pilot_symbols)
+        try:
+            match = self._sync.locate(x)
+        except PreambleNotFoundError as exc:
+            return ProbeReport.failed(exc.score)
+
+        tau = rms_delay_spread(
+            match.delay_profile, self._config.sample_rate
+        )
+
+        noise_end = max(0, match.start - layout.preamble_length)
+        ambient = x[:noise_end]
+        if ambient.size >= self._config.fft_size:
+            per_bin = noise_power_per_bin(
+                ambient, self._config.sample_rate, self._config.fft_size
+            )
+            noise_spl = signal_spl(ambient)
+            recommended = self._plan.select_data_channels(per_bin)
+        else:
+            per_bin = None
+            noise_spl = float("-inf")
+            recommended = self._plan
+
+        # Pilot SNR from the block-pilot symbols.  The block symbol
+        # activates the plan's own bins, so the plan's *interspersed*
+        # null bins stay silent — eq. 3 then compares in-band pilot
+        # power against in-band noise, which matters in scenes whose
+        # noise is strongly colored (voice/babble).  Immediate
+        # neighbours of occupied bins are skipped (timing-error
+        # leakage).
+        block_plan = self._plan
+        nulls = block_plan.quiet_null_channels(min_distance=2)
+        psnrs = []
+        try:
+            bodies, _ = self._sync.extract_bodies(x, match, layout)
+        except Exception:
+            bodies = np.zeros((0, self._config.fft_size))
+        band_bins = list(self._plan.pilots) + list(self._plan.data)
+        for body in bodies:
+            spectrum = demodulate_block(self._config, body)
+            if per_bin is not None:
+                # Preferred estimator: compare pilot power against the
+                # *ambient* per-bin noise measured before the preamble.
+                # The in-frame null bins are contaminated by spectral
+                # leakage (fractional timing, phase-ripple echoes) which
+                # saturates the estimate at high SNR; the ambient audio
+                # has no signal in it at all.
+                pw = np.abs(spectrum) ** 2
+                pilot_power = float(np.mean(pw[list(self._plan.pilots)]))
+                # noise_power_per_bin normalizes by fft_size; rescale to
+                # the raw |FFT bin|^2 units of one block.
+                noise_power = float(
+                    np.mean(per_bin[band_bins]) * self._config.fft_size
+                )
+                if noise_power > 0:
+                    ratio = max(pilot_power / noise_power - 1.0, 1e-12)
+                    psnrs.append(10.0 * np.log10(ratio))
+                    continue
+            psnrs.append(pilot_snr_db(spectrum, block_plan, null_bins=nulls))
+        psnr = float(np.mean(psnrs)) if psnrs else float("-inf")
+
+        return ProbeReport(
+            detected=True,
+            preamble_score=match.score,
+            tau_rms=tau,
+            noise_spl=noise_spl,
+            psnr_db=psnr,
+            noise_per_bin=per_bin,
+            recommended_plan=recommended,
+        )

@@ -1,0 +1,198 @@
+"""The OFDM receiver: recorded samples → bits (paper Fig. 3, RX side).
+
+Pipeline: energy-based silence detection → preamble detection (coarse
+sync) → per-symbol fine sync via cyclic prefix → FFT → pilot channel
+estimation + equalization → constellation de-mapping.  Alongside the
+payload bits the receiver reports the diagnostics the protocol layer
+needs: preamble score, pilot SNR, fine-sync offsets, and the preamble
+delay profile for NLOS detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..config import ModemConfig
+from ..errors import DemodulationError, PreambleNotFoundError
+from ..dsp.energy import EnergyDetector, signal_spl
+from .constellation import Constellation
+from .equalizer import (
+    ChannelEstimate,
+    equalize,
+    estimate_channel,
+    estimate_channel_linear,
+    estimate_channel_magnitude,
+)
+from .frame import demodulate_block, frame_layout
+from .preamble import PreambleMatch
+from .snr import ebn0_db_from_psnr, pilot_snr_db
+from .subchannels import ChannelPlan
+from .synchronizer import Synchronizer
+
+
+@dataclass(frozen=True)
+class ReceiveResult:
+    """Everything the receiver learned from one frame."""
+
+    bits: np.ndarray
+    preamble_score: float
+    psnr_db: float
+    ebn0_db: float
+    fine_offsets: Tuple[int, ...]
+    delay_profile: np.ndarray
+    equalized_symbols: np.ndarray
+    noise_spl: float
+
+    @property
+    def n_bits(self) -> int:
+        return int(self.bits.size)
+
+
+class OfdmReceiver:
+    """Demodulates WearLock OFDM frames from microphone recordings.
+
+    Parameters
+    ----------
+    config:
+        Modem parameters (must match the transmitter's).
+    constellation:
+        Expected data modulation (communicated over the wireless control
+        channel in the real system).
+    plan:
+        Sub-channel plan (also from the control channel).
+    fine_sync:
+        Enable CP fine synchronization (ablation switch).
+    linear_equalizer:
+        Ablation: linear pilot interpolation instead of FFT-based.
+    """
+
+    def __init__(
+        self,
+        config: ModemConfig,
+        constellation: Constellation,
+        plan: Optional[ChannelPlan] = None,
+        fine_sync: bool = True,
+        linear_equalizer: bool = False,
+        detection_threshold: Optional[float] = None,
+    ):
+        self._config = config
+        self._plan = plan if plan is not None else ChannelPlan.from_config(config)
+        self._constellation = constellation
+        self._sync = Synchronizer(config, fine=fine_sync)
+        if detection_threshold is not None:
+            from .preamble import PreambleDetector
+
+            self._sync = Synchronizer(
+                config,
+                fine=fine_sync,
+                detector=PreambleDetector(config, detection_threshold),
+            )
+        self._linear_eq = linear_equalizer
+        self._energy = EnergyDetector(frame_size=config.fft_size)
+
+    @property
+    def config(self) -> ModemConfig:
+        return self._config
+
+    @property
+    def plan(self) -> ChannelPlan:
+        return self._plan
+
+    @property
+    def constellation(self) -> Constellation:
+        return self._constellation
+
+    def _estimate(self, spectrum: np.ndarray) -> ChannelEstimate:
+        if self._constellation.decision == "magnitude":
+            return estimate_channel_magnitude(spectrum, self._plan)
+        if self._linear_eq:
+            return estimate_channel_linear(spectrum, self._plan)
+        return estimate_channel(spectrum, self._plan)
+
+    def n_symbols_for_bits(self, n_bits: int) -> int:
+        """Symbols the matching transmitter would have sent for n_bits."""
+        per = len(self._plan.data) * self._constellation.bits_per_symbol
+        if n_bits < 1:
+            raise DemodulationError("n_bits must be >= 1")
+        return (n_bits + per - 1) // per
+
+    def receive(
+        self,
+        recording: np.ndarray,
+        expected_bits: int,
+    ) -> ReceiveResult:
+        """Demodulate a frame carrying ``expected_bits`` payload bits.
+
+        Raises
+        ------
+        PreambleNotFoundError
+            If no preamble crosses the detection threshold.
+        SynchronizationError
+            If the frame runs past the end of the recording.
+        """
+        x = np.asarray(recording, dtype=np.float64)
+        if x.ndim != 1 or x.size == 0:
+            raise DemodulationError("recording must be a non-empty 1-D array")
+
+        n_symbols = self.n_symbols_for_bits(expected_bits)
+        layout = frame_layout(self._config, n_symbols)
+
+        match = self._sync.locate(x)
+
+        # Ambient noise SPL from the audio before the preamble — the
+        # paper measures noise in the pre-signal portion of the stream.
+        noise_start = max(0, match.start - layout.preamble_length)
+        ambient = x[:noise_start]
+        noise_spl = signal_spl(ambient) if ambient.size else float("-inf")
+
+        bodies, offsets = self._sync.extract_bodies(x, match, layout)
+
+        all_bits = []
+        psnrs = []
+        symbols = []
+        quiet_nulls = self._plan.quiet_null_channels(min_distance=2)
+        for body in bodies:
+            spectrum = demodulate_block(self._config, body)
+            psnrs.append(
+                pilot_snr_db(spectrum, self._plan, null_bins=quiet_nulls)
+            )
+            estimate = self._estimate(spectrum)
+            eq = equalize(spectrum, self._plan, estimate)
+            ordered = np.array(
+                [eq[k] for k in sorted(self._plan.data)],
+                dtype=np.complex128,
+            )
+            symbols.append(ordered)
+            all_bits.append(self._constellation.demap(ordered))
+
+        bits = np.concatenate(all_bits)[:expected_bits]
+        psnr = float(np.mean(psnrs))
+        ebn0 = ebn0_db_from_psnr(
+            psnr, self._config, self._plan, self._constellation
+        )
+        return ReceiveResult(
+            bits=bits,
+            preamble_score=match.score,
+            psnr_db=psnr,
+            ebn0_db=ebn0,
+            fine_offsets=offsets,
+            delay_profile=match.delay_profile,
+            equalized_symbols=np.concatenate(symbols),
+            noise_spl=noise_spl,
+        )
+
+    def detect_only(self, recording: np.ndarray) -> PreambleMatch:
+        """Run silence + preamble detection without demodulating.
+
+        Used by the Phase-1 (RTS/CTS) processing, which only needs the
+        preamble score and delay profile.
+        """
+        x = np.asarray(recording, dtype=np.float64)
+        if self._energy.is_silent(x):
+            raise PreambleNotFoundError(
+                0.0, self._sync.detector.threshold
+            )
+        return self._sync.locate(x)

@@ -1,0 +1,104 @@
+"""SNR estimation: pilot-based PSNR (eq. 3) and Eb/N0 conversion.
+
+The receiver cannot measure transmit power; it estimates the carrier-to-
+noise ratio from the spectrum itself, comparing average power on pilot
+bins against average power on null bins::
+
+    PSNR = (E_{k∈P}[X·X*] − E_{k∈N}[X·X*]) / E_{k∈N}[X·X*]
+
+and converts to the normalized per-bit metric::
+
+    Eb/N0 = (C/N) · (B/R)
+
+with ``B`` the occupied bandwidth and ``R`` the data rate
+``R = |D| · r_c · log2(M) / (Tg + Ts)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..config import ModemConfig
+from ..errors import DemodulationError
+from .constellation import Constellation
+from .subchannels import ChannelPlan
+
+
+def _mean_power(spectrum: np.ndarray, bins: Iterable[int]) -> float:
+    idx = list(bins)
+    if not idx:
+        raise DemodulationError("bin set is empty")
+    x = spectrum[idx]
+    return float(np.mean(x.real ** 2 + x.imag ** 2))
+
+
+def pilot_snr_linear(
+    spectrum: np.ndarray,
+    plan: ChannelPlan,
+    null_bins: Optional[Sequence[int]] = None,
+) -> float:
+    """PSNR (linear) from one received OFDM spectrum — eq. (3).
+
+    ``null_bins`` overrides the plan's own null set (useful for the
+    block-pilot probe symbol where only the margin bins stay silent).
+    Clamped below at a small positive value: a spectrum where pilots are
+    weaker than nulls means "no usable signal", not a negative ratio.
+    """
+    x = np.asarray(spectrum, dtype=np.complex128)
+    if x.ndim != 1 or x.size < plan.fft_size:
+        raise DemodulationError("spectrum must cover the full FFT")
+    nulls = tuple(null_bins) if null_bins is not None else plan.null_channels()
+    if not nulls:
+        raise DemodulationError("no null bins available for noise estimate")
+    p_pilot = _mean_power(x, plan.pilots)
+    p_null = _mean_power(x, nulls)
+    if p_null <= 0.0:
+        # Perfectly clean simulation: return a very high but finite SNR.
+        return 1e12
+    return max((p_pilot - p_null) / p_null, 1e-12)
+
+
+def pilot_snr_db(
+    spectrum: np.ndarray,
+    plan: ChannelPlan,
+    null_bins: Optional[Sequence[int]] = None,
+) -> float:
+    """PSNR in dB."""
+    return float(10.0 * np.log10(pilot_snr_linear(spectrum, plan, null_bins)))
+
+
+def data_rate(
+    config: ModemConfig,
+    plan: ChannelPlan,
+    constellation: Constellation,
+    coding_rate: float = 1.0,
+) -> float:
+    """Payload data rate in bits/second: ``|D| r_c log2(M) / (Tg+Ts)``."""
+    if not 0 < coding_rate <= 1.0:
+        raise DemodulationError("coding_rate must be in (0, 1]")
+    bits = len(plan.data) * constellation.bits_per_symbol * coding_rate
+    return bits / config.symbol_duration
+
+
+def occupied_bandwidth(config: ModemConfig, plan: ChannelPlan) -> float:
+    """Bandwidth (Hz) spanned by the plan's data bins."""
+    return len(plan.data) * config.subchannel_bandwidth
+
+
+def ebn0_db_from_psnr(
+    psnr_db: float,
+    config: ModemConfig,
+    plan: ChannelPlan,
+    constellation: Constellation,
+    coding_rate: float = 1.0,
+) -> float:
+    """Convert a pilot-based C/N estimate into Eb/N0 in dB.
+
+    ``Eb/N0 = C/N · B/R``; in dB this is an additive correction of
+    ``10 log10(B/R)``.
+    """
+    b = occupied_bandwidth(config, plan)
+    r = data_rate(config, plan, constellation, coding_rate)
+    return float(psnr_db + 10.0 * np.log10(b / r))

@@ -1,0 +1,182 @@
+"""Sub-channel planning: data/pilot/null assignment and jam avoidance.
+
+The OFDM band is divided into ``fft_size/2`` sub-channels of width
+``Fs/N`` (≈172 Hz).  A :class:`ChannelPlan` names which bins carry data,
+which carry unit-power pilots, and which stay null (used for noise
+estimation, eq. 3).  The prober re-plans data bins against measured
+noise following the paper's priority: *low frequency first, low noise
+power first* (§III-7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..config import ModemConfig
+from ..errors import ModemError
+
+
+@dataclass(frozen=True)
+class ChannelPlan:
+    """Assignment of FFT bins to data, pilot and null roles.
+
+    Data bins must lie strictly inside the pilot span so the
+    FFT-interpolated channel estimate never extrapolates.
+    """
+
+    fft_size: int
+    data: Tuple[int, ...]
+    pilots: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        half = self.fft_size // 2
+        if not self.data:
+            raise ModemError("plan needs at least one data channel")
+        if len(self.pilots) < 2:
+            raise ModemError("plan needs at least two pilot channels")
+        for name, bins in (("data", self.data), ("pilot", self.pilots)):
+            for b in bins:
+                if not 1 <= b < half:
+                    raise ModemError(
+                        f"{name} bin {b} outside [1, {half - 1}]"
+                    )
+        if set(self.data) & set(self.pilots):
+            raise ModemError("data and pilot bins overlap")
+        spacing = np.diff(sorted(self.pilots))
+        if spacing.size and not np.all(spacing == spacing[0]):
+            raise ModemError(
+                "pilots must be equispaced for FFT interpolation "
+                f"(got spacings {sorted(set(int(s) for s in spacing))})"
+            )
+        lo, hi = min(self.pilots), max(self.pilots)
+        for b in self.data:
+            if not lo <= b <= hi:
+                raise ModemError(
+                    f"data bin {b} outside pilot span [{lo}, {hi}]"
+                )
+
+    @staticmethod
+    def from_config(config: ModemConfig) -> "ChannelPlan":
+        """Build the default plan from a :class:`ModemConfig`."""
+        return ChannelPlan(
+            fft_size=config.fft_size,
+            data=tuple(sorted(config.data_channels)),
+            pilots=tuple(sorted(config.pilot_channels)),
+        )
+
+    @property
+    def pilot_spacing(self) -> int:
+        """Distance (in bins) between adjacent pilots."""
+        pilots = sorted(self.pilots)
+        return pilots[1] - pilots[0]
+
+    @property
+    def band(self) -> Tuple[int, int]:
+        """(lowest, highest) occupied bin."""
+        occupied = self.data + self.pilots
+        return min(occupied), max(occupied)
+
+    def null_channels(self, margin: int = 2) -> Tuple[int, ...]:
+        """Null bins inside the occupied band, used for noise estimation.
+
+        Bins within the plan's band that are neither data nor pilots;
+        ``margin`` extra bins on each side are included so narrowband
+        noise adjacent to the band is observable.
+        """
+        lo, hi = self.band
+        half = self.fft_size // 2
+        lo = max(1, lo - margin)
+        hi = min(half - 1, hi + margin)
+        used = set(self.data) | set(self.pilots)
+        return tuple(b for b in range(lo, hi + 1) if b not in used)
+
+    def quiet_null_channels(
+        self, min_distance: int = 2, margin: int = 4
+    ) -> Tuple[int, ...]:
+        """Null bins at least ``min_distance`` bins from any occupied bin.
+
+        Residual fractional-sample timing error leaks occupied-bin
+        energy into immediate neighbours; noise estimation (eq. 3)
+        should read bins that leakage cannot reach.  Falls back to the
+        plain null set when the spacing requirement empties it.
+        """
+        occupied = set(self.data) | set(self.pilots)
+        quiet = tuple(
+            b
+            for b in self.null_channels(margin=margin)
+            if all(abs(b - o) >= min_distance for o in occupied)
+        )
+        return quiet if quiet else self.null_channels(margin=margin)
+
+    def candidate_data_channels(self) -> Tuple[int, ...]:
+        """All bins inside the pilot span usable as data channels."""
+        lo, hi = min(self.pilots), max(self.pilots)
+        pilots = set(self.pilots)
+        return tuple(b for b in range(lo, hi + 1) if b not in pilots)
+
+    def select_data_channels(
+        self,
+        noise_power: Sequence[float],
+        n_channels: int = None,
+        headroom_db: float = 6.0,
+    ) -> "ChannelPlan":
+        """Re-plan data bins against measured per-bin noise power.
+
+        Implements the paper's priority order: candidate bins whose
+        noise is within ``headroom_db`` of the quietest candidate are
+        "clean" and are taken lowest-frequency-first; if clean bins
+        cannot fill the plan, the remaining slots take the
+        lowest-noise-power bins of what's left.
+
+        Parameters
+        ----------
+        noise_power:
+            Per-bin noise power, indexable by bin number (length at
+            least ``fft_size // 2``), e.g. from
+            :func:`repro.dsp.spectrum.noise_power_per_bin`.
+        n_channels:
+            Number of data bins to select (defaults to the current
+            plan's count so frame capacity is preserved).
+        headroom_db:
+            Power margin defining "clean" bins.
+        """
+        needed = n_channels if n_channels is not None else len(self.data)
+        candidates = self.candidate_data_channels()
+        if needed > len(candidates):
+            raise ModemError(
+                f"cannot select {needed} data bins from "
+                f"{len(candidates)} candidates"
+            )
+        power = np.asarray(noise_power, dtype=np.float64)
+        if power.ndim != 1 or power.size <= max(candidates):
+            raise ModemError(
+                "noise_power must cover every candidate bin index"
+            )
+        cand_power = {b: float(power[b]) for b in candidates}
+        floor = min(cand_power.values())
+        threshold = floor * 10.0 ** (headroom_db / 10.0)
+
+        clean = [b for b in sorted(candidates) if cand_power[b] <= threshold]
+        chosen = clean[:needed]
+        if len(chosen) < needed:
+            dirty = sorted(
+                (b for b in candidates if b not in chosen),
+                key=lambda b: (cand_power[b], b),
+            )
+            chosen.extend(dirty[: needed - len(chosen)])
+        return ChannelPlan(
+            fft_size=self.fft_size,
+            data=tuple(sorted(chosen)),
+            pilots=self.pilots,
+        )
+
+    def frequencies(self, sample_rate: float) -> dict:
+        """Center frequencies (Hz) of data/pilot bins, for reporting."""
+        width = sample_rate / self.fft_size
+        return {
+            "data": tuple(b * width for b in self.data),
+            "pilots": tuple(b * width for b in self.pilots),
+        }

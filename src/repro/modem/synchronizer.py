@@ -1,0 +1,154 @@
+"""Time synchronization: coarse via preamble, fine via cyclic prefix.
+
+Coarse synchronization happens as a side effect of preamble detection
+(the NCC peak lag).  Fine synchronization implements the paper's eq. (2):
+around the nominal symbol position, slide a window and find the offset
+where the cyclic prefix best matches the symbol tail — the CP is a copy
+of the body's last samples, so their correlation peaks at perfect
+alignment even under residual clock skew and reverberation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..config import ModemConfig
+from ..errors import SynchronizationError
+from .frame import FrameLayout
+from .preamble import PreambleDetector, PreambleMatch
+
+
+def fine_sync_offset(
+    signal: np.ndarray,
+    cp_start: int,
+    config: ModemConfig,
+    search_range: int = 32,
+) -> int:
+    """Best fine-sync offset ``tf`` in ``[-search_range, +search_range]``.
+
+    Maximizes the normalized correlation between the CP window and the
+    window one FFT-size later (the symbol tail) — the sliding-window
+    matching of eq. (2).  Returns 0 when the search window falls outside
+    the signal (callers keep the coarse estimate).
+    """
+    x = np.asarray(signal, dtype=np.float64)
+    n = config.fft_size
+    cp = config.cp_length
+    if cp == 0:
+        return 0
+    best_offset = 0
+    best_score = -np.inf
+    for tf in range(-search_range, search_range + 1):
+        a0 = cp_start + tf
+        a1 = a0 + cp
+        b0 = a0 + n
+        b1 = b0 + cp
+        if a0 < 0 or b1 > x.size:
+            continue
+        head = x[a0:a1]
+        tail = x[b0:b1]
+        he = float(np.dot(head, head))
+        te = float(np.dot(tail, tail))
+        if he <= 0.0 or te <= 0.0:
+            continue
+        score = float(np.dot(head, tail)) / np.sqrt(he * te)
+        if score > best_score:
+            best_score = score
+            best_offset = tf
+    return best_offset
+
+
+@dataclass(frozen=True)
+class SymbolTiming:
+    """Resolved timing of one OFDM symbol within a recording."""
+
+    index: int
+    body_start: int
+    fine_offset: int
+
+
+class Synchronizer:
+    """Locates frames and walks their symbols with fine timing.
+
+    Parameters
+    ----------
+    config:
+        Modem configuration.
+    fine:
+        Enable CP-based fine synchronization (ablation switch; the
+        paper's design includes it).
+    search_range:
+        Fine-search half-width τ in samples.
+    detector:
+        Optional pre-built preamble detector (shared across calls).
+    """
+
+    def __init__(
+        self,
+        config: ModemConfig,
+        fine: bool = True,
+        search_range: int = 24,
+        detector: Optional[PreambleDetector] = None,
+    ):
+        if search_range < 0:
+            raise SynchronizationError("search_range must be non-negative")
+        self._config = config
+        self._fine = fine
+        self._search_range = search_range
+        self._detector = detector or PreambleDetector(config)
+
+    @property
+    def detector(self) -> PreambleDetector:
+        return self._detector
+
+    def locate(self, recording: np.ndarray) -> PreambleMatch:
+        """Find the frame's preamble (coarse synchronization)."""
+        return self._detector.detect(recording)
+
+    def symbol_timings(
+        self,
+        recording: np.ndarray,
+        match: PreambleMatch,
+        layout: FrameLayout,
+    ) -> Iterator[SymbolTiming]:
+        """Yield fine-adjusted timing for each symbol of the frame."""
+        x = np.asarray(recording, dtype=np.float64)
+        frame_anchor = match.start - layout.preamble_length
+        for i, nominal in enumerate(layout.symbol_offsets()):
+            cp_start = frame_anchor + int(nominal)
+            offset = 0
+            if self._fine and self._config.cp_length:
+                offset = fine_sync_offset(
+                    x, cp_start, self._config,
+                    search_range=self._search_range,
+                )
+            body_start = cp_start + offset + layout.cp_length
+            if body_start + layout.fft_size > x.size:
+                raise SynchronizationError(
+                    f"symbol {i} body [{body_start}, "
+                    f"{body_start + layout.fft_size}) exceeds recording "
+                    f"of {x.size} samples"
+                )
+            yield SymbolTiming(
+                index=i, body_start=body_start, fine_offset=offset
+            )
+
+    def extract_bodies(
+        self,
+        recording: np.ndarray,
+        match: PreambleMatch,
+        layout: FrameLayout,
+    ) -> Tuple[np.ndarray, Tuple[int, ...]]:
+        """Return stacked symbol bodies and the fine offsets used."""
+        x = np.asarray(recording, dtype=np.float64)
+        bodies = np.empty((layout.n_symbols, layout.fft_size))
+        offsets = []
+        for timing in self.symbol_timings(x, match, layout):
+            bodies[timing.index] = x[
+                timing.body_start: timing.body_start + layout.fft_size
+            ]
+            offsets.append(timing.fine_offset)
+        return bodies, tuple(offsets)

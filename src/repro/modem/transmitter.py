@@ -1,0 +1,159 @@
+"""The OFDM transmitter: bits → passband samples (paper Fig. 3, TX side).
+
+Pipeline: constellation mapping → serial/parallel onto the data bins →
+pilot-tone insertion → IFFT (eq. 1, real part) → cyclic prefix →
+preamble insertion → edge fading.  The symbol train is scaled so its
+RMS matches the preamble's, keeping the pilot/data power ratio stable
+through the link's overall volume normalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..config import ModemConfig
+from ..errors import ModemError
+from ..dsp.energy import rms
+from ..dsp.windows import fade_edges
+from .constellation import Constellation
+from .frame import assemble_frame, frame_layout, FrameLayout, modulate_symbol
+from .preamble import build_preamble
+from .subchannels import ChannelPlan
+
+
+@dataclass(frozen=True)
+class TransmitResult:
+    """A modulated frame and its bookkeeping."""
+
+    waveform: np.ndarray
+    layout: FrameLayout
+    padded_bits: np.ndarray
+    n_payload_bits: int
+
+
+class OfdmTransmitter:
+    """Modulates bit payloads into acoustic OFDM frames.
+
+    Parameters
+    ----------
+    config:
+        Modem parameters (FFT size, CP, preamble, ...).
+    plan:
+        Sub-channel plan; defaults to the plan embedded in ``config``.
+    constellation:
+        Modulation for the data bins (QASK/QPSK/8PSK in deployment).
+    hermitian:
+        Ablation: use conjugate-symmetric OFDM instead of the paper's
+        ``Re(IFFT(X))`` construction.
+    """
+
+    def __init__(
+        self,
+        config: ModemConfig,
+        constellation: Constellation,
+        plan: ChannelPlan = None,
+        hermitian: bool = False,
+    ):
+        self._config = config
+        self._plan = plan if plan is not None else ChannelPlan.from_config(config)
+        self._constellation = constellation
+        self._hermitian = hermitian
+        self._preamble = build_preamble(config)
+
+    @property
+    def config(self) -> ModemConfig:
+        return self._config
+
+    @property
+    def plan(self) -> ChannelPlan:
+        return self._plan
+
+    @property
+    def constellation(self) -> Constellation:
+        return self._constellation
+
+    @property
+    def bits_per_symbol(self) -> int:
+        """Payload bits carried by one OFDM symbol."""
+        return len(self._plan.data) * self._constellation.bits_per_symbol
+
+    def symbols_for_bits(self, n_bits: int) -> int:
+        """OFDM symbols needed to carry ``n_bits``."""
+        if n_bits < 1:
+            raise ModemError("payload must contain at least one bit")
+        per = self.bits_per_symbol
+        return (n_bits + per - 1) // per
+
+    def modulate(self, bits: np.ndarray) -> TransmitResult:
+        """Modulate ``bits`` into a complete frame.
+
+        The payload is zero-padded up to a whole number of OFDM symbols;
+        the receiver truncates back using the expected bit count.
+        """
+        b = np.asarray(bits).astype(np.uint8)
+        if b.ndim != 1 or b.size == 0:
+            raise ModemError("bits must be a non-empty 1-D array")
+        n_symbols = self.symbols_for_bits(b.size)
+        per = self.bits_per_symbol
+        padded = np.concatenate(
+            [b, np.zeros(n_symbols * per - b.size, dtype=np.uint8)]
+        )
+
+        blocks = []
+        for i in range(n_symbols):
+            chunk = padded[i * per: (i + 1) * per]
+            data_symbols = self._constellation.map(chunk)
+            blocks.append(
+                modulate_symbol(
+                    self._config, self._plan, data_symbols,
+                    hermitian=self._hermitian,
+                )
+            )
+        train = np.concatenate(blocks)
+
+        # Match the symbol train's RMS to the preamble's so volume
+        # normalization downstream treats both parts alike.
+        train_rms = rms(train)
+        target = rms(self._preamble)
+        if train_rms > 0:
+            train = train * (target / train_rms)
+
+        waveform = assemble_frame(self._config, self._preamble, train)
+        waveform = fade_edges(waveform, fade_samples=32)
+        layout = frame_layout(self._config, n_symbols)
+        return TransmitResult(
+            waveform=waveform,
+            layout=layout,
+            padded_bits=padded,
+            n_payload_bits=b.size,
+        )
+
+    def probe_waveform(self, n_pilot_symbols: int = 1) -> Tuple[np.ndarray, FrameLayout]:
+        """Build the RTS channel-probing packet (paper §III-7).
+
+        The probe is the preamble followed by ``n_pilot_symbols``
+        *block pilot* symbols: every data bin and every pilot bin of the
+        current plan carries a unit-power pilot.  The plan's interspersed
+        null bins stay silent so the receiver can measure in-band noise
+        (eq. 3) alongside the frequency response.
+        """
+        if n_pilot_symbols < 1:
+            raise ModemError("probe needs at least one pilot symbol")
+        ones = np.ones(len(self._plan.data), dtype=np.complex128)
+        blocks = [
+            modulate_symbol(
+                self._config, self._plan, ones, hermitian=self._hermitian
+            )
+            for _ in range(n_pilot_symbols)
+        ]
+        train = np.concatenate(blocks)
+        train_rms = rms(train)
+        target = rms(self._preamble)
+        if train_rms > 0:
+            train = train * (target / train_rms)
+        waveform = assemble_frame(self._config, self._preamble, train)
+        waveform = fade_edges(waveform, fade_samples=32)
+        return waveform, frame_layout(self._config, n_pilot_symbols)

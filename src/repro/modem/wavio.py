@@ -1,0 +1,67 @@
+"""WAV import/export for modem waveforms (pure stdlib).
+
+Lets the modulated frames leave the simulator: write a frame to a WAV
+file, play it on a real phone, record on a laptop, and feed the
+recording back into :class:`repro.modem.receiver.OfdmReceiver`.  16-bit
+PCM mono, matching the modem's sampling rate.
+"""
+
+from __future__ import annotations
+
+import wave
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..errors import ModemError
+
+PathLike = Union[str, Path]
+
+
+def write_wav(
+    path: PathLike,
+    samples: np.ndarray,
+    sample_rate: float = 44_100.0,
+    peak: float = 0.9,
+) -> None:
+    """Write a float waveform to 16-bit PCM mono WAV.
+
+    The waveform is normalized so its absolute peak maps to ``peak``
+    of full scale (leaving headroom against DAC clipping).
+    """
+    x = np.asarray(samples, dtype=np.float64)
+    if x.ndim != 1 or x.size == 0:
+        raise ModemError("samples must be a non-empty 1-D array")
+    if not 0 < peak <= 1.0:
+        raise ModemError("peak must be in (0, 1]")
+    top = float(np.max(np.abs(x)))
+    if top > 0:
+        x = x * (peak / top)
+    pcm = np.clip(np.round(x * 32767.0), -32768, 32767).astype("<i2")
+    with wave.open(str(path), "wb") as handle:
+        handle.setnchannels(1)
+        handle.setsampwidth(2)
+        handle.setframerate(int(sample_rate))
+        handle.writeframes(pcm.tobytes())
+
+
+def read_wav(path: PathLike) -> Tuple[np.ndarray, float]:
+    """Read a mono 16-bit PCM WAV into a float array in [-1, 1].
+
+    Returns ``(samples, sample_rate)``.  Stereo files are downmixed by
+    averaging channels.
+    """
+    with wave.open(str(path), "rb") as handle:
+        n_channels = handle.getnchannels()
+        width = handle.getsampwidth()
+        rate = handle.getframerate()
+        frames = handle.readframes(handle.getnframes())
+    if width != 2:
+        raise ModemError(
+            f"only 16-bit PCM is supported, got {8 * width}-bit"
+        )
+    pcm = np.frombuffer(frames, dtype="<i2").astype(np.float64)
+    if n_channels > 1:
+        pcm = pcm.reshape(-1, n_channels).mean(axis=1)
+    return pcm / 32768.0, float(rate)

@@ -1,0 +1,12 @@
+"""Computation offloading (paper §V): planner and executor."""
+
+from .planner import OffloadPlanner, ProcessingPlan, Placement
+from .executor import OffloadExecutor, ExecutionReport
+
+__all__ = [
+    "OffloadPlanner",
+    "ProcessingPlan",
+    "Placement",
+    "OffloadExecutor",
+    "ExecutionReport",
+]

@@ -1,0 +1,75 @@
+"""Offload execution: run a plan against device and link models.
+
+The executor performs the bookkeeping the planner only predicted:
+actual (jittered) transfer times from the link model, compute time on
+whichever device the plan chose, and energy charged to each side's
+:class:`repro.devices.battery.EnergyMeter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.battery import EnergyMeter
+from ..devices.compute import Workload
+from ..devices.profiles import DeviceProfile
+from ..wireless.radio import WirelessLink
+from .planner import Placement, ProcessingPlan
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Measured outcome of executing one processing plan."""
+
+    placement: Placement
+    delay_s: float
+    transfer_s: float
+    compute_s: float
+    watch_energy_j: float
+    phone_energy_j: float
+
+
+class OffloadExecutor:
+    """Executes processing plans and meters both devices."""
+
+    def __init__(
+        self,
+        watch: DeviceProfile,
+        phone: DeviceProfile,
+        link: WirelessLink,
+    ):
+        self._watch = watch
+        self._phone = phone
+        self._link = link
+        self.watch_meter = EnergyMeter(device=watch)
+        self.phone_meter = EnergyMeter(device=phone)
+
+    def execute(self, plan: ProcessingPlan, work: Workload) -> ExecutionReport:
+        """Run ``work`` where ``plan`` says; return measured costs."""
+        if plan.placement is Placement.WATCH_LOCAL:
+            compute_s = self.watch_meter.record_compute(work.mops)
+            return ExecutionReport(
+                placement=plan.placement,
+                delay_s=compute_s,
+                transfer_s=0.0,
+                compute_s=compute_s,
+                watch_energy_j=self._watch.compute_energy_j(work.mops),
+                phone_energy_j=0.0,
+            )
+
+        stats = self._link.send_file(plan.transfer_bytes)
+        self.watch_meter.record_radio(stats.seconds)
+        compute_s = self.phone_meter.record_compute(work.mops)
+        self.watch_meter.record_idle(compute_s)
+        watch_energy = (
+            self._watch.radio_energy_j(stats.seconds)
+            + self._watch.idle_power_w * compute_s
+        )
+        return ExecutionReport(
+            placement=plan.placement,
+            delay_s=stats.seconds + compute_s,
+            transfer_s=stats.seconds,
+            compute_s=compute_s,
+            watch_energy_j=watch_energy,
+            phone_energy_j=self._phone.compute_energy_j(work.mops),
+        )

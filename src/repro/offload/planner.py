@@ -1,0 +1,126 @@
+"""Offload planning: where should the watch's DSP run?
+
+The paper's insight (§V): the acoustic DSP after each recording —
+sliding-window cross-correlation plus OFDM demodulation — is heavy for
+wearable silicon, and since the DSP library is shared by both apps the
+computation can be partitioned freely.  The planner compares
+
+* **local**: run on the watch;
+* **offload**: ship the recorded audio over the wireless link and run
+  on the phone,
+
+in terms of wall-clock delay and *watch* energy (the phone's battery is
+an order of magnitude larger, so the paper optimizes the wearable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..devices.compute import Workload
+from ..devices.profiles import DeviceProfile
+from ..errors import ConfigurationError
+from ..wireless.radio import WirelessLink
+
+
+class Placement(str, Enum):
+    """Where a processing step executes."""
+
+    WATCH_LOCAL = "watch_local"
+    PHONE_OFFLOAD = "phone_offload"
+
+
+@dataclass(frozen=True)
+class ProcessingPlan:
+    """A placement decision with its predicted costs."""
+
+    placement: Placement
+    predicted_delay_s: float
+    predicted_watch_energy_j: float
+    transfer_bytes: int
+
+    @property
+    def offloaded(self) -> bool:
+        return self.placement is Placement.PHONE_OFFLOAD
+
+
+class OffloadPlanner:
+    """Chooses local vs offloaded execution for a recording's DSP.
+
+    Parameters
+    ----------
+    watch, phone:
+        Device profiles at each end.
+    link:
+        Wireless link used to ship the audio (its *median* costs feed
+        the prediction; the executor then simulates actual jitter).
+    prefer:
+        ``None`` lets the cost model decide; a :class:`Placement` forces
+        the decision (used by the paper's Config 3 local baseline).
+    """
+
+    def __init__(
+        self,
+        watch: DeviceProfile,
+        phone: DeviceProfile,
+        link: WirelessLink,
+        prefer: Optional[Placement] = None,
+    ):
+        if not watch.is_wearable:
+            raise ConfigurationError("watch profile must be a wearable")
+        self._watch = watch
+        self._phone = phone
+        self._link = link
+        self._prefer = prefer
+
+    def _predict_transfer_seconds(self, n_bytes: int) -> float:
+        # Median prediction: latency + payload/throughput (no jitter).
+        return (
+            self._link.message_latency
+            + 8.0 * n_bytes / self._link.throughput_bps
+        )
+
+    def plan(self, work: Workload, audio_bytes: int) -> ProcessingPlan:
+        """Decide placement for ``work`` given the clip size to ship."""
+        if audio_bytes < 0:
+            raise ConfigurationError("audio_bytes must be >= 0")
+
+        local_delay = self._watch.compute_seconds(work.mops)
+        local_energy = self._watch.compute_energy_j(work.mops)
+
+        transfer_s = self._predict_transfer_seconds(audio_bytes)
+        offload_delay = transfer_s + self._phone.compute_seconds(work.mops)
+        offload_energy = (
+            self._watch.radio_energy_j(transfer_s)
+            + self._watch.idle_power_w
+            * self._phone.compute_seconds(work.mops)
+        )
+
+        if self._prefer is Placement.WATCH_LOCAL:
+            choice = Placement.WATCH_LOCAL
+        elif self._prefer is Placement.PHONE_OFFLOAD:
+            choice = Placement.PHONE_OFFLOAD
+        else:
+            # Lexicographic: first don't be slower, then save energy.
+            if offload_delay <= local_delay:
+                choice = Placement.PHONE_OFFLOAD
+            elif offload_energy < local_energy and offload_delay < 1.5 * local_delay:
+                choice = Placement.PHONE_OFFLOAD
+            else:
+                choice = Placement.WATCH_LOCAL
+
+        if choice is Placement.PHONE_OFFLOAD:
+            return ProcessingPlan(
+                placement=choice,
+                predicted_delay_s=offload_delay,
+                predicted_watch_energy_j=offload_energy,
+                transfer_bytes=audio_bytes,
+            )
+        return ProcessingPlan(
+            placement=choice,
+            predicted_delay_s=local_delay,
+            predicted_watch_energy_j=local_energy,
+            transfer_bytes=0,
+        )

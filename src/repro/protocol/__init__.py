@@ -1,0 +1,20 @@
+"""The smartwatch-assisted unlocking protocol (paper §II, Fig. 2)."""
+
+from .events import SimClock, Timeline, TimelineEvent
+from .keyguard import Keyguard, LockState
+from .controllers import PhoneController, WatchController
+from .session import UnlockSession, SessionConfig, UnlockOutcome, AbortReason
+
+__all__ = [
+    "SimClock",
+    "Timeline",
+    "TimelineEvent",
+    "Keyguard",
+    "LockState",
+    "PhoneController",
+    "WatchController",
+    "UnlockSession",
+    "SessionConfig",
+    "UnlockOutcome",
+    "AbortReason",
+]

@@ -1,0 +1,284 @@
+"""WearLock Controllers: the agents on each device (paper Fig. 1).
+
+The :class:`PhoneController` owns the OTP state, the adaptive
+modulator, volume control and the keyguard; the :class:`WatchController`
+is the thin client that records, optionally processes, and reports.
+Both consume/produce the typed messages of
+:mod:`repro.wireless.messages`; the :class:`~repro.protocol.session.
+UnlockSession` moves those messages (and the sound) between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..channel.acoustics import VolumeControl, required_tx_spl
+from ..config import ModemConfig, SecurityConfig, SystemConfig
+from ..errors import ProtocolError
+from ..modem.adaptive import AdaptiveModulator, ModeDecision
+from ..modem.coding import Code, RepetitionCode
+from ..modem.constellation import get_constellation
+from ..modem.probe import ChannelProber, ProbeReport
+from ..modem.receiver import OfdmReceiver
+from ..modem.subchannels import ChannelPlan
+from ..modem.transmitter import OfdmTransmitter, TransmitResult
+from ..security.nlos import NlosDetector, NlosVerdict
+from ..security.otp import OtpManager
+from ..security.tokens import bits_to_token, token_to_bits
+from ..sensors.motion_filter import MotionFilter, MotionReport
+from ..wireless.messages import ChannelConfigMessage, CtsMessage
+from .keyguard import Keyguard
+
+
+@dataclass(frozen=True)
+class TokenTransmission:
+    """A Phase-2 transmission as prepared by the phone."""
+
+    result: TransmitResult
+    mode: str
+    plan: ChannelPlan
+    tx_spl: float
+    token: int
+    coded_bits: int
+
+
+def _repeat_bits(bits: np.ndarray, factor: int) -> np.ndarray:
+    """Repetition-code a bit vector (bit-wise, ``factor`` copies)."""
+    return np.repeat(np.asarray(bits, dtype=np.uint8), factor)
+
+
+def _majority_decode(bits: np.ndarray, factor: int, n_payload: int) -> np.ndarray:
+    """Majority-vote decode of a repetition-coded bit vector."""
+    b = np.asarray(bits, dtype=np.uint8)
+    usable = min(b.size, n_payload * factor)
+    b = b[:usable]
+    full = np.zeros(n_payload * factor, dtype=np.uint8)
+    full[: b.size] = b
+    groups = full.reshape(n_payload, factor)
+    return (groups.sum(axis=1) * 2 > factor).astype(np.uint8)
+
+
+class PhoneController:
+    """Phone-side agent: decides, transmits, verifies, unlocks.
+
+    Parameters
+    ----------
+    config:
+        Full system configuration.
+    otp:
+        OTP manager for this phone-watch pairing.
+    repetition:
+        Repetition-coding factor on the token bits — the "heavy error
+        correction" headroom the paper mentions for noisy channels.
+        Ignored when an explicit ``code`` is supplied.
+    code:
+        Channel code for the token (any :class:`repro.modem.coding.
+        Code`); defaults to ``RepetitionCode(repetition)``, which is
+        what the deployed system uses, but e.g. ``ConvolutionalCode``
+        drops the airtime for the same robustness.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        otp: OtpManager,
+        repetition: int = 5,
+        volume: Optional[VolumeControl] = None,
+        code: Optional[Code] = None,
+    ):
+        if repetition < 1 or repetition % 2 == 0:
+            raise ProtocolError("repetition must be a positive odd integer")
+        self.config = config
+        self.otp = otp
+        self.keyguard = Keyguard(config.security)
+        self.modulator = AdaptiveModulator()
+        self.motion_filter = MotionFilter(config.motion)
+        self.nlos_detector = NlosDetector(
+            tau_threshold=config.security.nlos_tau_threshold
+        )
+        self.volume = volume if volume is not None else VolumeControl()
+        self.repetition = repetition
+        self.code: Code = (
+            code if code is not None else RepetitionCode(repetition)
+        )
+        self._plan = ChannelPlan.from_config(config.modem)
+
+    @property
+    def plan(self) -> ChannelPlan:
+        return self._plan
+
+    def choose_volume(self, noise_spl: float) -> Tuple[int, float]:
+        """Pick the volume step meeting the 1-m SNR rule (§III-7)."""
+        target = required_tx_spl(
+            noise_spl=max(noise_spl, 0.0),
+            min_snr_db=self.config.min_snr_db,
+            range_m=self.config.target_range_m,
+        )
+        step = self.volume.step_for_spl(target)
+        return step, self.volume.spl_for_step(step)
+
+    def evaluate_motion(
+        self, phone_xyz: np.ndarray, watch_xyz: np.ndarray
+    ) -> MotionReport:
+        """Run the Alg. 1 motion filter on both sensor windows."""
+        return self.motion_filter.evaluate(phone_xyz, watch_xyz)
+
+    def evaluate_nlos(self, report: ProbeReport) -> NlosVerdict:
+        """Classify the probe's preamble as LOS/NLOS."""
+        sample_rate = self.config.modem.sample_rate
+        if not report.detected:
+            return self.nlos_detector.classify(
+                report.preamble_score, np.zeros(1), sample_rate
+            )
+        # tau_rms was computed watch-side; rebuild the verdict from it.
+        return NlosVerdict(
+            score=report.preamble_score,
+            tau_rms=report.tau_rms,
+            preamble_ok=report.preamble_score
+            >= self.config.modem.detection_threshold,
+            nlos=report.tau_rms > self.nlos_detector.tau_threshold,
+        )
+
+    def select_mode(
+        self, report: ProbeReport, max_ber: float
+    ) -> ModeDecision:
+        """Adaptive modulation decision from the probe's pilot SNR."""
+        plan = report.recommended_plan or self._plan
+        # Eb/N0 depends on the candidate mode's rate; evaluate each mode
+        # at its own rate and let the modulator pick.
+        decisions = {}
+        for mode in self.modulator.modes:
+            ebn0 = report.ebn0_db(self.config.modem, plan, mode)
+            decisions[mode] = ebn0
+        # Use the highest-order feasible mode, honouring per-mode Eb/N0.
+        required = {
+            m: self.modulator.model.min_ebn0_db(m, max_ber)
+            for m in self.modulator.modes
+        }
+        chosen = None
+        for m in self.modulator.modes:
+            if decisions[m] >= required[m]:
+                chosen = m
+                break
+        return ModeDecision(
+            mode=chosen,
+            ebn0_db=decisions[chosen] if chosen else max(decisions.values()),
+            max_ber=max_ber,
+            required_ebn0_db=required,
+        )
+
+    def prepare_token(
+        self,
+        decision: ModeDecision,
+        plan: Optional[ChannelPlan],
+        tx_spl: float,
+    ) -> TokenTransmission:
+        """Generate the OTP and modulate it for Phase 2."""
+        constellation = self.modulator.constellation_for(decision)
+        use_plan = plan if plan is not None else self._plan
+        token = self.otp.generate()
+        bits = token_to_bits(token, self.otp.token_bits)
+        coded = self.code.encode(bits)
+        tx = OfdmTransmitter(
+            self.config.modem, constellation, plan=use_plan
+        )
+        result = tx.modulate(coded)
+        return TokenTransmission(
+            result=result,
+            mode=decision.mode,
+            plan=use_plan,
+            tx_spl=tx_spl,
+            token=token,
+            coded_bits=coded.size,
+        )
+
+    def channel_config_message(
+        self, tt: TokenTransmission, session_id: int = 0
+    ) -> ChannelConfigMessage:
+        """The Phase-2 configuration sent to the watch."""
+        return ChannelConfigMessage(
+            session_id=session_id,
+            mode=tt.mode,
+            data_channels=tt.plan.data,
+            pilot_channels=tt.plan.pilots,
+            n_bits=tt.coded_bits,
+        )
+
+    def verify_token_bits(
+        self, tt: TokenTransmission, received_bits: np.ndarray
+    ) -> Tuple[bool, float]:
+        """Decode + verify the received bits; returns (ok, raw BER)."""
+        decoded = self.code.decode(
+            np.asarray(received_bits, dtype=np.uint8),
+            self.otp.token_bits,
+        )
+        raw_sent = self.code.encode(
+            token_to_bits(tt.token, self.otp.token_bits)
+        )
+        usable = min(raw_sent.size, np.asarray(received_bits).size)
+        if usable == 0:
+            ber = 1.0
+        else:
+            ber = float(
+                np.mean(
+                    raw_sent[:usable]
+                    != np.asarray(received_bits, dtype=np.uint8)[:usable]
+                )
+            )
+        verification = self.otp.verify(bits_to_token(decoded))
+        if verification.ok:
+            self.keyguard.trusted_unlock()
+        else:
+            self.keyguard.trusted_failure()
+        return verification.ok, ber
+
+
+class WatchController:
+    """Watch-side thin client: record, analyze (or ship), report."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self._prober = ChannelProber(config.modem)
+
+    @property
+    def prober(self) -> ChannelProber:
+        return self._prober
+
+    def analyze_probe(self, recording: np.ndarray) -> ProbeReport:
+        """Phase-1 processing on the watch (or offloaded — same code)."""
+        return self._prober.analyze(recording)
+
+    def cts_message(
+        self, report: ProbeReport, session_id: int = 0
+    ) -> CtsMessage:
+        """Summarize a probe report for the phone."""
+        return CtsMessage(
+            session_id=session_id,
+            psnr_db=report.psnr_db,
+            preamble_score=report.preamble_score,
+            noise_spl=report.noise_spl,
+            tau_rms=report.tau_rms,
+            detected=report.detected,
+        )
+
+    def demodulate(
+        self,
+        recording: np.ndarray,
+        config_msg: ChannelConfigMessage,
+    ) -> np.ndarray:
+        """Phase-2 demodulation with the phone-supplied configuration."""
+        plan = ChannelPlan(
+            fft_size=self.config.modem.fft_size,
+            data=tuple(config_msg.data_channels),
+            pilots=tuple(config_msg.pilot_channels),
+        )
+        receiver = OfdmReceiver(
+            self.config.modem,
+            get_constellation(config_msg.mode),
+            plan=plan,
+        )
+        result = receiver.receive(recording, expected_bits=config_msg.n_bits)
+        return result.bits

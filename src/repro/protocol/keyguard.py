@@ -1,0 +1,76 @@
+"""A minimal Android-Keyguard-like lock state machine.
+
+WearLock doesn't replace the keyguard — it tells it when a trusted
+unlock succeeded.  The keyguard tracks lock state, counts consecutive
+trusted-unlock failures, and after the security policy's limit demands
+a manual credential (PIN), exactly as the paper's three-strike rule.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+from ..config import SecurityConfig
+from ..errors import LockedOutError
+
+
+class LockState(str, Enum):
+    """Keyguard states."""
+
+    LOCKED = "locked"
+    UNLOCKED = "unlocked"
+
+
+class Keyguard:
+    """Lock state + trusted-unlock failure policy."""
+
+    def __init__(self, config: Optional[SecurityConfig] = None):
+        self._config = config if config is not None else SecurityConfig()
+        self._state = LockState.LOCKED
+        self._failures = 0
+        self._pin_required = False
+
+    @property
+    def state(self) -> LockState:
+        return self._state
+
+    @property
+    def is_locked(self) -> bool:
+        return self._state is LockState.LOCKED
+
+    @property
+    def pin_required(self) -> bool:
+        """True when only a manual credential may unlock."""
+        return self._pin_required
+
+    @property
+    def failures(self) -> int:
+        return self._failures
+
+    def trusted_unlock(self) -> None:
+        """A validated token arrived: unlock and reset failures."""
+        if self._pin_required:
+            raise LockedOutError(
+                "trusted unlock disabled until manual PIN entry"
+            )
+        self._state = LockState.UNLOCKED
+        self._failures = 0
+
+    def trusted_failure(self) -> None:
+        """A trusted-unlock attempt failed; count toward lockout."""
+        if self._pin_required:
+            return
+        self._failures += 1
+        if self._failures >= self._config.max_failures:
+            self._pin_required = True
+
+    def pin_unlock(self) -> None:
+        """Manual PIN entry always works and clears the lockout."""
+        self._state = LockState.UNLOCKED
+        self._failures = 0
+        self._pin_required = False
+
+    def lock(self) -> None:
+        """Screen off / timeout: return to the locked state."""
+        self._state = LockState.LOCKED

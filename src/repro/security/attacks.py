@@ -1,0 +1,177 @@
+"""Attack simulators for the paper's threat model (§IV).
+
+Each attacker produces the inputs a victim system would see under that
+attack, so the defenses (OTP, lockout, timing guard, NLOS gate, range-
+limited modem) can be evaluated end to end:
+
+* :class:`BruteForceAttacker` — guesses tokens while the watch is away;
+* :class:`CoLocatedAttacker` — holds the victim's phone near the victim
+  (extra distance and/or NLOS from concealment);
+* :class:`ReplayAttacker` — records the token and replays it later
+  (defeated by OTP freshness and the timing window);
+* :class:`RelayAttacker` — live relay with ADC/DAC distortion and added
+  latency (the paper's acknowledged hardest case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import SecurityError
+from .timing import TimingObservation
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """Result of one attack attempt."""
+
+    name: str
+    succeeded: bool
+    detail: str = ""
+
+
+class BruteForceAttacker:
+    """Guesses random tokens against an :class:`OtpManager`.
+
+    The keyspace is ``2^token_bits`` and the manager locks out after
+    three consecutive failures, so success probability per session is
+    ``<= max_failures / 2^bits``.
+    """
+
+    def __init__(self, token_bits: int, rng=None):
+        if not 1 <= token_bits <= 31:
+            raise SecurityError("token_bits must be in [1, 31]")
+        self._bits = token_bits
+        self._rng = (
+            rng if isinstance(rng, np.random.Generator)
+            else np.random.default_rng(rng)
+        )
+
+    def guess(self) -> int:
+        """One uniformly random token guess."""
+        return int(self._rng.integers(0, 1 << self._bits))
+
+    def attack(self, otp_manager) -> AttackOutcome:
+        """Guess until lockout; report whether any guess landed."""
+        attempts = 0
+        while not otp_manager.locked_out:
+            result = otp_manager.verify(self.guess())
+            attempts += 1
+            if result.ok:
+                return AttackOutcome(
+                    name="brute_force",
+                    succeeded=True,
+                    detail=f"lucky guess after {attempts} attempts",
+                )
+        return AttackOutcome(
+            name="brute_force",
+            succeeded=False,
+            detail=f"locked out after {attempts} attempts",
+        )
+
+
+@dataclass
+class CoLocatedAttacker:
+    """Attacker physically approaching with the victim's phone.
+
+    ``distance_m`` is how close they dare get; ``concealed`` models
+    covering the phone (which obstructs the direct path — the paper
+    notes this self-defeats by forcing NLOS).
+    """
+
+    distance_m: float = 2.0
+    concealed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.distance_m <= 0:
+            raise SecurityError("distance_m must be positive")
+
+    def channel_kwargs(self) -> dict:
+        """AcousticLink overrides representing this attacker's position."""
+        return {
+            "distance_m": self.distance_m,
+            "los": not self.concealed,
+        }
+
+
+@dataclass
+class ReplayAttacker:
+    """Record-and-replay: captures a token transmission, replays later.
+
+    ``replay_latency`` is the unavoidable delay of the record→store→
+    replay loop; even a fast attacker adds hundreds of milliseconds,
+    which the timing guard sees as excess acoustic-onset delay.
+    """
+
+    replay_latency: float = 0.8
+    captured: Optional[np.ndarray] = None
+
+    def capture(self, on_air: np.ndarray) -> None:
+        """Record the victim's acoustic transmission."""
+        self.captured = np.asarray(on_air, dtype=np.float64).copy()
+
+    def replay(self) -> np.ndarray:
+        """The replayed waveform (bit-exact copy of the capture)."""
+        if self.captured is None:
+            raise SecurityError("nothing captured to replay")
+        return self.captured.copy()
+
+    def timing_observation(
+        self, legitimate: TimingObservation
+    ) -> TimingObservation:
+        """Timing as the victim would measure it during the replay."""
+        return TimingObservation(
+            wireless_rtt=legitimate.wireless_rtt,
+            stack_delay=legitimate.stack_delay,
+            acoustic_onset=legitimate.acoustic_onset + self.replay_latency,
+        )
+
+
+@dataclass
+class RelayAttacker:
+    """Live relay through attacker hardware (paper's open problem).
+
+    The relay chain (mic → ADC → radio → DAC → speaker) adds latency
+    and imprints the relay hardware's own distortion.  The paper argues
+    flat-response relays are hard to build small; we model the relay's
+    non-flat response as extra phase ripple plus latency.
+    """
+
+    relay_latency: float = 0.25
+    extra_phase_ripple_rad: float = 0.4
+    rng_seed: int = 99
+
+    def distort(self, waveform: np.ndarray, sample_rate: float) -> np.ndarray:
+        """Push the signal through the relay's imperfect ADC/DAC chain."""
+        x = np.asarray(waveform, dtype=np.float64)
+        if x.size < 2:
+            return x.copy()
+        rng = np.random.default_rng(self.rng_seed)
+        spec = np.fft.rfft(x)
+        freqs = np.fft.rfftfreq(x.size, d=1.0 / sample_rate)
+        # Relay speaker/mic resonances: random smooth phase + mild
+        # amplitude tilt, a second uncorrected hardware signature.
+        n_terms = 12
+        taus = rng.uniform(0.5e-3, 2.5e-3, n_terms)
+        thetas = rng.uniform(0, 2 * np.pi, n_terms)
+        amps = rng.uniform(0.5, 1.0, n_terms)
+        amps *= self.extra_phase_ripple_rad / np.sqrt(0.5 * np.sum(amps**2))
+        phi = np.zeros_like(freqs)
+        for a, tau, theta in zip(amps, taus, thetas):
+            phi += a * np.cos(2 * np.pi * freqs * tau + theta)
+        tilt = 1.0 - 0.15 * (freqs / max(freqs[-1], 1.0))
+        spec = spec * tilt * np.exp(1j * phi)
+        return np.fft.irfft(spec, x.size)
+
+    def timing_observation(
+        self, legitimate: TimingObservation
+    ) -> TimingObservation:
+        """Timing as measured with the relay in the loop."""
+        return TimingObservation(
+            wireless_rtt=legitimate.wireless_rtt,
+            stack_delay=legitimate.stack_delay,
+            acoustic_onset=legitimate.acoustic_onset + self.relay_latency,
+        )

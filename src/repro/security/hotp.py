@@ -1,0 +1,73 @@
+"""HOTP: HMAC-based one-time passwords, RFC 4226 (paper §IV).
+
+The phone and watch share a secret key ``k`` and a counter ``c``
+(negotiated over the Bluetooth link).  Each unlock consumes one counter
+value::
+
+    OTP = DynamicTruncation(HMAC-SHA1(k, c)) mod 10^Digit
+
+WearLock transmits the 31-bit dynamic-truncation output as the acoustic
+token (the paper calls it a "32 bit" token; RFC 4226's DT masks the sign
+bit, leaving 31 freely varying bits — we follow the RFC).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import struct
+
+from ..errors import SecurityError
+
+
+def dynamic_truncation(digest: bytes) -> int:
+    """RFC 4226 §5.3 dynamic truncation: 20-byte digest → 31-bit int.
+
+    The low 4 bits of the last byte select a 4-byte window; the window's
+    big-endian value is masked to 31 bits so the result is unambiguous
+    under signed/unsigned interpretation.
+    """
+    if len(digest) < 20:
+        raise SecurityError(
+            f"dynamic truncation expects >= 20 bytes, got {len(digest)}"
+        )
+    offset = digest[-1] & 0x0F
+    chunk = digest[offset: offset + 4]
+    value = struct.unpack(">I", chunk)[0]
+    return value & 0x7FFFFFFF
+
+
+def hotp(key: bytes, counter: int) -> int:
+    """Raw 31-bit HOTP value for ``(key, counter)``.
+
+    This is the binary token WearLock modulates onto the acoustic
+    channel — using the binary value rather than decimal digits keeps
+    the full keyspace (the paper argues 2^32 ≈ our 2^31 is ample given
+    the three-failure lockout).
+    """
+    if not key:
+        raise SecurityError("HOTP key must be non-empty")
+    if counter < 0:
+        raise SecurityError("HOTP counter must be non-negative")
+    message = struct.pack(">Q", counter)
+    digest = hmac.new(key, message, hashlib.sha1).digest()
+    return dynamic_truncation(digest)
+
+
+def hotp_digits(key: bytes, counter: int, digits: int = 6) -> str:
+    """Human-readable HOTP: ``DT mod 10^digits``, zero-padded.
+
+    RFC 4226 requires at least 6 digits; we allow up to 9 (beyond that
+    the leading digit is biased and the RFC forbids it).
+    """
+    if not 6 <= digits <= 9:
+        raise SecurityError("digits must be in [6, 9] per RFC 4226")
+    value = hotp(key, counter) % (10 ** digits)
+    return str(value).zfill(digits)
+
+
+def hotp_token_bits(key: bytes, counter: int, n_bits: int = 31) -> int:
+    """HOTP truncated to ``n_bits`` (for shorter acoustic payloads)."""
+    if not 1 <= n_bits <= 31:
+        raise SecurityError("n_bits must be in [1, 31]")
+    return hotp(key, counter) & ((1 << n_bits) - 1)

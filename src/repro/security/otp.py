@@ -1,0 +1,138 @@
+"""OTP lifecycle: counter synchronization, verification, lockout.
+
+The phone generates the token for the *current* counter; the watch (or
+rather, the phone verifying the watch's recording) accepts tokens within
+a small look-ahead window to survive counter drift from aborted
+attempts, then resynchronizes.  Three consecutive failures lock the
+scheme out (paper §IV: "The smartphone will be locked up after three
+consecutive failures").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import SecurityConfig
+from ..errors import LockedOutError, SecurityError
+from .hotp import hotp_token_bits
+
+
+@dataclass(frozen=True)
+class OtpVerification:
+    """Outcome of a token verification attempt."""
+
+    ok: bool
+    matched_counter: Optional[int]
+    failures: int
+    locked_out: bool
+
+
+class OtpManager:
+    """Shared-secret OTP state machine for one phone-watch pairing.
+
+    Parameters
+    ----------
+    key:
+        Shared secret negotiated over the wireless channel.
+    config:
+        Security policy (token width, look-ahead, lockout threshold).
+    initial_counter:
+        Starting counter value (both sides must agree).
+    """
+
+    def __init__(
+        self,
+        key: bytes,
+        config: Optional[SecurityConfig] = None,
+        initial_counter: int = 0,
+    ):
+        if not key:
+            raise SecurityError("key must be non-empty")
+        if initial_counter < 0:
+            raise SecurityError("initial_counter must be non-negative")
+        self._key = bytes(key)
+        self._config = config if config is not None else SecurityConfig()
+        self._counter = initial_counter
+        self._failures = 0
+        self._locked = False
+
+    @property
+    def counter(self) -> int:
+        """Current counter (next token to be generated)."""
+        return self._counter
+
+    @property
+    def failures(self) -> int:
+        """Consecutive failed verifications."""
+        return self._failures
+
+    @property
+    def locked_out(self) -> bool:
+        """True after ``max_failures`` consecutive failures."""
+        return self._locked
+
+    @property
+    def token_bits(self) -> int:
+        """Width of the acoustic token in bits."""
+        return min(self._config.otp_bits, 31)
+
+    def generate(self) -> int:
+        """Token for the current counter (transmitter side).
+
+        Does not advance the counter — advancement happens on
+        verification so an aborted transmission doesn't desynchronize
+        the pair.
+        """
+        if self._locked:
+            raise LockedOutError(
+                f"locked out after {self._failures} consecutive failures"
+            )
+        return hotp_token_bits(self._key, self._counter, self.token_bits)
+
+    def verify(self, token: int) -> OtpVerification:
+        """Verify a received token against the look-ahead window.
+
+        On success the counter jumps past the matched value and the
+        failure count resets.  On failure the failure count increments;
+        reaching ``max_failures`` locks the manager out.
+        """
+        if self._locked:
+            raise LockedOutError(
+                f"locked out after {self._failures} consecutive failures"
+            )
+        window = self._config.counter_look_ahead
+        for ahead in range(window + 1):
+            candidate = self._counter + ahead
+            expected = hotp_token_bits(
+                self._key, candidate, self.token_bits
+            )
+            if expected == token:
+                self._counter = candidate + 1
+                self._failures = 0
+                return OtpVerification(
+                    ok=True,
+                    matched_counter=candidate,
+                    failures=0,
+                    locked_out=False,
+                )
+        self._failures += 1
+        if self._failures >= self._config.max_failures:
+            self._locked = True
+        return OtpVerification(
+            ok=False,
+            matched_counter=None,
+            failures=self._failures,
+            locked_out=self._locked,
+        )
+
+    def resync(self, counter: int) -> None:
+        """Hard counter resync over the trusted wireless channel."""
+        if counter < 0:
+            raise SecurityError("counter must be non-negative")
+        self._counter = counter
+
+    def unlock_with_pin(self) -> None:
+        """Model the fallback: a manual PIN entry clears the lockout."""
+        self._failures = 0
+        self._locked = False

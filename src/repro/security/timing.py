@@ -1,0 +1,95 @@
+"""Timing-window replay guard (paper §IV, record-and-replay defense).
+
+The protocol is interactive: the power-button press triggers a wireless
+message, the watch starts recording, the phone plays the token, the
+phone sends "stop recording".  The phone knows the software-stack delay
+and the wireless round-trip time, so the *acoustic path delay* — when
+the token appears in the recording relative to the protocol start — is
+tightly bounded.  A man-in-the-middle with a recorder and player in the
+loop necessarily adds delay beyond that bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ReplayDetectedError, SecurityError
+
+
+@dataclass(frozen=True)
+class TimingObservation:
+    """Measured timings of one protocol round (seconds)."""
+
+    wireless_rtt: float
+    stack_delay: float
+    acoustic_onset: float
+
+    def expected_onset(self) -> float:
+        """Earliest legitimate moment the token can appear on-air."""
+        return self.stack_delay + self.wireless_rtt / 2.0
+
+
+class TimingGuard:
+    """Accepts a round only when the acoustic onset fits the budget.
+
+    Parameters
+    ----------
+    budget:
+        Maximum tolerated *excess* delay (seconds) between the expected
+        and observed acoustic onset.  The paper's phases are interactive
+        so this can be tight; defaults come from
+        :class:`repro.config.SecurityConfig.timing_budget`.
+    calibration_margin:
+        Extra allowance for OS scheduling jitter.
+    """
+
+    def __init__(self, budget: float = 0.35, calibration_margin: float = 0.08):
+        if budget <= 0:
+            raise SecurityError("budget must be positive")
+        if calibration_margin < 0:
+            raise SecurityError("calibration_margin must be non-negative")
+        self._budget = budget
+        self._margin = calibration_margin
+        self._history: List[TimingObservation] = []
+
+    @property
+    def budget(self) -> float:
+        return self._budget
+
+    def excess_delay(self, obs: TimingObservation) -> float:
+        """Observed onset minus the expected onset (negative = early)."""
+        return obs.acoustic_onset - obs.expected_onset()
+
+    def check(self, obs: TimingObservation) -> None:
+        """Validate one round; raise ReplayDetectedError when late.
+
+        Early onsets (before the protocol could have produced audio)
+        are also rejected — a replayed recording started too soon is as
+        suspicious as one arriving late.
+        """
+        self._history.append(obs)
+        excess = self.excess_delay(obs)
+        if excess > self._budget + self._margin:
+            raise ReplayDetectedError(
+                f"acoustic onset {excess * 1e3:.0f} ms beyond the "
+                f"{(self._budget + self._margin) * 1e3:.0f} ms budget — "
+                "possible record-and-replay"
+            )
+        if excess < -self._margin:
+            raise ReplayDetectedError(
+                f"acoustic onset {-excess * 1e3:.0f} ms before the "
+                "protocol start — possible pre-recorded replay"
+            )
+
+    def is_legitimate(self, obs: TimingObservation) -> bool:
+        """Non-raising variant of :meth:`check`."""
+        try:
+            self.check(obs)
+        except ReplayDetectedError:
+            return False
+        return True
+
+    @property
+    def history(self) -> List[TimingObservation]:
+        return list(self._history)

@@ -1,0 +1,36 @@
+"""Token framing: OTP integer ↔ bit vector for the acoustic modem."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SecurityError
+
+
+def token_to_bits(token: int, n_bits: int) -> np.ndarray:
+    """Encode a non-negative integer as an MSB-first 0/1 array."""
+    if n_bits < 1:
+        raise SecurityError("n_bits must be >= 1")
+    if token < 0:
+        raise SecurityError("token must be non-negative")
+    if token >= (1 << n_bits):
+        raise SecurityError(
+            f"token {token} does not fit in {n_bits} bits"
+        )
+    return np.array(
+        [(token >> (n_bits - 1 - i)) & 1 for i in range(n_bits)],
+        dtype=np.uint8,
+    )
+
+
+def bits_to_token(bits: np.ndarray) -> int:
+    """Decode an MSB-first 0/1 array back to an integer."""
+    b = np.asarray(bits)
+    if b.ndim != 1 or b.size == 0:
+        raise SecurityError("bits must be a non-empty 1-D array")
+    if not np.all((b == 0) | (b == 1)):
+        raise SecurityError("bits must contain only 0 and 1")
+    value = 0
+    for bit in b:
+        value = (value << 1) | int(bit)
+    return value

@@ -1,0 +1,25 @@
+"""Motion-sensor substrate: trace synthesis, DTW, the Alg. 1 filter."""
+
+from .traces import (
+    ActivityKind,
+    accelerometer_trace,
+    co_located_pair,
+    different_devices_pair,
+    magnitude,
+    normalize_trace,
+)
+from .dtw import dtw_distance, normalized_dtw
+from .motion_filter import MotionFilter, MotionDecision
+
+__all__ = [
+    "ActivityKind",
+    "accelerometer_trace",
+    "co_located_pair",
+    "different_devices_pair",
+    "magnitude",
+    "normalize_trace",
+    "dtw_distance",
+    "normalized_dtw",
+    "MotionFilter",
+    "MotionDecision",
+]

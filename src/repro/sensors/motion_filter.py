@@ -1,0 +1,74 @@
+"""The sensor-based pre-filter — paper Algorithm 1.
+
+During Phase 1 both devices record accelerometer windows.  The filter
+computes ``DTW(normalized magnitude(phone), normalized magnitude(watch))``
+and decides:
+
+* score > ``dh``  → **abort** — the devices are clearly not moving
+  together, skip all acoustic work;
+* score < ``dl``  → **fast-path** — motion is so similar the second
+  phase can run with a relaxed budget (the paper: "reduce the Max BER
+  or skip the second phase");
+* otherwise      → **continue** to the normal second phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from ..config import MotionFilterConfig
+from .dtw import normalized_dtw
+from .traces import magnitude
+
+
+class MotionDecision(str, Enum):
+    """Outcome of the motion filter (Alg. 1's three branches)."""
+
+    ABORT = "abort"
+    FAST_PATH = "fast_path"
+    CONTINUE = "continue"
+
+
+@dataclass(frozen=True)
+class MotionReport:
+    """Decision plus the score that produced it."""
+
+    decision: MotionDecision
+    score: float
+
+
+class MotionFilter:
+    """Dual-threshold DTW filter over accelerometer magnitudes."""
+
+    def __init__(self, config: Optional[MotionFilterConfig] = None):
+        self._config = config if config is not None else MotionFilterConfig()
+
+    @property
+    def config(self) -> MotionFilterConfig:
+        return self._config
+
+    def score(
+        self, phone_xyz: np.ndarray, watch_xyz: np.ndarray
+    ) -> float:
+        """Normalized DTW score between two 3-axis windows."""
+        return normalized_dtw(
+            magnitude(np.asarray(phone_xyz)),
+            magnitude(np.asarray(watch_xyz)),
+        )
+
+    def evaluate(
+        self, phone_xyz: np.ndarray, watch_xyz: np.ndarray
+    ) -> MotionReport:
+        """Run Alg. 1 on one pair of sensor windows."""
+        score = self.score(phone_xyz, watch_xyz)
+        if score > self._config.dtw_high:
+            decision = MotionDecision.ABORT
+        elif score < self._config.dtw_low:
+            decision = MotionDecision.FAST_PATH
+        else:
+            decision = MotionDecision.CONTINUE
+        return MotionReport(decision=decision, score=score)

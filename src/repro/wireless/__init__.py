@@ -1,0 +1,28 @@
+"""Wireless control-channel substrate (Bluetooth LE / WiFi models)."""
+
+from .radio import BleLink, WifiLink, WirelessLink, TransferStats
+from .messages import (
+    Message,
+    MessageType,
+    RtsMessage,
+    CtsMessage,
+    ChannelConfigMessage,
+    SensorDataMessage,
+    AudioFileMessage,
+    StopRecordingMessage,
+)
+
+__all__ = [
+    "BleLink",
+    "WifiLink",
+    "WirelessLink",
+    "TransferStats",
+    "Message",
+    "MessageType",
+    "RtsMessage",
+    "CtsMessage",
+    "ChannelConfigMessage",
+    "SensorDataMessage",
+    "AudioFileMessage",
+    "StopRecordingMessage",
+]

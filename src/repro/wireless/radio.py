@@ -1,0 +1,152 @@
+"""Latency/throughput models for the wireless control channel.
+
+The paper wraps Android Wear's MessageAPI/ChannelAPI over Bluetooth or
+WiFi and measures (Fig. 11) that WiFi messages and file transfers are
+several times faster than Bluetooth's.  The models here are simple but
+calibrated to that figure's regime:
+
+* BT message ≈ 45 ms median, WiFi message ≈ 15 ms median;
+* BT throughput ≈ 0.7 Mbit/s (classic BT under the Wearable APIs),
+  WiFi ≈ 12 Mbit/s (file transfers);
+* lognormal jitter on every operation, seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import WearLockError
+
+
+@dataclass(frozen=True)
+class TransferStats:
+    """Outcome of one simulated transfer."""
+
+    seconds: float
+    n_bytes: int
+    kind: str
+
+
+class WirelessLink:
+    """Base wireless link: latency + throughput with lognormal jitter.
+
+    Parameters
+    ----------
+    name:
+        Human-readable transport name.
+    message_latency:
+        Median one-way latency of a small message (seconds).
+    throughput_bps:
+        Sustained payload throughput for file transfers (bits/second).
+    jitter_sigma:
+        Sigma of the lognormal multiplicative jitter.
+    connected:
+        Link presence; WearLock's first filter is "is the Bluetooth
+        link up at all".
+    """
+
+    def __init__(
+        self,
+        name: str,
+        message_latency: float,
+        throughput_bps: float,
+        jitter_sigma: float = 0.25,
+        connected: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ):
+        if message_latency <= 0:
+            raise WearLockError("message_latency must be positive")
+        if throughput_bps <= 0:
+            raise WearLockError("throughput_bps must be positive")
+        if jitter_sigma < 0:
+            raise WearLockError("jitter_sigma must be non-negative")
+        self.name = name
+        self._latency = message_latency
+        self._throughput = throughput_bps
+        self._sigma = jitter_sigma
+        self.connected = connected
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
+
+    @property
+    def message_latency(self) -> float:
+        """Median one-way message latency (seconds)."""
+        return self._latency
+
+    @property
+    def throughput_bps(self) -> float:
+        """Sustained payload throughput (bits/second)."""
+        return self._throughput
+
+    def _jitter(self) -> float:
+        if self._sigma == 0:
+            return 1.0
+        return float(np.exp(self._rng.normal(0.0, self._sigma)))
+
+    def _require_connected(self) -> None:
+        if not self.connected:
+            raise WearLockError(f"{self.name} link is down")
+
+    def send_message(self, n_bytes: int = 64) -> TransferStats:
+        """One-way small-message delivery (MessageAPI)."""
+        self._require_connected()
+        if n_bytes < 0:
+            raise WearLockError("n_bytes must be non-negative")
+        seconds = self._latency * self._jitter()
+        seconds += 8.0 * n_bytes / self._throughput
+        return TransferStats(seconds=seconds, n_bytes=n_bytes, kind="message")
+
+    def round_trip(self, n_bytes: int = 64) -> TransferStats:
+        """Request/response exchange (two messages)."""
+        there = self.send_message(n_bytes)
+        back = self.send_message(n_bytes)
+        return TransferStats(
+            seconds=there.seconds + back.seconds,
+            n_bytes=2 * n_bytes,
+            kind="round_trip",
+        )
+
+    def send_file(self, n_bytes: int) -> TransferStats:
+        """Bulk transfer (ChannelAPI), e.g. the recorded audio clip."""
+        self._require_connected()
+        if n_bytes <= 0:
+            raise WearLockError("file transfers need n_bytes > 0")
+        seconds = self._latency * self._jitter()
+        seconds += 8.0 * n_bytes / (self._throughput * self._jitter())
+        return TransferStats(seconds=seconds, n_bytes=n_bytes, kind="file")
+
+
+class BleLink(WirelessLink):
+    """Bluetooth transport (the slow, default Android Wear link).
+
+    Android Wear's Bluetooth data path rides classic BT (RFCOMM under
+    the Wearable APIs), not BLE GATT, so sustained throughput is just
+    under a megabit rather than tens of kilobits.
+    """
+
+    def __init__(self, connected: bool = True, seed: Optional[int] = None):
+        super().__init__(
+            name="bluetooth",
+            message_latency=0.045,
+            throughput_bps=0.70e6,
+            jitter_sigma=0.30,
+            connected=connected,
+            seed=seed,
+        )
+
+
+class WifiLink(WirelessLink):
+    """WiFi transport (fast path when both devices share a network)."""
+
+    def __init__(self, connected: bool = True, seed: Optional[int] = None):
+        super().__init__(
+            name="wifi",
+            message_latency=0.015,
+            throughput_bps=12.0e6,
+            jitter_sigma=0.20,
+            connected=connected,
+            seed=seed,
+        )

@@ -1,0 +1,57 @@
+"""Shared fixtures for the WearLock reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.link import AcousticLink
+from repro.channel.scenarios import get_environment
+from repro.config import ModemConfig, SecurityConfig, SystemConfig
+from repro.modem.subchannels import ChannelPlan
+
+
+@pytest.fixture
+def modem_config() -> ModemConfig:
+    """The paper's default modem configuration."""
+    return ModemConfig()
+
+
+@pytest.fixture
+def plan(modem_config: ModemConfig) -> ChannelPlan:
+    """The default audible-band sub-channel plan."""
+    return ChannelPlan.from_config(modem_config)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def quiet_link() -> AcousticLink:
+    """A short, quiet, LOS acoustic link (easy channel)."""
+    env = get_environment("quiet_room")
+    return AcousticLink(
+        room=env.room, noise=env.noise, distance_m=0.3, seed=7
+    )
+
+
+@pytest.fixture
+def office_link() -> AcousticLink:
+    """A moderately noisy office link at typical unlock distance."""
+    env = get_environment("office")
+    return AcousticLink(
+        room=env.room, noise=env.noise, distance_m=0.4, seed=7
+    )
+
+
+@pytest.fixture
+def system_config() -> SystemConfig:
+    return SystemConfig()
+
+
+@pytest.fixture
+def security_config() -> SecurityConfig:
+    return SecurityConfig()

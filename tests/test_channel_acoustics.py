@@ -1,0 +1,102 @@
+"""Tests for spreading loss, SPL arithmetic and volume control."""
+
+import numpy as np
+import pytest
+
+from repro.channel.acoustics import (
+    D0_METERS,
+    VolumeControl,
+    received_spl,
+    required_tx_spl,
+    spreading_loss_db,
+)
+from repro.errors import ChannelError
+
+
+class TestSpreadingLoss:
+    def test_no_loss_at_reference_distance(self):
+        assert spreading_loss_db(D0_METERS) == 0.0
+
+    def test_six_db_per_doubling(self):
+        l1 = spreading_loss_db(1.0)
+        l2 = spreading_loss_db(2.0)
+        assert l2 - l1 == pytest.approx(6.0206, abs=1e-3)
+
+    def test_monotone_in_distance(self):
+        distances = [0.1, 0.5, 1.0, 2.0, 5.0]
+        losses = [spreading_loss_db(d) for d in distances]
+        assert losses == sorted(losses)
+
+    def test_geometry_constant_scales_loss(self):
+        assert spreading_loss_db(1.0, geometry=2.0) == pytest.approx(
+            2.0 * spreading_loss_db(1.0)
+        )
+
+    def test_inside_reference_clamped_to_zero(self):
+        assert spreading_loss_db(D0_METERS / 2) == 0.0
+
+    def test_rejects_nonpositive_distance(self):
+        with pytest.raises(ChannelError):
+            spreading_loss_db(0.0)
+
+
+class TestReceivedSpl:
+    def test_subtracts_loss(self):
+        assert received_spl(80.0, 1.0) == pytest.approx(
+            80.0 - spreading_loss_db(1.0)
+        )
+
+    def test_paper_fig4_regime(self):
+        # At ~80 dB tx, receiver SPL at 0.25-4 m spans roughly 40-70 dB.
+        spls = [received_spl(80.0, d) for d in (0.25, 1.0, 4.0)]
+        assert 60.0 < spls[0] < 70.0
+        assert 50.0 < spls[1] < 60.0
+        assert 38.0 < spls[2] < 48.0
+
+
+class TestRequiredTxSpl:
+    def test_guarantees_snr_at_range(self):
+        tx = required_tx_spl(noise_spl=45.0, min_snr_db=10.0, range_m=1.0)
+        assert received_spl(tx, 1.0) - 45.0 == pytest.approx(10.0)
+
+    def test_louder_noise_needs_louder_tx(self):
+        quiet = required_tx_spl(20.0, 10.0)
+        loud = required_tx_spl(60.0, 10.0)
+        assert loud - quiet == pytest.approx(40.0)
+
+    def test_rejects_negative_snr(self):
+        with pytest.raises(ChannelError):
+            required_tx_spl(40.0, -1.0)
+
+
+class TestVolumeControl:
+    def test_steps_monotone(self):
+        vc = VolumeControl()
+        spls = [vc.spl_for_step(s) for s in range(vc.steps)]
+        assert spls == sorted(spls)
+        assert spls[0] == vc.min_spl
+        assert spls[-1] == vc.max_spl
+
+    def test_step_for_spl_meets_target(self):
+        vc = VolumeControl()
+        step = vc.step_for_spl(70.0)
+        assert vc.spl_for_step(step) >= 70.0
+        if step > 0:
+            assert vc.spl_for_step(step - 1) < 70.0
+
+    def test_unreachable_target_returns_loudest(self):
+        vc = VolumeControl()
+        assert vc.step_for_spl(150.0) == vc.steps - 1
+
+    def test_rejects_bad_step(self):
+        vc = VolumeControl()
+        with pytest.raises(ChannelError):
+            vc.spl_for_step(-1)
+        with pytest.raises(ChannelError):
+            vc.spl_for_step(vc.steps)
+
+    def test_rejects_degenerate_config(self):
+        with pytest.raises(ChannelError):
+            VolumeControl(min_spl=80.0, max_spl=60.0)
+        with pytest.raises(ChannelError):
+            VolumeControl(steps=1)

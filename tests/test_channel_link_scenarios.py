@@ -1,0 +1,127 @@
+"""Tests for the composed acoustic link and named environments."""
+
+import numpy as np
+import pytest
+
+from repro.channel.link import AcousticLink, LinkBudget
+from repro.channel.scenarios import ENVIRONMENTS, get_environment
+from repro.dsp.energy import signal_spl
+from repro.errors import ChannelError
+
+
+class TestLinkBudget:
+    def test_snr_is_rx_minus_noise(self):
+        b = LinkBudget(tx_spl=80.0, rx_spl=55.0, noise_spl=45.0, distance_m=1.0)
+        assert b.snr_db == pytest.approx(10.0)
+
+
+class TestAcousticLink:
+    def _tone(self, seconds=0.2, freq=3000.0, fs=44100.0):
+        t = np.arange(int(seconds * fs)) / fs
+        return np.sin(2 * np.pi * freq * t)
+
+    def test_transmit_returns_recording_and_budget(self, quiet_link):
+        rec, budget = quiet_link.transmit(
+            self._tone(), tx_spl=70.0, rng=np.random.default_rng(0)
+        )
+        assert rec.size > 0
+        assert budget.tx_spl == 70.0
+        assert budget.rx_spl < 70.0
+
+    def test_distance_reduces_received_level(self):
+        env = get_environment("quiet_room")
+        tone = self._tone()
+        levels = []
+        for d in (0.25, 1.0, 4.0):
+            link = AcousticLink(
+                room=env.room, noise=env.noise, distance_m=d,
+                leading_silence=0.0, trailing_silence=0.0,
+            )
+            rec, _ = link.transmit(
+                tone, tx_spl=80.0, rng=np.random.default_rng(1)
+            )
+            levels.append(signal_spl(rec))
+        assert levels[0] > levels[1] > levels[2]
+        # ~12 dB from 0.25 m to 1 m (two doublings).
+        assert levels[0] - levels[1] == pytest.approx(12.0, abs=3.0)
+
+    def test_leading_silence_present(self):
+        env = get_environment("quiet_room")
+        link = AcousticLink(
+            room=env.room, noise=None, distance_m=0.3,
+            leading_silence=0.1, trailing_silence=0.0,
+        )
+        rec, _ = link.transmit(
+            self._tone(), tx_spl=70.0, rng=np.random.default_rng(2)
+        )
+        lead = rec[: int(0.08 * 44100)]
+        body = rec[int(0.12 * 44100): int(0.2 * 44100)]
+        assert signal_spl(lead) < signal_spl(body) - 20.0
+
+    def test_nlos_attenuates(self):
+        env = get_environment("quiet_room")
+        kwargs = dict(
+            room=env.room, noise=None, distance_m=0.5,
+            leading_silence=0.0, trailing_silence=0.0,
+        )
+        los_rec, _ = AcousticLink(los=True, **kwargs).transmit(
+            self._tone(), 70.0, rng=np.random.default_rng(3)
+        )
+        nlos_rec, _ = AcousticLink(los=False, **kwargs).transmit(
+            self._tone(), 70.0, rng=np.random.default_rng(3)
+        )
+        assert signal_spl(nlos_rec) < signal_spl(los_rec) - 4.0
+
+    def test_noise_floor_dominates_far_away(self):
+        env = get_environment("office")
+        link = AcousticLink(
+            room=env.room, noise=env.noise, distance_m=8.0, seed=4
+        )
+        rec, budget = link.transmit(
+            self._tone(), tx_spl=60.0, rng=np.random.default_rng(4)
+        )
+        # Received signal is way below the ambient noise.
+        assert budget.snr_db < 0.0
+        assert signal_spl(rec) == pytest.approx(
+            env.noise.effective_spl(), abs=4.0
+        )
+
+    def test_record_ambient_matches_scene_level(self):
+        env = get_environment("cafe")
+        link = AcousticLink(room=env.room, noise=env.noise, seed=5)
+        ambient = link.record_ambient(0.3, rng=np.random.default_rng(5))
+        assert signal_spl(ambient) == pytest.approx(
+            env.noise.effective_spl(), abs=4.0
+        )
+
+    def test_rejects_zero_energy_waveform(self, quiet_link):
+        with pytest.raises(ChannelError):
+            quiet_link.transmit(np.zeros(100), tx_spl=70.0)
+
+    def test_rejects_bad_distance(self):
+        with pytest.raises(ChannelError):
+            AcousticLink(distance_m=0.0)
+
+
+class TestScenarios:
+    def test_all_paper_locations_present(self):
+        for name in (
+            "quiet_room", "office", "classroom", "cafe", "grocery_store"
+        ):
+            assert name in ENVIRONMENTS
+
+    def test_noise_levels_ordered_by_loudness(self):
+        spls = {
+            name: env.noise.effective_spl()
+            for name, env in ENVIRONMENTS.items()
+        }
+        assert spls["quiet_room"] < spls["office"] < spls["classroom"]
+        assert spls["classroom"] < spls["cafe"] <= spls["grocery_store"]
+
+    def test_quiet_room_matches_paper_15_20_db(self):
+        spl = ENVIRONMENTS["quiet_room"].noise.effective_spl()
+        assert 14.0 <= spl <= 21.0
+
+    def test_unknown_environment_raises(self):
+        with pytest.raises(ChannelError):
+            get_environment("moon_base")

@@ -1,0 +1,146 @@
+"""Tests for the WearLock facade, metrics and the filter chain."""
+
+import numpy as np
+import pytest
+
+from repro import WearLock
+from repro.core.metrics import (
+    BerStats,
+    DelayStats,
+    SuccessStats,
+    summarize_outcomes,
+)
+from repro.core.pipeline import FilterChain
+from repro.errors import WearLockError
+
+
+class TestWearLockFacade:
+    def test_pair_and_unlock(self):
+        wl = WearLock.pair(secret=b"secret")
+        outcome = wl.unlock_attempt(
+            environment="office", distance_m=0.4, seed=100
+        )
+        assert outcome.unlocked
+        assert not wl.keyguard.is_locked
+        assert wl.pairing.counter == 1
+
+    def test_history_and_success_rate(self):
+        wl = WearLock.pair(secret=b"secret")
+        for i in range(3):
+            wl.unlock_attempt(environment="office", seed=200 + i)
+            wl.lock()
+        assert len(wl.history) == 3
+        assert wl.success_rate() == pytest.approx(1.0)
+
+    def test_lock_relocks(self):
+        wl = WearLock.pair(secret=b"secret")
+        wl.unlock_attempt(environment="office", seed=300)
+        wl.lock()
+        assert wl.keyguard.is_locked
+
+    def test_pin_unlock_clears_state(self):
+        wl = WearLock.pair(secret=b"secret")
+        wl.pin_unlock()
+        assert not wl.keyguard.is_locked
+        assert wl.pairing.failures == 0
+
+    def test_rejects_empty_secret(self):
+        with pytest.raises(WearLockError):
+            WearLock.pair(secret=b"")
+
+    def test_counter_advances_only_on_success(self):
+        wl = WearLock.pair(secret=b"secret")
+        wl.unlock_attempt(environment="office", distance_m=7.0, seed=400,
+                          co_located=True)
+        # Whether aborted or token-rejected, a failed attempt must not
+        # advance the verified counter.
+        if not wl.history[-1].unlocked:
+            assert wl.pairing.counter == 0
+
+
+class TestMetrics:
+    def test_ber_stats(self):
+        stats = BerStats.from_values([0.0, 0.1, 0.2, 0.3])
+        assert stats.mean == pytest.approx(0.15)
+        assert stats.median == pytest.approx(0.15)
+        assert stats.n == 4
+
+    def test_ber_stats_skips_none(self):
+        stats = BerStats.from_values([0.1, None, 0.3])
+        assert stats.n == 2
+
+    def test_ber_stats_rejects_empty(self):
+        with pytest.raises(WearLockError):
+            BerStats.from_values([None])
+
+    def test_delay_speedup(self):
+        stats = DelayStats.from_values([1.0, 1.0, 1.0])
+        assert stats.speedup_vs(2.0) == pytest.approx(0.5)
+
+    def test_success_stats(self):
+        s = SuccessStats(successes=9, attempts=10)
+        assert s.rate == pytest.approx(0.9)
+        assert SuccessStats(0, 0).rate == 0.0
+
+    def test_summarize_outcomes(self):
+        wl = WearLock.pair(secret=b"secret")
+        outcomes = []
+        for i in range(3):
+            outcomes.append(
+                wl.unlock_attempt(environment="office", seed=500 + i)
+            )
+            wl.lock()
+        summary = summarize_outcomes(outcomes)
+        assert summary["success"].attempts == 3
+        assert summary["delay"].median > 0
+
+    def test_summarize_rejects_empty(self):
+        with pytest.raises(WearLockError):
+            summarize_outcomes([])
+
+
+class TestFilterChain:
+    def test_all_pass(self):
+        chain = (
+            FilterChain()
+            .add("bluetooth", lambda ctx: (True, None))
+            .add("noise", lambda ctx: (True, 0.9))
+        )
+        result = chain.evaluate({})
+        assert result.passed
+        assert result.stopped_by is None
+        assert result.n_filters_run == 2
+
+    def test_stops_at_first_failure(self):
+        calls = []
+
+        def make(name, ok):
+            def fn(ctx):
+                calls.append(name)
+                return ok, None
+            return fn
+
+        chain = (
+            FilterChain()
+            .add("a", make("a", True))
+            .add("b", make("b", False))
+            .add("c", make("c", True))
+        )
+        result = chain.evaluate({})
+        assert not result.passed
+        assert result.stopped_by == "b"
+        assert calls == ["a", "b"]  # c never ran: computation saved
+
+    def test_scores_recorded(self):
+        chain = FilterChain().add("noise", lambda ctx: (True, 0.7))
+        result = chain.evaluate(None)
+        assert result.scores == (("noise", 0.7),)
+
+    def test_duplicate_names_rejected(self):
+        chain = FilterChain().add("x", lambda ctx: (True, None))
+        with pytest.raises(WearLockError):
+            chain.add("x", lambda ctx: (True, None))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(WearLockError):
+            FilterChain().add("", lambda ctx: (True, None))

@@ -1,0 +1,69 @@
+"""Tests for LFM chirp synthesis and matched filtering."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.chirp import chirp_matched_filter, linear_chirp
+from repro.errors import DspError
+
+
+class TestLinearChirp:
+    def test_length_and_amplitude(self):
+        c = linear_chirp(256, 44100.0, 1000.0, 6000.0, amplitude=0.8)
+        assert c.size == 256
+        assert np.max(np.abs(c)) <= 0.8 + 1e-9
+
+    def test_sweeps_upward_in_frequency(self):
+        fs = 44100.0
+        c = linear_chirp(4096, fs, 1000.0, 6000.0, fade_samples=0)
+        half = c.size // 2
+        def dominant(x):
+            spec = np.abs(np.fft.rfft(x * np.hanning(x.size)))
+            return np.fft.rfftfreq(x.size, 1 / fs)[np.argmax(spec)]
+        assert dominant(c[:half]) < dominant(c[half:])
+
+    def test_energy_concentrated_in_band(self):
+        fs = 44100.0
+        c = linear_chirp(2048, fs, 2000.0, 5000.0)
+        spec = np.abs(np.fft.rfft(c)) ** 2
+        freqs = np.fft.rfftfreq(c.size, 1 / fs)
+        in_band = spec[(freqs >= 1500) & (freqs <= 5500)].sum()
+        assert in_band / spec.sum() > 0.9
+
+    def test_autocorrelation_peaks_at_zero_lag(self):
+        c = linear_chirp(256, 44100.0, 1000.0, 6000.0)
+        corr = np.correlate(c, c, mode="full")
+        assert np.argmax(corr) == c.size - 1
+
+    def test_rejects_frequency_beyond_nyquist(self):
+        with pytest.raises(DspError):
+            linear_chirp(256, 44100.0, 1000.0, 30_000.0)
+
+    def test_rejects_too_short(self):
+        with pytest.raises(DspError):
+            linear_chirp(1, 44100.0, 1000.0, 6000.0)
+
+    def test_rejects_negative_sample_rate(self):
+        with pytest.raises(DspError):
+            linear_chirp(256, -1.0, 100.0, 200.0)
+
+
+class TestChirpMatchedFilter:
+    def test_unit_energy(self):
+        c = linear_chirp(256, 44100.0, 1000.0, 6000.0)
+        mf = chirp_matched_filter(c)
+        assert np.dot(mf, mf) == pytest.approx(1.0)
+
+    def test_scale_invariant(self):
+        c = linear_chirp(256, 44100.0, 1000.0, 6000.0)
+        assert np.allclose(
+            chirp_matched_filter(c), chirp_matched_filter(10.0 * c)
+        )
+
+    def test_rejects_zero_energy(self):
+        with pytest.raises(DspError):
+            chirp_matched_filter(np.zeros(64))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DspError):
+            chirp_matched_filter(np.zeros(0))

@@ -1,0 +1,91 @@
+"""Tests for normalized cross-correlation primitives."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.correlation import (
+    best_alignment,
+    normalized_cross_correlation,
+    sliding_normalized_correlation,
+)
+from repro.errors import DspError
+
+
+class TestNormalizedCrossCorrelation:
+    def test_identical_signals_score_one(self):
+        x = np.sin(np.linspace(0, 20, 100))
+        assert normalized_cross_correlation(x, x) == pytest.approx(1.0)
+
+    def test_negated_signals_score_minus_one(self):
+        x = np.sin(np.linspace(0, 20, 100))
+        assert normalized_cross_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_scale_invariance(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(64)
+        y = rng.standard_normal(64)
+        a = normalized_cross_correlation(x, y)
+        b = normalized_cross_correlation(5 * x, 0.1 * y)
+        assert a == pytest.approx(b)
+
+    def test_zero_energy_returns_zero(self):
+        assert normalized_cross_correlation(np.zeros(10), np.ones(10)) == 0.0
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(DspError):
+            normalized_cross_correlation(np.ones(5), np.ones(6))
+
+
+class TestSlidingCorrelation:
+    def test_finds_embedded_template(self):
+        rng = np.random.default_rng(1)
+        template = rng.standard_normal(128)
+        signal = np.concatenate(
+            [np.zeros(500), template, np.zeros(300)]
+        ) + 0.01 * rng.standard_normal(928)
+        lag, score = best_alignment(signal, template)
+        assert lag == 500
+        assert score > 0.95
+
+    def test_output_length(self):
+        s = np.zeros(100)
+        s[10] = 1.0
+        t = np.ones(20)
+        out = sliding_normalized_correlation(s, t)
+        assert out.size == 100 - 20 + 1
+
+    def test_scores_bounded(self):
+        rng = np.random.default_rng(2)
+        s = rng.standard_normal(512)
+        t = rng.standard_normal(64)
+        out = sliding_normalized_correlation(s, t)
+        assert np.all(out <= 1.0) and np.all(out >= -1.0)
+
+    def test_matches_naive_implementation(self):
+        rng = np.random.default_rng(3)
+        s = rng.standard_normal(200)
+        t = rng.standard_normal(32)
+        fast = sliding_normalized_correlation(s, t)
+        te = np.dot(t, t)
+        for lag in (0, 17, 100, 168):
+            window = s[lag: lag + 32]
+            expected = np.dot(window, t) / np.sqrt(np.dot(window, window) * te)
+            assert fast[lag] == pytest.approx(expected, abs=1e-9)
+
+    def test_volume_independent_detection(self):
+        """Detection score must not depend on playback volume."""
+        rng = np.random.default_rng(4)
+        template = rng.standard_normal(64)
+        base = np.concatenate([np.zeros(100), template, np.zeros(100)])
+        loud = sliding_normalized_correlation(base * 100, template)
+        quiet = sliding_normalized_correlation(base * 0.01, template)
+        assert np.argmax(loud) == np.argmax(quiet)
+        assert np.max(loud) == pytest.approx(np.max(quiet))
+
+    def test_rejects_signal_shorter_than_template(self):
+        with pytest.raises(DspError):
+            sliding_normalized_correlation(np.ones(10), np.ones(20))
+
+    def test_rejects_zero_energy_template(self):
+        with pytest.raises(DspError):
+            sliding_normalized_correlation(np.ones(100), np.zeros(10))

@@ -1,0 +1,86 @@
+"""Tests for windowed-sinc FIR design and filtering."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.filters import (
+    design_bandpass_fir,
+    design_lowpass_fir,
+    fir_filter,
+)
+from repro.errors import DspError
+
+
+def _tone(freq, fs=44100.0, n=8192):
+    return np.sin(2 * np.pi * freq * np.arange(n) / fs)
+
+
+def _rms(x):
+    return np.sqrt(np.mean(x * x))
+
+
+class TestLowpassDesign:
+    def test_unity_dc_gain(self):
+        taps = design_lowpass_fir(7000.0, 44100.0)
+        assert np.sum(taps) == pytest.approx(1.0)
+
+    def test_passband_and_stopband(self):
+        taps = design_lowpass_fir(7000.0, 44100.0, num_taps=257)
+        passed = fir_filter(_tone(3000.0), taps)
+        stopped = fir_filter(_tone(15000.0), taps)
+        assert _rms(passed) > 0.9 * _rms(_tone(3000.0))
+        assert _rms(stopped) < 0.01 * _rms(_tone(15000.0))
+
+    def test_linear_phase_symmetry(self):
+        taps = design_lowpass_fir(5000.0, 44100.0, num_taps=101)
+        assert np.allclose(taps, taps[::-1])
+
+    def test_rejects_even_taps(self):
+        with pytest.raises(DspError):
+            design_lowpass_fir(5000.0, 44100.0, num_taps=100)
+
+    def test_rejects_cutoff_beyond_nyquist(self):
+        with pytest.raises(DspError):
+            design_lowpass_fir(30000.0, 44100.0)
+
+
+class TestBandpassDesign:
+    def test_passes_center_rejects_outside(self):
+        taps = design_bandpass_fir(2000.0, 6000.0, 44100.0, num_taps=257)
+        center = fir_filter(_tone(4000.0), taps)
+        low = fir_filter(_tone(200.0), taps)
+        high = fir_filter(_tone(12000.0), taps)
+        assert _rms(center) > 0.8 * _rms(_tone(4000.0))
+        assert _rms(low) < 0.05
+        assert _rms(high) < 0.05
+
+    def test_rejects_inverted_band(self):
+        with pytest.raises(DspError):
+            design_bandpass_fir(6000.0, 2000.0, 44100.0)
+
+
+class TestFirFilter:
+    def test_output_length_matches_input(self):
+        taps = design_lowpass_fir(5000.0, 44100.0, num_taps=65)
+        x = np.random.default_rng(0).standard_normal(1000)
+        assert fir_filter(x, taps).size == 1000
+
+    def test_group_delay_compensated(self):
+        # An impulse through a symmetric FIR should come out centered
+        # at the impulse position, not shifted by the filter delay.
+        taps = design_lowpass_fir(8000.0, 44100.0, num_taps=65)
+        x = np.zeros(256)
+        x[100] = 1.0
+        y = fir_filter(x, taps)
+        assert np.argmax(np.abs(y)) == 100
+
+    def test_identity_filter(self):
+        x = np.random.default_rng(1).standard_normal(128)
+        assert np.allclose(fir_filter(x, np.array([1.0])), x)
+
+    def test_empty_signal(self):
+        assert fir_filter(np.zeros(0), np.array([1.0])).size == 0
+
+    def test_rejects_empty_taps(self):
+        with pytest.raises(DspError):
+            fir_filter(np.ones(10), np.zeros(0))

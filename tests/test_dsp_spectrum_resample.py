@@ -1,0 +1,95 @@
+"""Tests for PSD estimation, band power and resampling."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.resample import apply_clock_skew, linear_resample
+from repro.dsp.spectrum import band_power, noise_power_per_bin, welch_psd
+from repro.errors import DspError
+
+
+class TestWelchPsd:
+    def test_tone_peak_at_right_frequency(self):
+        fs = 8000.0
+        t = np.arange(16384) / fs
+        x = np.sin(2 * np.pi * 1000.0 * t)
+        freqs, psd = welch_psd(x, fs, segment_size=512)
+        assert abs(freqs[np.argmax(psd)] - 1000.0) < fs / 512
+
+    def test_parseval_total_power(self):
+        rng = np.random.default_rng(0)
+        fs = 1000.0
+        x = rng.standard_normal(100_000)
+        freqs, psd = welch_psd(x, fs, segment_size=256)
+        integrated = np.trapezoid(psd, freqs)
+        assert integrated == pytest.approx(np.mean(x * x), rel=0.1)
+
+    def test_short_signal_padded(self):
+        freqs, psd = welch_psd(np.ones(10), 1000.0, segment_size=64)
+        assert psd.size == 33
+
+    def test_rejects_empty(self):
+        with pytest.raises(DspError):
+            welch_psd(np.zeros(0), 1000.0)
+
+
+class TestBandPower:
+    def test_tone_power_in_band(self):
+        fs = 8000.0
+        x = np.sin(2 * np.pi * 1000.0 * np.arange(80_000) / fs)
+        inside = band_power(x, fs, 800.0, 1200.0)
+        outside = band_power(x, fs, 2000.0, 3000.0)
+        assert inside == pytest.approx(0.5, rel=0.15)
+        assert outside < 0.01 * inside
+
+    def test_rejects_bad_band(self):
+        with pytest.raises(DspError):
+            band_power(np.ones(100), 1000.0, 600.0, 400.0)
+
+
+class TestNoisePowerPerBin:
+    def test_white_noise_roughly_flat(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(256 * 64)
+        p = noise_power_per_bin(x, 44100.0, 256)
+        interior = p[5:-5]
+        assert interior.max() / interior.min() < 10.0
+
+    def test_tone_concentrates_in_one_bin(self):
+        fs, n = 44100.0, 256
+        k = 20
+        x = np.sin(2 * np.pi * k * np.arange(n * 32) / n)
+        p = noise_power_per_bin(x, fs, n)
+        assert np.argmax(p) == k
+
+    def test_output_length(self):
+        p = noise_power_per_bin(np.ones(1024), 44100.0, 256)
+        assert p.size == 129
+
+
+class TestResample:
+    def test_identity_factor(self):
+        x = np.sin(np.linspace(0, 10, 500))
+        y = linear_resample(x, 1.0)
+        assert y.size == x.size
+        assert np.allclose(y, x)
+
+    def test_stretch_increases_length(self):
+        x = np.ones(1000)
+        assert linear_resample(x, 1.5).size == 1500
+
+    def test_skew_preserves_waveform_shape(self):
+        t = np.linspace(0, 1, 44100)
+        x = np.sin(2 * np.pi * 100 * t)
+        y = apply_clock_skew(x, 50.0)  # 50 ppm
+        assert abs(y.size - x.size) <= 3
+        n = min(x.size, y.size)
+        assert np.corrcoef(x[:n], y[:n])[0, 1] > 0.99
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(DspError):
+            linear_resample(np.ones(10), 0.0)
+
+    def test_rejects_extreme_skew(self):
+        with pytest.raises(DspError):
+            apply_clock_skew(np.ones(10), 1e6)

@@ -1,0 +1,105 @@
+"""Tests for window functions and edge fading."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.windows import (
+    fade_edges,
+    hamming_window,
+    hann_window,
+    raised_cosine_ramp,
+)
+from repro.errors import DspError
+
+
+class TestHannWindow:
+    def test_endpoints_are_zero(self):
+        w = hann_window(64)
+        assert w[0] == pytest.approx(0.0)
+        assert w[-1] == pytest.approx(0.0)
+
+    def test_peak_at_center(self):
+        w = hann_window(65)
+        assert w[32] == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        w = hann_window(50)
+        assert np.allclose(w, w[::-1])
+
+    def test_length_one(self):
+        assert hann_window(1).tolist() == [1.0]
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(DspError):
+            hann_window(0)
+
+
+class TestHammingWindow:
+    def test_endpoints_nonzero(self):
+        w = hamming_window(64)
+        assert w[0] == pytest.approx(0.08, abs=1e-9)
+
+    def test_symmetric(self):
+        w = hamming_window(33)
+        assert np.allclose(w, w[::-1])
+
+    def test_values_in_unit_interval(self):
+        w = hamming_window(100)
+        assert np.all(w > 0.0)
+        assert np.all(w <= 1.0)
+
+
+class TestRaisedCosineRamp:
+    def test_rising_goes_zero_to_one(self):
+        r = raised_cosine_ramp(32, rising=True)
+        assert r[0] == pytest.approx(0.0)
+        assert r[-1] == pytest.approx(1.0)
+
+    def test_falling_is_reversed_rising(self):
+        up = raised_cosine_ramp(32, rising=True)
+        down = raised_cosine_ramp(32, rising=False)
+        assert np.allclose(up, down[::-1])
+
+    def test_monotone(self):
+        r = raised_cosine_ramp(64)
+        assert np.all(np.diff(r) >= 0)
+
+    def test_zero_length(self):
+        assert raised_cosine_ramp(0).size == 0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(DspError):
+            raised_cosine_ramp(-1)
+
+
+class TestFadeEdges:
+    def test_edges_attenuated_center_untouched(self):
+        x = np.ones(100)
+        y = fade_edges(x, 10)
+        assert y[0] == pytest.approx(0.0)
+        assert y[-1] == pytest.approx(0.0)
+        assert np.allclose(y[10:90], 1.0)
+
+    def test_input_not_modified(self):
+        x = np.ones(50)
+        fade_edges(x, 5)
+        assert np.all(x == 1.0)
+
+    def test_zero_fade_is_identity(self):
+        x = np.arange(20, dtype=float)
+        assert np.allclose(fade_edges(x, 0), x)
+
+    def test_fade_longer_than_half_is_clamped(self):
+        x = np.ones(10)
+        y = fade_edges(x, 100)
+        # Two 5-sample fades, no overlap corruption.
+        assert y[0] == pytest.approx(0.0)
+        assert np.isfinite(y).all()
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(DspError):
+            fade_edges(np.ones((3, 3)), 1)
+
+    def test_rejects_negative_fade(self):
+        with pytest.raises(DspError):
+            fade_edges(np.ones(10), -1)

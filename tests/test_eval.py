@@ -1,0 +1,104 @@
+"""Tests for the evaluation harness: trials, PIN model, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.channel.noise import NoiseScene
+from repro.errors import WearLockError
+from repro.eval.pin_entry import PinEntryModel
+from repro.eval.reporting import format_series, format_table
+from repro.eval.workloads import TrialSpec, average_ber, ber_trial
+
+
+class TestBerTrial:
+    def test_quiet_trial_low_ber(self):
+        spec = TrialSpec(mode="QPSK", distance_m=0.3, tx_spl=75.0)
+        result = ber_trial(spec, rng=np.random.default_rng(0))
+        assert result.detected
+        assert result.ber < 0.05
+
+    def test_noisy_far_trial_high_ber(self):
+        spec = TrialSpec(
+            mode="8PSK", distance_m=4.0, tx_spl=55.0,
+            noise=NoiseScene(spl_db=55.0),
+        )
+        result = ber_trial(spec, rng=np.random.default_rng(1))
+        assert result.ber > 0.2
+
+    def test_undetected_frame_counts_as_ber_one(self):
+        spec = TrialSpec(
+            mode="QPSK", distance_m=8.0, tx_spl=40.0,
+            noise=NoiseScene(spl_db=60.0),
+        )
+        result = ber_trial(spec, rng=np.random.default_rng(2))
+        if not result.detected:
+            assert result.ber == 1.0
+
+    def test_ultrasound_band(self):
+        spec = TrialSpec(
+            mode="QPSK", band="ultrasound", distance_m=0.3, tx_spl=70.0
+        )
+        result = ber_trial(spec, rng=np.random.default_rng(3))
+        assert result.detected
+        assert result.ber < 0.1
+
+    def test_average_ber_aggregates(self):
+        spec = TrialSpec(mode="QPSK", distance_m=0.3, tx_spl=75.0)
+        avg = average_ber(spec, n_trials=3, seed=4)
+        assert 0.0 <= avg.ber <= 1.0
+        assert avg.psnr_db > 0
+
+
+class TestPinEntryModel:
+    def test_median_matches_calibration(self):
+        pin = PinEntryModel()
+        assert pin.median_delay(4) == pytest.approx(2.5, abs=0.3)
+        assert pin.median_delay(6) == pytest.approx(3.2, abs=0.4)
+
+    def test_more_digits_slower(self):
+        pin = PinEntryModel()
+        assert pin.median_delay(6) > pin.median_delay(4)
+
+    def test_samples_positive_and_spread(self):
+        pin = PinEntryModel()
+        samples = pin.sample_many(4, 100, seed=0)
+        assert np.all(samples > 0)
+        assert samples.std() > 0.1
+
+    def test_sample_median_near_model_median(self):
+        pin = PinEntryModel()
+        samples = pin.sample_many(4, 400, seed=1)
+        assert np.median(samples) == pytest.approx(
+            pin.median_delay(4), rel=0.15
+        )
+
+    def test_rejects_bad_digits(self):
+        with pytest.raises(WearLockError):
+            PinEntryModel().median_delay(0)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            "Demo", ["name", "value"], [["alpha", 1.0], ["b", 22.5]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[2]
+        assert len(lines) == 7  # title, rule, header, rule, 2 rows, rule
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(WearLockError):
+            format_table("t", ["a", "b"], [["only-one"]])
+
+    def test_format_series(self):
+        text = format_series(
+            "S", "x", [1, 2], {"y1": [0.1, 0.2], "y2": [3, 4]}
+        )
+        assert "y1" in text and "y2" in text
+        assert "0.1000" in text
+
+    def test_float_formatting(self):
+        text = format_table("t", ["v"], [[1.23456789e-8], [float("inf")]])
+        assert "e-08" in text
+        assert "inf" in text

@@ -1,0 +1,80 @@
+"""Tests for the evaluation runner and report persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import WearLockError
+from repro.eval.runner import (
+    EXPERIMENT_REGISTRY,
+    load_report,
+    run_all,
+    save_report,
+)
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        expected = {
+            "fig4_propagation", "fig5_ber_vs_ebn0", "fig6_offload",
+            "fig7_range", "fig8_adaptive", "fig9_jamming",
+            "fig10_compute_delay", "fig11_comm_delay",
+            "fig12_total_delay", "table1_field_test", "table2_dtw",
+            "case_study",
+        }
+        assert expected <= set(EXPERIMENT_REGISTRY)
+
+    def test_extensions_registered(self):
+        assert "security_matrix" in EXPERIMENT_REGISTRY
+        assert "throughput_by_mode" in EXPERIMENT_REGISTRY
+
+
+class TestRunAll:
+    def test_subset_runs_and_reports_progress(self):
+        seen = []
+        results = run_all(
+            only=["fig10_compute_delay", "fig11_comm_delay"],
+            progress=seen.append,
+        )
+        assert seen == ["fig10_compute_delay", "fig11_comm_delay"]
+        assert set(results) == {"fig10_compute_delay", "fig11_comm_delay"}
+        assert len(results["fig10_compute_delay"]["rows"]) == 9
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(WearLockError):
+            run_all(only=["fig99"])
+
+    def test_results_are_json_safe(self):
+        results = run_all(only=["fig11_comm_delay"])
+        json.dumps(results)  # must not raise
+
+
+class TestReportPersistence:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        results = run_all(only=["fig10_compute_delay"])
+        path = tmp_path / "report.json"
+        save_report(results, path)
+        loaded = load_report(path)
+        assert loaded == results
+
+    def test_report_names_the_paper(self, tmp_path):
+        path = tmp_path / "report.json"
+        save_report({}, path)
+        payload = json.loads(path.read_text())
+        assert "WearLock" in payload["paper"]
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text('{"something": "else"}')
+        with pytest.raises(WearLockError):
+            load_report(path)
+
+
+class TestCliIntegration:
+    def test_experiment_with_out_writes_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "fig11.json"
+        assert main(["experiment", "fig11", "--out", str(out)]) == 0
+        loaded = load_report(out)
+        assert "fig11_comm_delay" in loaded

@@ -1,0 +1,242 @@
+"""Integration tests: the whole system working together.
+
+These cross-module tests exercise the paper's headline behaviours:
+successful unlocking in realistic scenes, the ~1 m security boundary,
+attack resistance end-to-end, adaptive modulation in the loop, and the
+computation-reduction filters actually saving work.
+"""
+
+import numpy as np
+import pytest
+
+from repro import WearLock
+from repro.channel.link import AcousticLink
+from repro.channel.scenarios import get_environment
+from repro.config import ModemConfig, SecurityConfig, SystemConfig
+from repro.errors import LockedOutError
+from repro.modem.bits import bit_error_rate, random_bits
+from repro.modem.constellation import QPSK
+from repro.modem.receiver import OfdmReceiver
+from repro.modem.transmitter import OfdmTransmitter
+from repro.protocol.session import AbortReason, SessionConfig, UnlockSession
+from repro.security.attacks import ReplayAttacker
+from repro.security.otp import OtpManager
+from repro.security.timing import TimingGuard, TimingObservation
+from repro.sensors.traces import ActivityKind
+
+
+class TestHeadlineUnlocking:
+    """The paper's abstract: low BER, high success, across scenes."""
+
+    def test_unlocks_across_all_field_test_scenes(self):
+        wl = WearLock.pair(secret=b"integration")
+        results = {}
+        for i, env in enumerate(
+            ("office", "classroom", "cafe", "grocery_store")
+        ):
+            outcome = wl.unlock_attempt(
+                environment=env, distance_m=0.3, seed=900 + i
+            )
+            results[env] = outcome.unlocked
+            wl.lock()
+        assert sum(results.values()) >= 3, results
+
+    def test_average_ber_in_paper_regime(self):
+        """Paper: average BER ≈ 0.08 across experiments."""
+        wl = WearLock.pair(secret=b"integration")
+        bers = []
+        for i in range(10):
+            o = wl.unlock_attempt(
+                environment="office", distance_m=0.4, seed=1000 + i
+            )
+            if o.raw_ber is not None:
+                bers.append(o.raw_ber)
+            wl.lock()
+        assert len(bers) >= 8
+        assert np.mean(bers) < 0.15
+
+    def test_repetition_coding_tolerates_channel_errors(self):
+        """Raw BER can be ~0.1 while the token still verifies."""
+        wl = WearLock.pair(secret=b"integration")
+        successes_with_errors = 0
+        for i in range(10):
+            o = wl.unlock_attempt(
+                environment="classroom", distance_m=0.4, seed=1100 + i
+            )
+            if o.unlocked and o.raw_ber and o.raw_ber > 0.0:
+                successes_with_errors += 1
+            wl.lock()
+        assert successes_with_errors >= 1
+
+
+class TestSecurityBoundary:
+    """The ~1 m secure range (paper §IV co-located attack)."""
+
+    def test_ber_rises_with_distance(self):
+        env = get_environment("office")
+        config = ModemConfig()
+        tx = OfdmTransmitter(config, QPSK)
+        rx = OfdmReceiver(config, QPSK)
+        bits = random_bits(240, rng=0)
+        wave = tx.modulate(bits).waveform
+        bers = {}
+        for d in (0.3, 2.5, 5.0):
+            total = 0.0
+            for trial in range(3):
+                link = AcousticLink(
+                    room=env.room, noise=env.noise, distance_m=d,
+                    seed=trial,
+                )
+                rec, _ = link.transmit(
+                    wave, tx_spl=62.0, rng=np.random.default_rng(trial)
+                )
+                try:
+                    out = rx.receive(rec, expected_bits=240)
+                    total += bit_error_rate(bits, out.bits)
+                except Exception:
+                    total += 1.0
+            bers[d] = total / 3
+        assert bers[0.3] < 0.05
+        assert bers[5.0] > bers[0.3] + 0.1
+
+    def test_concealed_attacker_self_defeats(self):
+        """Covering the phone forces NLOS and wrecks the channel."""
+        cfg_los = SessionConfig(
+            environment="office", distance_m=0.8, los=True, seed=60,
+            use_motion_filter=False,
+        )
+        cfg_concealed = SessionConfig(
+            environment="office", distance_m=0.8, los=False,
+            nlos_blocking_db=26.0, seed=60, use_motion_filter=False,
+        )
+        ok_los = sum(
+            UnlockSession(cfg_los, otp=OtpManager(b"k")).run(
+                rng=np.random.default_rng(3000 + i)
+            ).unlocked
+            for i in range(5)
+        )
+        ok_concealed = sum(
+            UnlockSession(cfg_concealed, otp=OtpManager(b"k")).run(
+                rng=np.random.default_rng(3000 + i)
+            ).unlocked
+            for i in range(5)
+        )
+        assert ok_los > ok_concealed
+
+
+class TestAttacksEndToEnd:
+    def test_replayed_recording_fails_otp(self):
+        """Record the acoustic token, replay it: OTP freshness wins."""
+        system = SystemConfig()
+        otp = OtpManager(b"victim")
+        from repro.protocol.controllers import PhoneController, WatchController
+
+        phone = PhoneController(system, otp)
+        watch = WatchController(system)
+        decision = phone.modulator.select(40.0, 0.1)
+        tt = phone.prepare_token(decision, None, 75.0)
+        cfg_msg = phone.channel_config_message(tt)
+
+        attacker = ReplayAttacker()
+        attacker.capture(tt.result.waveform)
+
+        # Legitimate round succeeds and consumes the counter.
+        bits = watch.demodulate(tt.result.waveform, cfg_msg)
+        ok, _ = phone.verify_token_bits(tt, bits)
+        assert ok
+
+        # Replay: same waveform, same demodulation — but the token was
+        # consumed, so verification fails and counts a strike.
+        replay_bits = watch.demodulate(attacker.replay(), cfg_msg)
+        ok2, _ = phone.verify_token_bits(tt, replay_bits)
+        assert not ok2
+        assert phone.keyguard.failures == 1
+
+    def test_replay_timing_also_fails(self):
+        guard = TimingGuard(budget=0.35)
+        legit = TimingObservation(
+            wireless_rtt=0.09, stack_delay=0.12, acoustic_onset=0.20
+        )
+        assert guard.is_legitimate(legit)
+        attacker = ReplayAttacker(replay_latency=1.2)
+        assert not guard.is_legitimate(attacker.timing_observation(legit))
+
+    def test_lockout_after_three_bad_sessions(self):
+        """Keyguard demands a PIN after repeated trusted failures."""
+        system = SystemConfig(
+            security=SecurityConfig(max_failures=3)
+        )
+        wl = WearLock.pair(secret=b"victim", system=system)
+        # Simulate an attacker triggering failures directly.
+        for _ in range(3):
+            wl.keyguard.trusted_failure()
+        assert wl.keyguard.pin_required
+        with pytest.raises(LockedOutError):
+            wl.keyguard.trusted_unlock()
+        wl.pin_unlock()
+        assert not wl.keyguard.pin_required
+
+
+class TestAdaptiveLoop:
+    def test_noisier_scene_picks_more_robust_mode(self):
+        modes = {}
+        for env, seed in (("quiet_room", 70), ("grocery_store", 71)):
+            cfg = SessionConfig(
+                environment=env, distance_m=0.4, seed=seed,
+                use_motion_filter=False, use_noise_filter=False,
+            )
+            outcome = UnlockSession(cfg, otp=OtpManager(b"k")).run()
+            modes[env] = outcome.mode
+        order = {"8PSK": 3, "QPSK": 2, "QASK": 1, None: 0}
+        assert order[modes["grocery_store"]] <= order[modes["quiet_room"]]
+
+    def test_jammed_subchannels_avoided_in_session(self):
+        """The probe's recommended plan drives Phase 2."""
+        cfg = SessionConfig(environment="grocery_store", distance_m=0.3,
+                            seed=72, use_motion_filter=False)
+        outcome = UnlockSession(cfg, otp=OtpManager(b"k")).run()
+        # Grocery store has persistent low-frequency compressor tones;
+        # the session should still succeed.
+        assert outcome.unlocked
+
+
+class TestComputationReduction:
+    def test_motion_abort_skips_acoustic_work(self):
+        cfg = SessionConfig(
+            environment="office", co_located=False, seed=73
+        )
+        outcomes = [
+            UnlockSession(cfg, otp=OtpManager(b"k")).run(
+                rng=np.random.default_rng(4000 + i)
+            )
+            for i in range(6)
+        ]
+        aborted = [
+            o for o in outcomes
+            if o.abort_reason is AbortReason.MOTION_MISMATCH
+        ]
+        completed = [o for o in outcomes if o.mode is not None]
+        assert aborted, "motion filter never fired"
+        if completed:
+            # Aborted sessions must be cheaper than completed ones.
+            assert min(o.total_delay_s for o in aborted) < min(
+                o.total_delay_s for o in completed
+            )
+
+    def test_aborted_session_charges_less_watch_energy(self):
+        cfg_ok = SessionConfig(environment="office", seed=74)
+        cfg_abort = SessionConfig(
+            environment="office", co_located=False, seed=74
+        )
+        ok = UnlockSession(cfg_ok, otp=OtpManager(b"k")).run(
+            rng=np.random.default_rng(1)
+        )
+        for i in range(10):
+            aborted = UnlockSession(cfg_abort, otp=OtpManager(b"k")).run(
+                rng=np.random.default_rng(5000 + i)
+            )
+            if aborted.abort_reason is AbortReason.MOTION_MISMATCH:
+                break
+        else:
+            pytest.skip("motion filter did not abort in 10 tries")
+        assert aborted.watch_energy_j < ok.watch_energy_j

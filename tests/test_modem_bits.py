@@ -1,0 +1,90 @@
+"""Tests for bit utilities: packing, PRBS, BER."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModemError
+from repro.modem.bits import (
+    bit_error_rate,
+    bit_errors,
+    pack_bits,
+    prbs_bits,
+    random_bits,
+    unpack_bits,
+)
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        bits = random_bits(37, rng=0)
+        packed = pack_bits(bits)
+        assert np.array_equal(unpack_bits(packed, 37), bits)
+
+    def test_known_byte(self):
+        bits = np.array([1, 0, 1, 0, 1, 0, 1, 0], dtype=np.uint8)
+        assert pack_bits(bits) == b"\xaa"
+
+    def test_empty(self):
+        assert pack_bits(np.zeros(0, dtype=np.uint8)) == b""
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ModemError):
+            pack_bits(np.array([0, 1, 2]))
+
+    def test_unpack_bounds(self):
+        with pytest.raises(ModemError):
+            unpack_bits(b"\x00", 9)
+
+
+class TestPrbs:
+    def test_deterministic(self):
+        assert np.array_equal(prbs_bits(100), prbs_bits(100))
+
+    def test_period_127(self):
+        seq = prbs_bits(254)
+        assert np.array_equal(seq[:127], seq[127:254])
+        # Within one period, not constant.
+        assert 0 < seq[:127].sum() < 127
+
+    def test_balanced(self):
+        seq = prbs_bits(127)
+        assert seq.sum() in (63, 64)
+
+    def test_rejects_zero_seed(self):
+        with pytest.raises(ModemError):
+            prbs_bits(10, seed=0)
+
+
+class TestBer:
+    def test_identical_is_zero(self):
+        b = random_bits(100, rng=1)
+        assert bit_error_rate(b, b.copy()) == 0.0
+
+    def test_all_flipped_is_one(self):
+        b = random_bits(64, rng=2)
+        assert bit_error_rate(b, 1 - b) == 1.0
+
+    def test_counts_specific_errors(self):
+        a = np.array([0, 0, 0, 0], dtype=np.uint8)
+        b = np.array([0, 1, 0, 1], dtype=np.uint8)
+        assert bit_errors(a, b) == 2
+        assert bit_error_rate(a, b) == 0.5
+
+    def test_length_mismatch_counts_as_errors(self):
+        a = np.zeros(10, dtype=np.uint8)
+        b = np.zeros(6, dtype=np.uint8)
+        assert bit_errors(a, b) == 4
+        assert bit_error_rate(a, b) == pytest.approx(0.4)
+
+    def test_empty_sent_rejected(self):
+        with pytest.raises(ModemError):
+            bit_error_rate(np.zeros(0), np.zeros(4))
+
+
+class TestRandomBits:
+    def test_reproducible(self):
+        assert np.array_equal(random_bits(50, rng=7), random_bits(50, rng=7))
+
+    def test_only_zeros_and_ones(self):
+        b = random_bits(1000, rng=8)
+        assert set(np.unique(b)) <= {0, 1}

@@ -1,0 +1,142 @@
+"""Tests for constellations: Gray mapping, normalization, demapping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModemError
+from repro.modem.bits import random_bits
+from repro.modem.constellation import (
+    BASK,
+    BPSK,
+    CONSTELLATIONS,
+    PSK8,
+    QAM16,
+    QASK,
+    QPSK,
+    Constellation,
+    get_constellation,
+)
+
+ALL = [BASK, QASK, BPSK, QPSK, PSK8, QAM16]
+
+
+class TestStructure:
+    @pytest.mark.parametrize("c", ALL, ids=lambda c: c.name)
+    def test_unit_average_energy(self, c):
+        pts = np.asarray(c.points)
+        assert np.mean(np.abs(pts) ** 2) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("c", ALL, ids=lambda c: c.name)
+    def test_point_count(self, c):
+        assert len(c.points) == 2 ** c.bits_per_symbol
+
+    def test_orders(self):
+        assert BASK.order == 2
+        assert QASK.order == 4
+        assert QPSK.order == 4
+        assert PSK8.order == 8
+        assert QAM16.order == 16
+
+    def test_ask_uses_magnitude_decision(self):
+        assert BASK.decision == "magnitude"
+        assert QASK.decision == "magnitude"
+        assert QPSK.decision == "euclidean"
+
+    def test_psk_points_on_unit_circle(self):
+        for c in (BPSK, QPSK, PSK8):
+            assert np.allclose(np.abs(np.asarray(c.points)), 1.0)
+
+    def test_ask_points_positive_real(self):
+        for c in (BASK, QASK):
+            pts = np.asarray(c.points)
+            assert np.allclose(pts.imag, 0.0)
+            assert np.all(pts.real > 0.0)
+
+    def test_registry_lookup(self):
+        assert get_constellation("QPSK") is QPSK
+        with pytest.raises(ModemError):
+            get_constellation("64QAM")
+        assert set(CONSTELLATIONS) == {
+            "BASK", "QASK", "BPSK", "QPSK", "8PSK", "16QAM"
+        }
+
+
+class TestMapping:
+    @pytest.mark.parametrize("c", ALL, ids=lambda c: c.name)
+    def test_roundtrip_clean(self, c):
+        bits = random_bits(c.bits_per_symbol * 40, rng=3)
+        symbols = c.map(bits)
+        assert np.array_equal(c.demap(symbols), bits)
+
+    @pytest.mark.parametrize("c", ALL, ids=lambda c: c.name)
+    def test_roundtrip_with_small_noise(self, c):
+        rng = np.random.default_rng(4)
+        bits = random_bits(c.bits_per_symbol * 60, rng=rng)
+        symbols = c.map(bits)
+        noisy = symbols + 0.01 * (
+            rng.standard_normal(symbols.size)
+            + 1j * rng.standard_normal(symbols.size)
+        )
+        assert np.array_equal(c.demap(noisy), bits)
+
+    def test_gray_property_psk(self):
+        """Adjacent PSK points differ in exactly one bit."""
+        for c in (QPSK, PSK8):
+            pts = np.asarray(c.points)
+            order = np.argsort(np.angle(pts))
+            labels = list(order)
+            for i in range(len(labels)):
+                a = labels[i]
+                b = labels[(i + 1) % len(labels)]
+                assert bin(a ^ b).count("1") == 1, c.name
+
+    def test_gray_property_ask(self):
+        """Amplitude-adjacent ASK points differ in exactly one bit."""
+        for c in (BASK, QASK):
+            pts = np.asarray(c.points)
+            order = np.argsort(np.abs(pts))
+            for i in range(len(order) - 1):
+                assert bin(order[i] ^ order[i + 1]).count("1") == 1
+
+    def test_ask_ignores_phase_errors(self):
+        """The envelope detector must demap rotated ASK correctly."""
+        bits = random_bits(QASK.bits_per_symbol * 50, rng=5)
+        symbols = QASK.map(bits) * np.exp(1j * 0.8)
+        assert np.array_equal(QASK.demap(symbols), bits)
+
+    def test_psk_breaks_under_large_rotation(self):
+        bits = random_bits(PSK8.bits_per_symbol * 50, rng=6)
+        rotated = PSK8.map(bits) * np.exp(1j * np.pi / 4)
+        assert not np.array_equal(PSK8.demap(rotated), bits)
+
+    def test_map_rejects_partial_symbol(self):
+        with pytest.raises(ModemError):
+            QPSK.map(np.array([1, 0, 1], dtype=np.uint8))
+
+    def test_empty_maps_to_empty(self):
+        assert QPSK.map(np.zeros(0, dtype=np.uint8)).size == 0
+        assert QPSK.demap(np.zeros(0, dtype=complex)).size == 0
+
+    def test_min_distance_positive(self):
+        for c in ALL:
+            assert c.min_distance() > 0.0
+
+    def test_min_distance_ordering(self):
+        """Denser constellations have smaller minimum distance."""
+        assert QAM16.min_distance() < QPSK.min_distance()
+        assert PSK8.min_distance() < QPSK.min_distance()
+
+
+class TestValidation:
+    def test_rejects_wrong_point_count(self):
+        with pytest.raises(ModemError):
+            Constellation(name="bad", points=(1 + 0j,), bits_per_symbol=2)
+
+    def test_rejects_unknown_decision(self):
+        with pytest.raises(ModemError):
+            Constellation(
+                name="bad",
+                points=(1 + 0j, -1 + 0j),
+                bits_per_symbol=1,
+                decision="psychic",
+            )

@@ -1,0 +1,178 @@
+"""Cross-feature modem tests: re-planned frames, bands, boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.channel.link import AcousticLink
+from repro.channel.hardware import MicrophoneModel
+from repro.channel.scenarios import get_environment
+from repro.config import ModemConfig
+from repro.modem.bits import bit_error_rate, random_bits
+from repro.modem.constellation import QPSK, get_constellation
+from repro.modem.probe import ChannelProber
+from repro.modem.receiver import OfdmReceiver
+from repro.modem.subchannels import ChannelPlan
+from repro.modem.transmitter import OfdmTransmitter
+
+
+class TestReplannedFrames:
+    """Transmitter and receiver must agree on any re-planned layout."""
+
+    def _roundtrip_with_plan(self, plan, n_bits=96):
+        config = ModemConfig()
+        tx = OfdmTransmitter(config, QPSK, plan=plan)
+        rx = OfdmReceiver(config, QPSK, plan=plan)
+        bits = random_bits(n_bits, rng=3)
+        out = rx.receive(tx.modulate(bits).waveform, expected_bits=n_bits)
+        return bit_error_rate(bits, out.bits)
+
+    def test_shifted_data_bins_loopback(self):
+        plan = ChannelPlan(
+            fft_size=256,
+            data=(8, 9, 10, 12, 13, 14, 16, 17, 18, 20, 21, 22),
+            pilots=(7, 11, 15, 19, 23, 27, 31, 35),
+        )
+        assert self._roundtrip_with_plan(plan) == 0.0
+
+    def test_fewer_data_bins_loopback(self):
+        plan = ChannelPlan(
+            fft_size=256,
+            data=(16, 20, 24, 28),
+            pilots=(7, 11, 15, 19, 23, 27, 31, 35),
+        )
+        assert self._roundtrip_with_plan(plan, n_bits=40) == 0.0
+
+    def test_probe_recommendation_is_transmittable(self):
+        """Whatever plan the prober recommends must round-trip."""
+        config = ModemConfig()
+        env = get_environment("grocery_store")
+        prober = ChannelProber(config)
+        link = AcousticLink(
+            room=env.room, noise=env.noise, distance_m=0.2,
+            leading_silence=0.15, seed=4,
+        )
+        rec, _ = link.transmit(
+            prober.build_probe(), tx_spl=85.0,
+            rng=np.random.default_rng(4),
+        )
+        report = prober.analyze(rec)
+        assert report.recommended_plan is not None
+        assert self._roundtrip_with_plan(report.recommended_plan) == 0.0
+
+
+class TestBandIsolation:
+    def test_watch_mic_cannot_hear_ultrasound_frames(self):
+        """The Moto 360 low-pass kills a near-ultrasound frame — the
+        reason the phone-watch pair must use the audible band."""
+        config = ModemConfig().near_ultrasound()
+        tx = OfdmTransmitter(config, QPSK)
+        rx = OfdmReceiver(config, QPSK)
+        bits = random_bits(48, rng=5)
+        env = get_environment("quiet_room")
+        watch_mic_link = AcousticLink(
+            microphone=MicrophoneModel(),  # 7 kHz low-pass
+            room=env.room, noise=env.noise, distance_m=0.3, seed=5,
+        )
+        rec, _ = watch_mic_link.transmit(
+            tx.modulate(bits).waveform, tx_spl=75.0,
+            rng=np.random.default_rng(5),
+        )
+        try:
+            out = rx.receive(rec, expected_bits=48)
+            ber = bit_error_rate(bits, out.bits)
+        except Exception:
+            ber = 1.0
+        assert ber > 0.2
+
+    def test_audible_frame_unaffected_by_wide_band_mic(self):
+        config = ModemConfig()
+        tx = OfdmTransmitter(config, QPSK)
+        rx = OfdmReceiver(config, QPSK)
+        bits = random_bits(48, rng=6)
+        env = get_environment("quiet_room")
+        link = AcousticLink(
+            microphone=MicrophoneModel.wide_band(config.sample_rate),
+            room=env.room, noise=env.noise, distance_m=0.3, seed=6,
+        )
+        rec, _ = link.transmit(
+            tx.modulate(bits).waveform, tx_spl=72.0,
+            rng=np.random.default_rng(6),
+        )
+        out = rx.receive(rec, expected_bits=48)
+        assert bit_error_rate(bits, out.bits) <= 0.03
+
+
+class TestReceiverDiagnostics:
+    def test_fine_offsets_reported_per_symbol(self):
+        config = ModemConfig()
+        tx = OfdmTransmitter(config, QPSK)
+        rx = OfdmReceiver(config, QPSK)
+        bits = random_bits(72, rng=7)
+        out = rx.receive(tx.modulate(bits).waveform, expected_bits=72)
+        assert len(out.fine_offsets) == 3
+        assert all(abs(o) <= 24 for o in out.fine_offsets)
+
+    def test_equalized_symbols_cluster_on_constellation(self):
+        config = ModemConfig()
+        tx = OfdmTransmitter(config, QPSK)
+        rx = OfdmReceiver(config, QPSK)
+        bits = random_bits(48, rng=8)
+        out = rx.receive(tx.modulate(bits).waveform, expected_bits=48)
+        points = np.asarray(QPSK.points)
+        for s in out.equalized_symbols:
+            assert np.min(np.abs(s - points)) < 0.1
+
+    def test_noise_spl_estimated_from_lead_in(self, rng):
+        config = ModemConfig()
+        env = get_environment("cafe")
+        tx = OfdmTransmitter(config, QPSK)
+        rx = OfdmReceiver(config, QPSK)
+        bits = random_bits(48, rng=9)
+        link = AcousticLink(
+            room=env.room, noise=env.noise, distance_m=0.3,
+            leading_silence=0.15, seed=9,
+        )
+        rec, _ = link.transmit(tx.modulate(bits).waveform, 85.0, rng=rng)
+        out = rx.receive(rec, expected_bits=48)
+        assert out.noise_spl == pytest.approx(
+            env.noise.effective_spl(), abs=5.0
+        )
+
+
+class TestModeBoundaries:
+    def test_every_deployed_mode_survives_its_design_point(self):
+        """At the Eb/N0 the model requires for MaxBER=0.1, the real
+        link's BER stays within ~2x of that constraint."""
+        from repro.modem.adaptive import AdaptiveModulator
+        from repro.channel.noise import NoiseScene
+
+        modulator = AdaptiveModulator()
+        config = ModemConfig()
+        env = get_environment("quiet_room")
+        for mode in ("QPSK", "QASK"):
+            required = modulator.model.min_ebn0_db(mode, 0.1)
+            constellation = get_constellation(mode)
+            # Find a noise level landing near the required Eb/N0.
+            bers = []
+            for noise_spl in (40.0, 46.0, 52.0, 58.0):
+                tx = OfdmTransmitter(config, constellation)
+                rx = OfdmReceiver(config, constellation)
+                bits = random_bits(240, rng=10)
+                link = AcousticLink(
+                    room=env.room,
+                    noise=NoiseScene(spl_db=noise_spl),
+                    distance_m=0.5,
+                    seed=10,
+                )
+                rec, _ = link.transmit(
+                    tx.modulate(bits).waveform, tx_spl=78.0,
+                    rng=np.random.default_rng(10),
+                )
+                try:
+                    out = rx.receive(rec, expected_bits=240)
+                except Exception:
+                    continue
+                if abs(out.ebn0_db - required) < 4.0:
+                    bers.append(bit_error_rate(bits, out.bits))
+            if bers:
+                assert min(bers) < 0.2, mode

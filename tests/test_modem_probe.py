@@ -1,0 +1,107 @@
+"""Tests for channel probing: detection, SNR, re-planning, NLOS stats."""
+
+import numpy as np
+import pytest
+
+from repro.channel.link import AcousticLink
+from repro.channel.scenarios import get_environment
+from repro.config import ModemConfig
+from repro.modem.probe import ChannelProber, ProbeReport
+
+
+@pytest.fixture
+def config():
+    return ModemConfig()
+
+
+@pytest.fixture
+def prober(config):
+    return ChannelProber(config)
+
+
+class TestChannelProber:
+    def test_probe_waveform_nonempty(self, prober):
+        wave = prober.build_probe()
+        assert wave.size > 0
+        assert np.isfinite(wave).all()
+
+    def test_analyze_clean_loopback(self, prober):
+        wave = prober.build_probe()
+        recording = np.concatenate([np.zeros(2000), wave, np.zeros(500)])
+        report = prober.analyze(recording)
+        assert report.detected
+        assert report.preamble_score > 0.9
+        assert report.psnr_db > 20.0
+
+    def test_analyze_through_quiet_channel(self, prober, quiet_link, rng):
+        recording, _ = quiet_link.transmit(
+            prober.build_probe(), tx_spl=70.0, rng=rng
+        )
+        report = prober.analyze(recording)
+        assert report.detected
+        assert report.psnr_db > 15.0
+        assert report.noise_spl < 40.0
+        assert report.recommended_plan is not None
+
+    def test_failed_probe_on_silence(self, prober):
+        report = prober.analyze(np.zeros(30000))
+        assert not report.detected
+        assert report.psnr_db == float("-inf")
+        assert report.recommended_plan is None
+
+    def test_snr_decreases_with_noise(self, prober, rng):
+        env_quiet = get_environment("quiet_room")
+        env_loud = get_environment("cafe")
+        psnrs = {}
+        for name, env in (("quiet", env_quiet), ("loud", env_loud)):
+            link = AcousticLink(
+                room=env.room, noise=env.noise, distance_m=0.3, seed=3
+            )
+            rec, _ = link.transmit(
+                prober.build_probe(), tx_spl=75.0,
+                rng=np.random.default_rng(3),
+            )
+            psnrs[name] = prober.analyze(rec).psnr_db
+        assert psnrs["quiet"] > psnrs["loud"] + 6.0
+
+    def test_replans_around_jammer(self, prober, config):
+        env = get_environment("quiet_room")
+        plan = prober.plan
+        jam_bins = (17, 21)
+        jam_freqs = [b * config.subchannel_bandwidth for b in jam_bins]
+        noise = env.noise.with_jammer(jam_freqs, 60.0)
+        link = AcousticLink(
+            room=env.room, noise=noise, distance_m=0.2, seed=4,
+            leading_silence=0.15,
+        )
+        rec, _ = link.transmit(
+            prober.build_probe(), tx_spl=72.0,
+            rng=np.random.default_rng(4),
+        )
+        report = prober.analyze(rec)
+        assert report.detected
+        assert report.recommended_plan is not None
+        for b in jam_bins:
+            assert b not in report.recommended_plan.data
+
+    def test_ebn0_depends_on_mode_rate(self, prober, config):
+        report = ProbeReport(
+            detected=True,
+            preamble_score=0.9,
+            tau_rms=1e-5,
+            noise_spl=30.0,
+            psnr_db=20.0,
+            noise_per_bin=None,
+            recommended_plan=None,
+        )
+        plan = prober.plan
+        e_qpsk = report.ebn0_db(config, plan, "QPSK")
+        e_8psk = report.ebn0_db(config, plan, "8PSK")
+        # Higher rate → less energy per bit at the same C/N.
+        assert e_8psk < e_qpsk
+
+    def test_failed_report_factory(self):
+        report = ProbeReport.failed(0.01)
+        assert not report.detected
+        assert report.preamble_score == 0.01
+        assert report.tau_rms == float("inf")

@@ -1,0 +1,120 @@
+"""Tests for sub-channel planning and jam-avoidance re-planning."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModemConfig
+from repro.errors import ModemError
+from repro.modem.subchannels import ChannelPlan
+
+
+@pytest.fixture
+def default_plan():
+    return ChannelPlan.from_config(ModemConfig())
+
+
+class TestChannelPlan:
+    def test_paper_default_assignment(self, default_plan):
+        assert default_plan.data == (
+            16, 17, 18, 20, 21, 22, 24, 25, 26, 28, 29, 30,
+        )
+        assert default_plan.pilots == (7, 11, 15, 19, 23, 27, 31, 35)
+
+    def test_pilot_spacing(self, default_plan):
+        assert default_plan.pilot_spacing == 4
+
+    def test_band(self, default_plan):
+        assert default_plan.band == (7, 35)
+
+    def test_null_channels_inside_band(self, default_plan):
+        nulls = default_plan.null_channels(margin=0)
+        occupied = set(default_plan.data) | set(default_plan.pilots)
+        assert set(nulls) & occupied == set()
+        assert all(7 <= b <= 35 for b in nulls)
+        # The gaps between default data bins: 8,9,10,12,...
+        assert 8 in nulls and 12 in nulls
+
+    def test_quiet_null_channels_avoid_neighbours(self, default_plan):
+        quiet = default_plan.quiet_null_channels(min_distance=2)
+        occupied = set(default_plan.data) | set(default_plan.pilots)
+        for b in quiet:
+            assert all(abs(b - o) >= 2 for o in occupied)
+
+    def test_candidates_fill_pilot_span(self, default_plan):
+        cands = default_plan.candidate_data_channels()
+        assert min(cands) == 8
+        assert max(cands) == 34
+        assert set(cands) & set(default_plan.pilots) == set()
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ModemError):
+            ChannelPlan(fft_size=256, data=(7, 16), pilots=(7, 11, 15))
+
+    def test_rejects_unequal_pilot_spacing(self):
+        with pytest.raises(ModemError):
+            ChannelPlan(fft_size=256, data=(16,), pilots=(7, 11, 16))
+
+    def test_rejects_data_outside_pilot_span(self):
+        with pytest.raises(ModemError):
+            ChannelPlan(fft_size=256, data=(40,), pilots=(7, 11, 15))
+
+    def test_rejects_single_pilot(self):
+        with pytest.raises(ModemError):
+            ChannelPlan(fft_size=256, data=(8,), pilots=(7,))
+
+
+class TestSelection:
+    def test_avoids_jammed_bins(self, default_plan):
+        noise = np.ones(129)
+        for jammed in (17, 21, 25):
+            noise[jammed] = 1000.0
+        new = default_plan.select_data_channels(noise)
+        assert len(new.data) == len(default_plan.data)
+        for jammed in (17, 21, 25):
+            assert jammed not in new.data
+
+    def test_prefers_low_frequency_among_clean(self, default_plan):
+        noise = np.ones(129)
+        new = default_plan.select_data_channels(noise)
+        cands = sorted(default_plan.candidate_data_channels())
+        assert new.data == tuple(cands[: len(default_plan.data)])
+
+    def test_keeps_capacity_by_default(self, default_plan):
+        noise = np.ones(129)
+        new = default_plan.select_data_channels(noise)
+        assert len(new.data) == len(default_plan.data)
+
+    def test_custom_channel_count(self, default_plan):
+        noise = np.ones(129)
+        new = default_plan.select_data_channels(noise, n_channels=6)
+        assert len(new.data) == 6
+
+    def test_falls_back_to_least_noisy_when_all_dirty(self, default_plan):
+        rng = np.random.default_rng(0)
+        noise = 10.0 ** rng.uniform(0, 6, size=129)
+        new = default_plan.select_data_channels(noise, headroom_db=0.1)
+        assert len(new.data) == len(default_plan.data)
+        # The selected set should have lower total noise than the worst
+        # possible set of the same size.
+        cands = default_plan.candidate_data_channels()
+        chosen_noise = sum(noise[b] for b in new.data)
+        worst = sorted((noise[b] for b in cands), reverse=True)
+        assert chosen_noise < sum(worst[: len(new.data)])
+
+    def test_pilots_never_change(self, default_plan):
+        noise = np.ones(129)
+        new = default_plan.select_data_channels(noise)
+        assert new.pilots == default_plan.pilots
+
+    def test_rejects_too_many_channels(self, default_plan):
+        with pytest.raises(ModemError):
+            default_plan.select_data_channels(np.ones(129), n_channels=99)
+
+    def test_rejects_short_noise_vector(self, default_plan):
+        with pytest.raises(ModemError):
+            default_plan.select_data_channels(np.ones(10))
+
+    def test_frequencies_reporting(self, default_plan):
+        f = default_plan.frequencies(44100.0)
+        assert len(f["data"]) == 12
+        assert f["pilots"][0] == pytest.approx(7 * 44100 / 256)

@@ -1,0 +1,104 @@
+"""RFC 4226 conformance tests for the HOTP implementation.
+
+The test vectors come straight from RFC 4226 Appendix D: secret
+``"12345678901234567890"`` (ASCII), counters 0-9.
+"""
+
+import hashlib
+import hmac
+import struct
+
+import pytest
+
+from repro.errors import SecurityError
+from repro.security.hotp import (
+    dynamic_truncation,
+    hotp,
+    hotp_digits,
+    hotp_token_bits,
+)
+
+RFC_SECRET = b"12345678901234567890"
+
+#: RFC 4226 Appendix D: truncated (31-bit) decimal values per counter.
+RFC_TRUNCATED = [
+    1284755224,
+    1094287082,
+    137359152,
+    1726969429,
+    1640338314,
+    868254676,
+    1918287922,
+    82162583,
+    673399871,
+    645520489,
+]
+
+#: RFC 4226 Appendix D: 6-digit HOTP values per counter.
+RFC_HOTP6 = [
+    "755224", "287082", "359152", "969429", "338314",
+    "254676", "287922", "162583", "399871", "520489",
+]
+
+
+class TestRfc4226Vectors:
+    @pytest.mark.parametrize("counter", range(10))
+    def test_truncated_values(self, counter):
+        assert hotp(RFC_SECRET, counter) == RFC_TRUNCATED[counter]
+
+    @pytest.mark.parametrize("counter", range(10))
+    def test_six_digit_values(self, counter):
+        assert hotp_digits(RFC_SECRET, counter, 6) == RFC_HOTP6[counter]
+
+    def test_dynamic_truncation_of_rfc_example_digest(self):
+        # RFC 4226 §5.4 example digest for counter=0 is the HMAC of the
+        # secret; recompute and check DT matches the table.
+        digest = hmac.new(
+            RFC_SECRET, struct.pack(">Q", 0), hashlib.sha1
+        ).digest()
+        assert dynamic_truncation(digest) == RFC_TRUNCATED[0]
+
+
+class TestHotpProperties:
+    def test_different_counters_differ(self):
+        values = {hotp(b"key", c) for c in range(50)}
+        assert len(values) == 50
+
+    def test_different_keys_differ(self):
+        assert hotp(b"key-a", 0) != hotp(b"key-b", 0)
+
+    def test_deterministic(self):
+        assert hotp(b"key", 123) == hotp(b"key", 123)
+
+    def test_result_fits_31_bits(self):
+        for c in range(100):
+            assert 0 <= hotp(b"key", c) < 2**31
+
+    def test_token_bits_truncation(self):
+        full = hotp(b"key", 5)
+        assert hotp_token_bits(b"key", 5, 16) == full & 0xFFFF
+        assert hotp_token_bits(b"key", 5, 31) == full
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(SecurityError):
+            hotp(b"", 0)
+
+    def test_rejects_negative_counter(self):
+        with pytest.raises(SecurityError):
+            hotp(b"key", -1)
+
+    def test_digits_range_enforced(self):
+        with pytest.raises(SecurityError):
+            hotp_digits(b"key", 0, digits=4)
+        with pytest.raises(SecurityError):
+            hotp_digits(b"key", 0, digits=10)
+
+    def test_token_bits_range_enforced(self):
+        with pytest.raises(SecurityError):
+            hotp_token_bits(b"key", 0, 0)
+        with pytest.raises(SecurityError):
+            hotp_token_bits(b"key", 0, 32)
+
+    def test_dynamic_truncation_needs_20_bytes(self):
+        with pytest.raises(SecurityError):
+            dynamic_truncation(b"short")

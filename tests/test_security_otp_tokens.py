@@ -1,0 +1,119 @@
+"""Tests for the OTP manager lifecycle and token framing."""
+
+import numpy as np
+import pytest
+
+from repro.config import SecurityConfig
+from repro.errors import LockedOutError, SecurityError
+from repro.security.hotp import hotp_token_bits
+from repro.security.otp import OtpManager
+from repro.security.tokens import bits_to_token, token_to_bits
+
+KEY = b"test-pairing-key"
+
+
+class TestOtpManager:
+    def test_generate_verify_roundtrip(self):
+        mgr = OtpManager(KEY)
+        token = mgr.generate()
+        result = mgr.verify(token)
+        assert result.ok
+        assert result.matched_counter == 0
+        assert mgr.counter == 1
+
+    def test_counter_advances_past_match(self):
+        mgr = OtpManager(KEY)
+        for expected in range(5):
+            token = mgr.generate()
+            result = mgr.verify(token)
+            assert result.matched_counter == expected
+
+    def test_look_ahead_window_heals_drift(self):
+        mgr = OtpManager(KEY, SecurityConfig(counter_look_ahead=3))
+        # The phone advanced two counters past the verifier (aborted
+        # attempts); the verifier still matches within the window.
+        drifted = hotp_token_bits(KEY, 2, mgr.token_bits)
+        result = mgr.verify(drifted)
+        assert result.ok
+        assert result.matched_counter == 2
+        assert mgr.counter == 3
+
+    def test_beyond_window_fails(self):
+        mgr = OtpManager(KEY, SecurityConfig(counter_look_ahead=2))
+        too_far = hotp_token_bits(KEY, 10, mgr.token_bits)
+        assert not mgr.verify(too_far).ok
+
+    def test_replayed_token_rejected(self):
+        """A verified token must never verify again (OTP freshness)."""
+        mgr = OtpManager(KEY)
+        token = mgr.generate()
+        assert mgr.verify(token).ok
+        assert not mgr.verify(token).ok
+
+    def test_three_strikes_locks_out(self):
+        mgr = OtpManager(KEY, SecurityConfig(max_failures=3))
+        for i in range(3):
+            result = mgr.verify(0xDEAD + i)
+        assert result.locked_out
+        assert mgr.locked_out
+        with pytest.raises(LockedOutError):
+            mgr.verify(0)
+        with pytest.raises(LockedOutError):
+            mgr.generate()
+
+    def test_success_resets_failures(self):
+        mgr = OtpManager(KEY)
+        mgr.verify(123456)  # fail once
+        assert mgr.failures == 1
+        assert mgr.verify(mgr.generate()).ok
+        assert mgr.failures == 0
+
+    def test_pin_unlock_clears_lockout(self):
+        mgr = OtpManager(KEY, SecurityConfig(max_failures=1))
+        mgr.verify(1)
+        assert mgr.locked_out
+        mgr.unlock_with_pin()
+        assert not mgr.locked_out
+        assert mgr.verify(mgr.generate()).ok
+
+    def test_resync(self):
+        mgr = OtpManager(KEY)
+        mgr.resync(100)
+        assert mgr.counter == 100
+        token = hotp_token_bits(KEY, 100, mgr.token_bits)
+        assert mgr.verify(token).ok
+
+    def test_token_bits_capped_at_31(self):
+        mgr = OtpManager(KEY, SecurityConfig(otp_bits=32))
+        assert mgr.token_bits == 31
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(SecurityError):
+            OtpManager(b"")
+
+
+class TestTokenFraming:
+    def test_roundtrip(self):
+        for token in (0, 1, 0x7FFFFFFF, 12345678):
+            bits = token_to_bits(token, 31)
+            assert bits_to_token(bits) == token
+
+    def test_msb_first(self):
+        bits = token_to_bits(0b101, 4)
+        assert bits.tolist() == [0, 1, 0, 1]
+
+    def test_width_enforced(self):
+        with pytest.raises(SecurityError):
+            token_to_bits(16, 4)
+
+    def test_rejects_negative(self):
+        with pytest.raises(SecurityError):
+            token_to_bits(-1, 8)
+
+    def test_rejects_non_binary_bits(self):
+        with pytest.raises(SecurityError):
+            bits_to_token(np.array([0, 1, 2]))
+
+    def test_rejects_empty_bits(self):
+        with pytest.raises(SecurityError):
+            bits_to_token(np.zeros(0))

@@ -1,0 +1,224 @@
+"""Tests for radio models, device profiles, compute model, offloading."""
+
+import numpy as np
+import pytest
+
+from repro.devices.battery import EnergyMeter
+from repro.devices.compute import (
+    Workload,
+    correlation_workload,
+    demodulation_workload,
+    dtw_workload,
+    probe_processing_workload,
+)
+from repro.devices.profiles import DEVICES, GALAXY_NEXUS, MOTO360, NEXUS6
+from repro.errors import ConfigurationError, WearLockError
+from repro.offload.executor import OffloadExecutor
+from repro.offload.planner import OffloadPlanner, Placement
+from repro.wireless.messages import (
+    AudioFileMessage,
+    ChannelConfigMessage,
+    CtsMessage,
+    MessageType,
+    RtsMessage,
+)
+from repro.wireless.radio import BleLink, WifiLink
+
+
+class TestRadio:
+    def test_wifi_faster_than_bt_messages(self):
+        bt = BleLink(seed=0)
+        wifi = WifiLink(seed=0)
+        bt_times = [bt.send_message().seconds for _ in range(50)]
+        wifi_times = [wifi.send_message().seconds for _ in range(50)]
+        assert np.median(wifi_times) < np.median(bt_times) / 2
+
+    def test_wifi_much_faster_for_files(self):
+        bt = BleLink(seed=1)
+        wifi = WifiLink(seed=1)
+        n = 30_000
+        bt_t = np.median([bt.send_file(n).seconds for _ in range(30)])
+        wifi_t = np.median([wifi.send_file(n).seconds for _ in range(30)])
+        assert wifi_t < bt_t / 4
+
+    def test_file_time_scales_with_size(self):
+        bt = BleLink(seed=2)
+        small = np.median([bt.send_file(1000).seconds for _ in range(30)])
+        large = np.median([bt.send_file(100_000).seconds for _ in range(30)])
+        assert large > 5 * small
+
+    def test_disconnected_link_raises(self):
+        bt = BleLink(connected=False)
+        with pytest.raises(WearLockError):
+            bt.send_message()
+
+    def test_round_trip_is_two_messages(self):
+        wifi = WifiLink(seed=3)
+        rt = wifi.round_trip()
+        assert rt.seconds > 0
+        assert rt.n_bytes == 128
+
+    def test_rejects_zero_byte_file(self):
+        with pytest.raises(WearLockError):
+            WifiLink().send_file(0)
+
+
+class TestMessages:
+    def test_types(self):
+        assert RtsMessage().type is MessageType.RTS
+        assert CtsMessage().type is MessageType.CTS
+        assert ChannelConfigMessage().type is MessageType.CHANNEL_CONFIG
+
+    def test_audio_file_size_scales(self):
+        small = AudioFileMessage(n_samples=100).size_bytes()
+        large = AudioFileMessage(n_samples=10_000).size_bytes()
+        assert large > small
+
+    def test_channel_config_carries_plan(self):
+        msg = ChannelConfigMessage(
+            mode="QPSK", data_channels=(16, 17), pilot_channels=(7, 11),
+            n_bits=155,
+        )
+        assert msg.mode == "QPSK"
+        assert msg.size_bytes() > 48
+
+
+class TestDeviceProfiles:
+    def test_speed_ordering(self):
+        assert NEXUS6.mops > GALAXY_NEXUS.mops > MOTO360.mops
+
+    def test_watch_is_wearable(self):
+        assert MOTO360.is_wearable
+        assert not NEXUS6.is_wearable
+
+    def test_compute_seconds_inverse_speed(self):
+        work = 100.0
+        assert NEXUS6.compute_seconds(work) < MOTO360.compute_seconds(work)
+
+    def test_energy_is_power_times_time(self):
+        e = MOTO360.compute_energy_j(60.0)
+        assert e == pytest.approx(
+            MOTO360.compute_seconds(60.0) * MOTO360.active_power_w
+        )
+
+    def test_battery_fraction(self):
+        frac = MOTO360.battery_fraction(MOTO360.battery_mwh * 3.6)
+        assert frac == pytest.approx(1.0)
+
+    def test_registry(self):
+        assert set(DEVICES) == {"Nexus 6", "Galaxy Nexus", "Moto 360"}
+
+    def test_rejects_negative_work(self):
+        with pytest.raises(ConfigurationError):
+            NEXUS6.compute_seconds(-1.0)
+
+
+class TestComputeModel:
+    def test_correlation_superlinear_in_length(self):
+        small = correlation_workload(10_000, 256).mops
+        large = correlation_workload(40_000, 256).mops
+        assert large > 3.9 * small
+
+    def test_demodulation_linear_in_symbols(self):
+        one = demodulation_workload(1, 256, 12, 8).mops
+        seven = demodulation_workload(7, 256, 12, 8).mops
+        assert seven == pytest.approx(7 * one)
+
+    def test_probe_processing_includes_correlation(self):
+        total = probe_processing_workload(20_000, 256, 256).mops
+        corr = correlation_workload(20_000, 256).mops
+        assert total > corr
+
+    def test_dtw_cost_matches_paper_scale(self):
+        """Paper Table II: ~46 ms on-device at 50-150 samples."""
+        ms = 1e3 * MOTO360.compute_seconds(dtw_workload(100, 100).mops)
+        assert 1.0 < ms < 100.0
+
+    def test_workload_addition(self):
+        w = Workload("a", 1.0) + Workload("b", 2.0)
+        assert w.mops == pytest.approx(3.0)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ConfigurationError):
+            demodulation_workload(0, 256, 12, 8)
+
+
+class TestEnergyMeter:
+    def test_categories_accumulate(self):
+        meter = EnergyMeter(device=MOTO360)
+        meter.record_compute(30.0)
+        meter.record_radio(0.5)
+        meter.record_audio(0.3)
+        meter.record_idle(1.0)
+        summary = meter.summary()
+        assert set(summary) == {"compute", "radio", "audio", "idle", "total"}
+        assert summary["total"] == pytest.approx(
+            sum(v for k, v in summary.items() if k != "total")
+        )
+
+    def test_compute_returns_duration(self):
+        meter = EnergyMeter(device=MOTO360)
+        seconds = meter.record_compute(60.0)
+        assert seconds == pytest.approx(1.0)
+
+    def test_rejects_negative_time(self):
+        meter = EnergyMeter(device=MOTO360)
+        with pytest.raises(ConfigurationError):
+            meter.record_audio(-1.0)
+
+
+class TestOffload:
+    def _work(self):
+        return probe_processing_workload(15_000, 256, 256)
+
+    def test_planner_prefers_offload_over_wifi(self):
+        planner = OffloadPlanner(MOTO360, NEXUS6, WifiLink(seed=4))
+        plan = planner.plan(self._work(), 30_000)
+        assert plan.placement is Placement.PHONE_OFFLOAD
+
+    def test_forced_local(self):
+        planner = OffloadPlanner(
+            MOTO360, NEXUS6, WifiLink(seed=5), prefer=Placement.WATCH_LOCAL
+        )
+        plan = planner.plan(self._work(), 30_000)
+        assert plan.placement is Placement.WATCH_LOCAL
+        assert plan.transfer_bytes == 0
+
+    def test_offload_saves_watch_energy(self):
+        """The paper's Fig. 6 claim, at the planner level."""
+        link = BleLink(seed=6)
+        planner_off = OffloadPlanner(
+            MOTO360, NEXUS6, link, prefer=Placement.PHONE_OFFLOAD
+        )
+        planner_loc = OffloadPlanner(
+            MOTO360, NEXUS6, link, prefer=Placement.WATCH_LOCAL
+        )
+        work = self._work()
+        off = planner_off.plan(work, 30_000)
+        loc = planner_loc.plan(work, 30_000)
+        assert off.predicted_watch_energy_j < loc.predicted_watch_energy_j
+
+    def test_planner_rejects_non_wearable_watch(self):
+        with pytest.raises(ConfigurationError):
+            OffloadPlanner(NEXUS6, GALAXY_NEXUS, WifiLink())
+
+    def test_executor_local_charges_watch_only(self):
+        ex = OffloadExecutor(MOTO360, NEXUS6, BleLink(seed=7))
+        planner = OffloadPlanner(
+            MOTO360, NEXUS6, BleLink(seed=7), prefer=Placement.WATCH_LOCAL
+        )
+        report = ex.execute(planner.plan(self._work(), 30_000), self._work())
+        assert report.watch_energy_j > 0
+        assert report.phone_energy_j == 0
+        assert ex.phone_meter.total_joules == 0
+
+    def test_executor_offload_charges_both(self):
+        ex = OffloadExecutor(MOTO360, NEXUS6, WifiLink(seed=8))
+        planner = OffloadPlanner(
+            MOTO360, NEXUS6, WifiLink(seed=8),
+            prefer=Placement.PHONE_OFFLOAD,
+        )
+        report = ex.execute(planner.plan(self._work(), 30_000), self._work())
+        assert report.transfer_s > 0
+        assert report.phone_energy_j > 0
+        assert ex.watch_meter.joules_by_category["radio"] > 0
