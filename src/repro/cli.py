@@ -20,7 +20,9 @@ import numpy as np
 
 def _cmd_unlock(args: argparse.Namespace) -> int:
     from .core.system import WearLock
+    from .core.trace import Tracer
 
+    tracer = Tracer() if args.trace else None
     wearlock = WearLock.pair(secret=args.secret.encode())
     outcome = wearlock.unlock_attempt(
         environment=args.environment,
@@ -29,6 +31,7 @@ def _cmd_unlock(args: argparse.Namespace) -> int:
         wireless=args.wireless,
         band=args.band,
         seed=args.seed,
+        tracer=tracer,
     )
     print(f"unlocked:  {outcome.unlocked}")
     print(f"reason:    {outcome.abort_reason.value}")
@@ -38,6 +41,11 @@ def _cmd_unlock(args: argparse.Namespace) -> int:
     if outcome.psnr_db is not None:
         print(f"pilot SNR: {outcome.psnr_db:.1f} dB")
     print(f"delay:     {outcome.total_delay_s:.2f} s")
+    if tracer is not None:
+        tracer.export_json(args.trace)
+        stages = ", ".join(outcome.stages_run)
+        print(f"stages:    {stages}", file=sys.stderr)
+        print(f"trace:     wrote {args.trace}", file=sys.stderr)
     return 0 if outcome.unlocked else 1
 
 
@@ -72,6 +80,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     results = run_all(
         only=only,
         progress=lambda n: print(f"running {n}...", file=sys.stderr),
+        workers=args.workers,
     )
     if args.out:
         save_report(results, args.out)
@@ -178,6 +187,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     unlock.add_argument("--secret", default="cli-demo-secret")
     unlock.add_argument("--seed", type=int, default=None)
+    unlock.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="export the per-stage trace (spans, timings, energy) as JSON",
+    )
     unlock.set_defaults(func=_cmd_unlock)
 
     experiment = sub.add_parser(
@@ -186,6 +201,13 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name")
     experiment.add_argument(
         "--out", default=None, help="write a JSON report to this path"
+    )
+    experiment.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan batch-replayable sweeps out over N workers "
+        "(results are bit-identical to a serial run)",
     )
     experiment.set_defaults(func=_cmd_experiment)
 

@@ -4,6 +4,15 @@ from .system import WearLock, PairingInfo
 from .metrics import BerStats, DelayStats, SuccessStats, summarize_outcomes
 from .pipeline import FilterChain, FilterResult
 from .colocation import AmbientComparator
+from .stages import (
+    EngineResult,
+    SessionContext,
+    Stage,
+    StageEngine,
+    StageResult,
+    StageRng,
+)
+from .trace import NullTracer, Span, TraceReport, Tracer
 
 __all__ = [
     "WearLock",
@@ -15,4 +24,14 @@ __all__ = [
     "FilterChain",
     "FilterResult",
     "AmbientComparator",
+    "Stage",
+    "StageResult",
+    "StageRng",
+    "SessionContext",
+    "EngineResult",
+    "StageEngine",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "TraceReport",
 ]

@@ -1,0 +1,287 @@
+"""Generic stage-graph engine for composable, traceable pipelines.
+
+The paper's Fig. 2 flow — and, per PAPERS.md, Sound-Proof's staged
+similarity checks and WearID's verification cascades — all share one
+shape: an ordered graph of stages where cheap gates run first, any
+stage may abort the attempt, and every stage should be independently
+measurable.  This module provides that shape, free of protocol
+specifics so eval harnesses can reuse it:
+
+* :class:`Stage` — the protocol a pipeline step implements;
+* :class:`SessionContext` — the mutable state one attempt carries
+  between stages;
+* :class:`StageEngine` — executes stages in order, short-circuits on
+  abort, and emits one trace span per stage (simulated time + energy).
+
+Abort reporting mirrors :class:`repro.core.pipeline.FilterChain`: the
+engine result names the stage that stopped the attempt (``stopped_by``)
+next to the domain-level ``abort_reason``, so filter-chain and
+stage-graph diagnostics read the same way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+import numpy as np
+
+from ..errors import WearLockError
+from .trace import NullTracer, Tracer
+
+__all__ = [
+    "Stage",
+    "StageResult",
+    "StageRng",
+    "SessionContext",
+    "EngineResult",
+    "StageEngine",
+]
+
+
+@dataclass(frozen=True)
+class StageResult:
+    """What one stage tells the engine: continue, or abort with why."""
+
+    ok: bool = True
+    abort_reason: Optional[str] = None
+    detail: Optional[float] = None
+
+    @staticmethod
+    def proceed() -> "StageResult":
+        return StageResult(ok=True)
+
+    @staticmethod
+    def abort(reason: str, detail: Optional[float] = None) -> "StageResult":
+        if not reason:
+            raise WearLockError("abort reason must be non-empty")
+        return StageResult(ok=False, abort_reason=reason, detail=detail)
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One named step of a pipeline."""
+
+    name: str
+
+    def run(self, ctx: "SessionContext") -> StageResult:
+        """Advance the attempt; return proceed() or abort(reason)."""
+        ...  # pragma: no cover - protocol
+
+
+def _stable_stream_key(name: str) -> int:
+    """A stable 64-bit integer derived from a stage name.
+
+    ``hash()`` is salted per interpreter run, which would make
+    per-stage generators irreproducible across processes — exactly what
+    batch replay must avoid — so derive from SHA-256 instead.
+    """
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class StageRng:
+    """Deterministic per-stage random generators from one root seed.
+
+    Every stage gets its *own* :class:`numpy.random.Generator`, derived
+    from ``(root entropy, sha256(stage name))``.  Consequences:
+
+    * the same seed always produces the same per-stage streams, no
+      matter how many draws other stages make or where the pipeline
+      aborts — stages are statistically isolated;
+    * a ``None`` seed draws OS entropy **once**, at construction, so a
+      run is internally consistent and there is no implicit
+      ``np.random.default_rng()`` fallback mid-run;
+    * passing ``shared`` (an existing Generator) reproduces the legacy
+      single-stream behaviour where every stage consumes from one
+      sequence in execution order — kept for callers that thread an
+      explicit ``rng`` through a session.
+    """
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        shared: Optional[np.random.Generator] = None,
+    ):
+        self._shared = shared
+        self._children: Dict[str, np.random.Generator] = {}
+        if shared is None:
+            self._root = np.random.SeedSequence(seed)
+        else:
+            self._root = None
+
+    @property
+    def entropy(self) -> Optional[int]:
+        """Root entropy (None in legacy shared-generator mode)."""
+        if self._root is None:
+            return None
+        e = self._root.entropy
+        return int(e) if not isinstance(e, (list, tuple)) else None
+
+    def for_stage(self, name: str) -> np.random.Generator:
+        """The generator owned by ``name`` (memoized)."""
+        if self._shared is not None:
+            return self._shared
+        if name not in self._children:
+            child = np.random.SeedSequence(
+                entropy=self._root.entropy,
+                spawn_key=(_stable_stream_key(name),),
+            )
+            self._children[name] = np.random.default_rng(child)
+        return self._children[name]
+
+    def seed_for(self, name: str, bound: int = 2**31) -> int:
+        """A deterministic integer seed owned by ``name``.
+
+        Used to seed sub-simulators (wireless link, acoustic channel)
+        that take integer seeds rather than Generators.
+        """
+        if self._shared is not None:
+            return int(self._shared.integers(0, bound))
+        child = np.random.SeedSequence(
+            entropy=self._root.entropy,
+            spawn_key=(_stable_stream_key("seed:" + name),),
+        )
+        return int(np.random.default_rng(child).integers(0, bound))
+
+
+@dataclass
+class SessionContext:
+    """All mutable state one unlock attempt carries between stages.
+
+    The typed core (config, timeline, meters, rng) is what the engine
+    itself reads; the remaining fields are the protocol's working set,
+    declared here so every stage shares one explicit schema instead of
+    smuggling state through closures.  Fields are loosely typed to keep
+    ``repro.core`` free of upward imports.
+    """
+
+    config: Any = None
+    system: Any = None
+    rng: Optional[StageRng] = None
+    timeline: Any = None
+    watch_meter: Any = None
+    phone_meter: Any = None
+    tracer: Optional[Tracer] = None
+
+    # actors and channels
+    phone: Any = None
+    watch: Any = None
+    wireless: Any = None
+    link: Any = None
+    planner: Any = None
+    sample_rate: float = 0.0
+
+    # attempt working set (filled in by successive stages)
+    phone_ambient: Any = None
+    noise_spl_estimate: Optional[float] = None
+    tx_spl: Optional[float] = None
+    sensor_pair: Any = None
+    probe_recording: Any = None
+    report: Any = None
+    noise_similarity: Optional[float] = None
+    motion_score: Optional[float] = None
+    fast_path: bool = False
+    nlos_verdict: Any = None
+    mode_decision: Any = None
+    token_tx: Any = None
+    config_msg: Any = None
+    data_recording: Any = None
+    received_bits: Any = None
+    unlocked: bool = False
+    raw_ber: Optional[float] = None
+
+    # free-form extras (experiment harnesses may stash state here)
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def rng_for(self, stage_name: str) -> np.random.Generator:
+        if self.rng is None:
+            raise WearLockError("SessionContext has no StageRng bound")
+        return self.rng.for_stage(stage_name)
+
+    def trace_span(self, name: str, **tags: str):
+        """A child span on the bound tracer (no-op when untraced)."""
+        if self.tracer is None:
+            return NullTracer().span(name)
+        return self.tracer.span(name, **tags)
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """How one engine pass ended (FilterChain-style reporting)."""
+
+    stages_run: Tuple[str, ...]
+    stopped_by: Optional[str]
+    abort_reason: Optional[str]
+    detail: Optional[float] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.stopped_by is None
+
+
+class StageEngine:
+    """Executes an ordered list of stages with abort short-circuit.
+
+    One trace span is emitted per stage, carrying the stage's simulated
+    duration (via the tracer's bound sim clock) and the watch/phone
+    energy it charged.  Aborting stages get ``status="abort"`` plus an
+    ``abort_reason`` tag so a trace alone tells the whole story.
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[Stage],
+        tracer: Optional[Tracer] = None,
+    ):
+        names = [s.name for s in stages]
+        if len(names) != len(set(names)):
+            raise WearLockError(f"duplicate stage names in {names}")
+        if not stages:
+            raise WearLockError("engine needs at least one stage")
+        self._stages: List[Stage] = list(stages)
+        self.tracer: Tracer = tracer if tracer is not None else NullTracer()
+
+    @property
+    def stage_names(self) -> List[str]:
+        return [s.name for s in self._stages]
+
+    @staticmethod
+    def _joules(meter: Any) -> float:
+        return float(meter.total_joules) if meter is not None else 0.0
+
+    def execute(self, ctx: SessionContext) -> EngineResult:
+        """Run stages in order; stop at the first abort."""
+        ctx.tracer = self.tracer
+        run: List[str] = []
+        for stage in self._stages:
+            watch0 = self._joules(ctx.watch_meter)
+            phone0 = self._joules(ctx.phone_meter)
+            with self.tracer.span(stage.name, kind="stage") as span:
+                result = stage.run(ctx)
+                span.watch_energy_j = self._joules(ctx.watch_meter) - watch0
+                span.phone_energy_j = self._joules(ctx.phone_meter) - phone0
+                if not result.ok:
+                    span.status = "abort"
+                    span.tags["abort_reason"] = result.abort_reason or ""
+            run.append(stage.name)
+            if not result.ok:
+                return EngineResult(
+                    stages_run=tuple(run),
+                    stopped_by=stage.name,
+                    abort_reason=result.abort_reason,
+                    detail=result.detail,
+                )
+        return EngineResult(
+            stages_run=tuple(run), stopped_by=None, abort_reason=None
+        )

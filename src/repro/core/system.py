@@ -124,11 +124,14 @@ class WearLock:
         nlos_blocking_db: float = 18.0,
         rng=None,
         seed: Optional[int] = None,
+        tracer=None,
     ) -> UnlockOutcome:
         """Run one unlock attempt in the described situation.
 
         Security state (OTP counter, failures, keyguard lockout)
-        persists across calls on the same pairing.
+        persists across calls on the same pairing.  Pass a
+        :class:`repro.core.trace.Tracer` to get a per-stage span
+        timeline on ``outcome.trace``.
         """
         session_config = SessionConfig(
             system=self._system,
@@ -147,7 +150,7 @@ class WearLock:
         session = UnlockSession(
             session_config, otp=self._otp, phone=self._phone
         )
-        outcome = session.run(rng=rng)
+        outcome = session.run(rng=rng, tracer=tracer)
         self._history.append(outcome)
         return outcome
 

@@ -3,6 +3,7 @@
 from .workloads import ber_trial, BerTrialResult, TrialSpec
 from .pin_entry import PinEntryModel
 from .reporting import format_table, format_series
+from .batch import BatchRunner, BatchTask, BatchResult, grid_tasks, cell_seed
 from . import experiments
 
 __all__ = [
@@ -12,5 +13,10 @@ __all__ = [
     "PinEntryModel",
     "format_table",
     "format_series",
+    "BatchRunner",
+    "BatchTask",
+    "BatchResult",
+    "grid_tasks",
+    "cell_seed",
     "experiments",
 ]

@@ -45,6 +45,7 @@ from ..sensors.traces import (
     magnitude,
 )
 from ..wireless.radio import BleLink, WifiLink
+from .batch import BatchRunner, BatchTask, cell_seed
 from .pin_entry import PinEntryModel
 from .workloads import TrialSpec, average_ber, ber_trial
 
@@ -109,12 +110,30 @@ def fig4_propagation(
 # ---------------------------------------------------------------------------
 
 
+def _fig5_cell(
+    mode: str, noise_spl: float, n_trials: int, n_bits: int, seed: int
+) -> Tuple[float, float]:
+    """One (mode, noise SPL) cell of Fig. 5 — self-contained, seeded."""
+    env = get_environment("quiet_room")
+    spec = TrialSpec(
+        mode=mode,
+        n_bits=n_bits,
+        distance_m=0.5,
+        tx_spl=78.0,
+        noise=NoiseScene(spl_db=noise_spl),
+        room=env.room,
+    )
+    r = average_ber(spec, n_trials, seed=seed)
+    return (float(r.ebn0_db), float(r.ber))
+
+
 def fig5_ber_vs_ebn0(
     modes: Sequence[str] = ("BASK", "QASK", "BPSK", "QPSK", "8PSK", "16QAM"),
     noise_spls: Sequence[float] = (62.0, 56.0, 50.0, 44.0, 38.0),
     n_trials: int = 4,
     n_bits: int = 240,
     seed: int = 5,
+    workers: Optional[int] = None,
 ) -> Dict:
     """BER vs Eb/N0 measured through the simulated link, plus the model.
 
@@ -123,22 +142,26 @@ def fig5_ber_vs_ebn0(
     (ebn0, ber) points and the calibrated :class:`BerModel` curves used
     by the adaptive modulator.
     """
-    env = get_environment("quiet_room")
     model = BerModel()
-    measured: Dict[str, List[Tuple[float, float]]] = {m: [] for m in modes}
-    for mode in modes:
-        for i, spl in enumerate(noise_spls):
-            spec = TrialSpec(
+    tasks = [
+        BatchTask(
+            key=(mode, spl),
+            params=dict(
                 mode=mode,
+                noise_spl=spl,
+                n_trials=n_trials,
                 n_bits=n_bits,
-                distance_m=0.5,
-                tx_spl=78.0,
-                noise=NoiseScene(spl_db=spl),
-                room=env.room,
-            )
-            r = average_ber(spec, n_trials, seed=seed * 1000 + i)
-            if r.ebn0_db > -np.inf:
-                measured[mode].append((r.ebn0_db, r.ber))
+                seed=seed * 1000 + i,
+            ),
+        )
+        for mode in modes
+        for i, spl in enumerate(noise_spls)
+    ]
+    measured: Dict[str, List[Tuple[float, float]]] = {m: [] for m in modes}
+    for res in BatchRunner(_fig5_cell, workers=workers).run(tasks):
+        ebn0, ber = res.value
+        if ebn0 > -np.inf:
+            measured[res.key[0]].append((ebn0, ber))
 
     ebn0_grid = list(np.arange(0.0, 42.0, 3.0))
     model_curves = {
@@ -239,17 +262,39 @@ def band_noise_spl(
 # ---------------------------------------------------------------------------
 
 
+def _fig7_cell(
+    mode: str, distance_m: float, tx_spl: float, n_trials: int, seed: int
+) -> float:
+    """One (mode, distance) cell of Fig. 7 — self-contained, seeded."""
+    env = get_environment("office")
+    spec = TrialSpec(
+        mode=mode,
+        distance_m=distance_m,
+        tx_spl=tx_spl,
+        band="ultrasound",
+        noise=env.noise,
+        room=env.room,
+    )
+    return float(average_ber(spec, n_trials, seed=seed).ber)
+
+
 def fig7_range(
     modes: Sequence[str] = TRANSMISSION_MODES,
     distances: Sequence[float] = (0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5),
     n_trials: int = 4,
     seed: int = 7,
+    workers: Optional[int] = None,
 ) -> Dict:
     """BER vs distance for the three modes in the near-ultrasound band.
 
     The transmit volume follows the paper's rule (minimum SNR at 1 m),
     so BER should be low inside a meter and fade sharply beyond —
     higher-order modes fading sooner.
+
+    The shared setup (band noise estimate, volume rule) is computed
+    once; the (mode, distance) grid then replays through a
+    :class:`~repro.eval.batch.BatchRunner`, so ``workers>1`` fans the
+    cells out with bit-identical results.
     """
     env = get_environment("office")
     config = ModemConfig().near_ultrasound()
@@ -262,19 +307,24 @@ def fig7_range(
     target = required_tx_spl(noise_spl, min_snr_db=10.0, range_m=1.0)
     tx_spl = volume.spl_for_step(volume.step_for_spl(target))
 
-    curves: Dict[str, List[Tuple[float, float]]] = {m: [] for m in modes}
-    for mode in modes:
-        for i, d in enumerate(distances):
-            spec = TrialSpec(
+    tasks = [
+        BatchTask(
+            key=(mode, d),
+            params=dict(
                 mode=mode,
                 distance_m=d,
                 tx_spl=tx_spl,
-                band="ultrasound",
-                noise=env.noise,
-                room=env.room,
-            )
-            r = average_ber(spec, n_trials, seed=seed * 1000 + i)
-            curves[mode].append((d, r.ber))
+                n_trials=n_trials,
+                seed=seed * 1000 + i,
+            ),
+        )
+        for mode in modes
+        for i, d in enumerate(distances)
+    ]
+    curves: Dict[str, List[Tuple[float, float]]] = {m: [] for m in modes}
+    for res in BatchRunner(_fig7_cell, workers=workers).run(tasks):
+        mode, d = res.key
+        curves[mode].append((d, res.value))
     return {"tx_spl": tx_spl, "noise_spl": noise_spl, "curves": curves}
 
 
@@ -501,41 +551,57 @@ def fig11_comm_delay(
 # ---------------------------------------------------------------------------
 
 
-def fig12_total_delay(n_trials: int = 8, seed: int = 12) -> Dict:
+#: The paper's three device/radio configurations for Fig. 12, keyed so
+#: batch cells can reference them by name (picklable task params).
+_FIG12_CONFIGS = {
+    "Config1 (WiFi + Nexus 6)": dict(
+        wireless="wifi", phone_device=NEXUS6,
+        offload=Placement.PHONE_OFFLOAD,
+    ),
+    "Config2 (BT + Galaxy Nexus)": dict(
+        wireless="ble", phone_device=GALAXY_NEXUS,
+        offload=Placement.PHONE_OFFLOAD,
+    ),
+    "Config3 (local on Moto 360)": dict(
+        wireless="ble", phone_device=NEXUS6,
+        offload=Placement.WATCH_LOCAL,
+    ),
+}
+
+
+def _fig12_cell(config_label: str, seed: int) -> Tuple[float, bool]:
+    """One seeded unlock attempt under a named Fig. 12 configuration."""
+    session_config = SessionConfig(
+        environment="office",
+        distance_m=0.4,
+        seed=seed,
+        **_FIG12_CONFIGS[config_label],
+    )
+    outcome = UnlockSession(
+        session_config, otp=OtpManager(b"fig12-key")
+    ).run()
+    return (float(outcome.total_delay_s), bool(outcome.unlocked))
+
+
+def fig12_total_delay(
+    n_trials: int = 8, seed: int = 12, workers: Optional[int] = None
+) -> Dict:
     """End-to-end unlock delay in the paper's three configs vs PINs."""
-    configs = {
-        "Config1 (WiFi + Nexus 6)": dict(
-            wireless="wifi", phone_device=NEXUS6,
-            offload=Placement.PHONE_OFFLOAD,
-        ),
-        "Config2 (BT + Galaxy Nexus)": dict(
-            wireless="ble", phone_device=GALAXY_NEXUS,
-            offload=Placement.PHONE_OFFLOAD,
-        ),
-        "Config3 (local on Moto 360)": dict(
-            wireless="ble", phone_device=NEXUS6,
-            offload=Placement.WATCH_LOCAL,
-        ),
-    }
+    tasks = [
+        BatchTask(
+            key=(label, i),
+            params=dict(config_label=label, seed=seed * 1000 + i),
+        )
+        for label in _FIG12_CONFIGS
+        for i in range(n_trials)
+    ]
+    results = BatchRunner(_fig12_cell, workers=workers).run(tasks)
     out: Dict[str, Dict] = {"wearlock": {}, "pin": {}}
-    for label, kwargs in configs.items():
-        delays = []
-        successes = 0
-        for i in range(n_trials):
-            session_config = SessionConfig(
-                environment="office",
-                distance_m=0.4,
-                seed=seed * 1000 + i,
-                **kwargs,
-            )
-            outcome = UnlockSession(
-                session_config, otp=OtpManager(b"fig12-key")
-            ).run()
-            delays.append(outcome.total_delay_s)
-            successes += outcome.unlocked
+    for label in _FIG12_CONFIGS:
+        cells = [r.value for r in results if r.key[0] == label]
         out["wearlock"][label] = {
-            "median_s": float(np.median(delays)),
-            "success": successes,
+            "median_s": float(np.median([delay for delay, _ in cells])),
+            "success": sum(ok for _, ok in cells),
             "n": n_trials,
         }
     pin = PinEntryModel()
@@ -557,7 +623,91 @@ def fig12_total_delay(n_trials: int = 8, seed: int = 12) -> Dict:
 # ---------------------------------------------------------------------------
 
 
-def table1_field_test(n_trials: int = 4, seed: int = 1) -> Dict:
+#: (distance, los, blocking audible, blocking ultrasound) per hand.
+_TABLE1_HAND_CONFIGS = {
+    "diff_hand": (0.40, True, 0.0, 0.0),
+    "same_hand": (0.15, False, 7.0, 15.0),
+}
+
+_TABLE1_LOCATIONS = ("office", "classroom", "cafe", "grocery_store")
+
+
+def _table1_cell(
+    band: str, hand: str, location: str, seed: int
+) -> Tuple[float, str]:
+    """One field-test trial: probe → adaptive mode selection → BER.
+
+    Entirely self-seeded from its own cell seed, so the grid can run in
+    any order on any executor and produce the same numbers.
+    """
+    rng = np.random.default_rng(seed)
+    base_config = (
+        ModemConfig() if band == "audible" else ModemConfig().near_ultrasound()
+    )
+    plan = ChannelPlan.from_config(base_config)
+    prober = ChannelProber(base_config, plan)
+    modulator = AdaptiveModulator()
+    dist, los, block_aud, block_ultra = _TABLE1_HAND_CONFIGS[hand]
+    blocking = block_aud if band == "audible" else block_ultra
+    env = get_environment(location)
+    from ..channel.acoustics import required_tx_spl
+
+    # Real phone speakers top out near 88 dB SPL at the reference
+    # distance; loud scenes therefore run with a thinner SNR margin —
+    # which is exactly when adaptive modulation matters (the paper's
+    # loud cells use QPSK).
+    tx_spl = min(
+        required_tx_spl(
+            env.noise.effective_spl(), min_snr_db=6.0, range_m=1.0
+        ),
+        88.0,
+    )
+    mic = (
+        MicrophoneModel(sample_rate=base_config.sample_rate)
+        if band == "audible"
+        else MicrophoneModel.wide_band(base_config.sample_rate)
+    )
+    link = AcousticLink(
+        sample_rate=base_config.sample_rate,
+        microphone=mic,
+        room=env.room,
+        noise=env.noise,
+        distance_m=dist,
+        los=los,
+        nlos_blocking_db=blocking if not los else 18.0,
+    )
+    probe_rec, _ = link.transmit(prober.build_probe(), tx_spl=tx_spl, rng=rng)
+    report = prober.analyze(probe_rec)
+    if not report.detected:
+        return (1.0, "none")
+    use_plan = report.recommended_plan or plan
+    chosen = None
+    for mode in modulator.modes:
+        ebn0 = report.ebn0_db(base_config, use_plan, mode)
+        if ebn0 >= modulator.model.min_ebn0_db(mode, 0.1):
+            chosen = mode
+            break
+    if chosen is None:
+        # No mode meets MaxBER at the estimated SNR; fall back to the
+        # most robust deployed mode (the field test always transmits).
+        chosen = "QPSK"
+    spec = TrialSpec(
+        mode=chosen,
+        distance_m=dist,
+        tx_spl=tx_spl,
+        los=los,
+        band=band,
+        noise=env.noise,
+        room=env.room,
+        plan=use_plan,
+        nlos_blocking_db=blocking if not los else 18.0,
+    )
+    return (float(ber_trial(spec, rng=rng).ber), chosen)
+
+
+def table1_field_test(
+    n_trials: int = 4, seed: int = 1, workers: Optional[int] = None
+) -> Dict:
     """BER in office/classroom/cafe/grocery × same/diff hand × band.
 
     Each cell runs the adaptive pipeline (probe → mode selection →
@@ -566,103 +716,45 @@ def table1_field_test(n_trials: int = 4, seed: int = 1) -> Dict:
     direct path; the obstruction costs more in the near-ultrasound band
     (shorter wavelengths diffract less around a wrist), which is the
     paper's headline observation for this table.
-    """
-    locations = ("office", "classroom", "cafe", "grocery_store")
-    cells = []
-    hand_configs = {
-        # (distance, los, blocking audible, blocking ultrasound)
-        "diff_hand": (0.40, True, 0.0, 0.0),
-        "same_hand": (0.15, False, 7.0, 15.0),
-    }
-    modulator = AdaptiveModulator()
-    rng = np.random.default_rng(seed)
-    for band in ("audible", "ultrasound"):
-        base_config = (
-            ModemConfig()
-            if band == "audible"
-            else ModemConfig().near_ultrasound()
-        )
-        plan = ChannelPlan.from_config(base_config)
-        prober = ChannelProber(base_config, plan)
-        for hand, (dist, los, block_aud, block_ultra) in hand_configs.items():
-            blocking = block_aud if band == "audible" else block_ultra
-            for location in locations:
-                env = get_environment(location)
-                from ..channel.acoustics import required_tx_spl
 
-                # Real phone speakers top out near 88 dB SPL at the
-                # reference distance; loud scenes therefore run with a
-                # thinner SNR margin — which is exactly when adaptive
-                # modulation matters (the paper's loud cells use QPSK).
-                tx_spl = min(
-                    required_tx_spl(
-                        env.noise.effective_spl(),
-                        min_snr_db=6.0,
-                        range_m=1.0,
-                    ),
-                    88.0,
-                )
-                bers, modes = [], []
-                for _ in range(n_trials):
-                    mic = (
-                        MicrophoneModel(sample_rate=base_config.sample_rate)
-                        if band == "audible"
-                        else MicrophoneModel.wide_band(
-                            base_config.sample_rate
-                        )
-                    )
-                    link = AcousticLink(
-                        sample_rate=base_config.sample_rate,
-                        microphone=mic,
-                        room=env.room,
-                        noise=env.noise,
-                        distance_m=dist,
-                        los=los,
-                        nlos_blocking_db=blocking if not los else 18.0,
-                    )
-                    probe_rec, _ = link.transmit(
-                        prober.build_probe(), tx_spl=tx_spl, rng=rng
-                    )
-                    report = prober.analyze(probe_rec)
-                    if not report.detected:
-                        bers.append(1.0)
-                        modes.append("none")
-                        continue
-                    use_plan = report.recommended_plan or plan
-                    chosen = None
-                    for mode in modulator.modes:
-                        ebn0 = report.ebn0_db(base_config, use_plan, mode)
-                        if ebn0 >= modulator.model.min_ebn0_db(mode, 0.1):
-                            chosen = mode
-                            break
-                    if chosen is None:
-                        # No mode meets MaxBER at the estimated SNR;
-                        # fall back to the most robust deployed mode
-                        # (the paper's field test always transmits).
-                        chosen = "QPSK"
-                    modes.append(chosen)
-                    spec = TrialSpec(
-                        mode=chosen,
-                        distance_m=dist,
-                        tx_spl=tx_spl,
-                        los=los,
-                        band=band,
-                        noise=env.noise,
-                        room=env.room,
-                        plan=use_plan,
-                        nlos_blocking_db=blocking if not los else 18.0,
-                    )
-                    bers.append(ber_trial(spec, rng=rng).ber)
-                dominant = max(set(modes), key=modes.count)
-                cells.append(
-                    {
-                        "band": band,
-                        "hand": hand,
-                        "location": location,
-                        "ber": float(np.mean(bers)),
-                        "mode": dominant,
-                    }
-                )
+    Every trial derives its own seed from the sweep seed and the cell
+    coordinates (:func:`~repro.eval.batch.cell_seed`), so serial and
+    parallel runs return byte-identical results.
+    """
+    tasks = [
+        BatchTask(
+            key=(band, hand, location, trial),
+            params=dict(
+                band=band,
+                hand=hand,
+                location=location,
+                seed=cell_seed(seed, band, hand, location, trial),
+            ),
+        )
+        for band in ("audible", "ultrasound")
+        for hand in _TABLE1_HAND_CONFIGS
+        for location in _TABLE1_LOCATIONS
+        for trial in range(n_trials)
+    ]
+    results = BatchRunner(_table1_cell, workers=workers).run(tasks)
+    by_cell: Dict[Tuple[str, str, str], List[Tuple[float, str]]] = {}
+    for r in results:
+        by_cell.setdefault(r.key[:3], []).append(r.value)
+    cells = []
+    for (band, hand, location), trials in by_cell.items():
+        bers = [ber for ber, _ in trials]
+        modes = [mode for _, mode in trials]
+        cells.append(
+            {
+                "band": band,
+                "hand": hand,
+                "location": location,
+                "ber": float(np.mean(bers)),
+                # sorted() keeps ties deterministic across interpreter
+                # runs (set order follows the randomized string hash)
+                "mode": max(sorted(set(modes)), key=modes.count),
+            }
+        )
     overall = float(np.mean([c["ber"] for c in cells]))
     return {"cells": cells, "average_ber": overall}
 

@@ -12,6 +12,7 @@ From the CLI::
 
 from __future__ import annotations
 
+import inspect
 import json
 from pathlib import Path
 from typing import Callable, Dict, Optional, Union
@@ -62,6 +63,7 @@ def _jsonable(obj):
 def run_all(
     only: Optional[list] = None,
     progress: Optional[Callable[[str], None]] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, dict]:
     """Run every (or a subset of) registered experiment.
 
@@ -72,6 +74,10 @@ def run_all(
     progress:
         Optional callback invoked with each experiment id before it
         runs (for CLI progress lines).
+    workers:
+        Optional worker count forwarded to the experiments whose
+        sweeps run on a :class:`~repro.eval.batch.BatchRunner`.
+        Per-cell seeding makes the results identical either way.
     """
     selected = only if only is not None else list(EXPERIMENT_REGISTRY)
     unknown = [name for name in selected if name not in EXPERIMENT_REGISTRY]
@@ -84,7 +90,11 @@ def run_all(
     for name in selected:
         if progress is not None:
             progress(name)
-        results[name] = _jsonable(EXPERIMENT_REGISTRY[name]())
+        fn = EXPERIMENT_REGISTRY[name]
+        kwargs = {}
+        if workers and "workers" in inspect.signature(fn).parameters:
+            kwargs["workers"] = workers
+        results[name] = _jsonable(fn(**kwargs))
     return results
 
 

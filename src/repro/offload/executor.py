@@ -44,8 +44,27 @@ class OffloadExecutor:
         self.watch_meter = EnergyMeter(device=watch)
         self.phone_meter = EnergyMeter(device=phone)
 
-    def execute(self, plan: ProcessingPlan, work: Workload) -> ExecutionReport:
-        """Run ``work`` where ``plan`` says; return measured costs."""
+    def execute(
+        self, plan: ProcessingPlan, work: Workload, tracer=None
+    ) -> ExecutionReport:
+        """Run ``work`` where ``plan`` says; return measured costs.
+
+        With a :class:`repro.core.trace.Tracer` the execution is
+        recorded as an ``offload.execute`` span carrying the placement
+        and the measured transfer/compute split.
+        """
+        if tracer is not None and tracer.enabled:
+            with tracer.span(
+                "offload.execute", placement=plan.placement.name
+            ) as span:
+                report = self._execute(plan, work)
+                span.counters["transfer_s"] = report.transfer_s
+                span.counters["compute_s"] = report.compute_s
+                span.counters["work_mops"] = work.mops
+            return report
+        return self._execute(plan, work)
+
+    def _execute(self, plan: ProcessingPlan, work: Workload) -> ExecutionReport:
         if plan.placement is Placement.WATCH_LOCAL:
             compute_s = self.watch_meter.record_compute(work.mops)
             return ExecutionReport(

@@ -4,6 +4,7 @@ from .events import SimClock, Timeline, TimelineEvent
 from .keyguard import Keyguard, LockState
 from .controllers import PhoneController, WatchController
 from .session import UnlockSession, SessionConfig, UnlockOutcome, AbortReason
+from .stages import UNLOCK_STAGE_NAMES, build_unlock_stages
 
 __all__ = [
     "SimClock",
@@ -17,4 +18,6 @@ __all__ = [
     "SessionConfig",
     "UnlockOutcome",
     "AbortReason",
+    "UNLOCK_STAGE_NAMES",
+    "build_unlock_stages",
 ]

@@ -1,26 +1,33 @@
 """End-to-end unlock sessions: the full two-phase protocol, timed.
 
 An :class:`UnlockSession` wires a :class:`PhoneController` and a
-:class:`WatchController` to a simulated acoustic link and wireless link,
-then executes the paper's Fig. 2 flow:
+:class:`WatchController` to a simulated acoustic link and wireless
+link, then executes the paper's Fig. 2 flow as a **stage graph** (see
+:mod:`repro.protocol.stages` for the stage-by-stage mapping):
 
-1. power-button click → Bluetooth link check;
-2. Phase 1: RTS message, watch records sensor + probe clip, probe
-   processing (local or offloaded), CTS with channel report;
-3. pre-filters: ambient-noise similarity, motion DTW, NLOS gate;
-4. adaptive modulation + sub-channel selection, config message;
-5. Phase 2: OTP transmission, recording, demodulation (local or
-   offloaded), token verification, keyguard update.
+    wireless-check → sensor-capture → probe-tx → probe-process →
+    prefilter → mode-select → otp-tx → verify
 
-Every step charges the :class:`Timeline` (for Figs. 10-12) and the
-devices' :class:`EnergyMeter`\\ s (for Fig. 6).
+The :class:`repro.core.stages.StageEngine` short-circuits on abort and
+emits one trace span per stage, so a finished attempt can be dissected
+— per-stage simulated time, wall time, and energy — without re-running
+anything.  Every step still charges the :class:`Timeline` (for
+Figs. 10-12) and the devices' :class:`EnergyMeter`\\ s (for Fig. 6).
+
+Randomness: a :class:`SessionConfig`-supplied ``seed`` deterministically
+derives one independent generator per stage (via
+:class:`repro.core.stages.StageRng`), so attempts replay bit-exactly
+and can be fanned out across workers in any order.  Passing an explicit
+``numpy`` Generator to :meth:`UnlockSession.run` instead threads that
+single stream through the stages in execution order (the legacy
+behaviour).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -28,30 +35,46 @@ from ..channel.hardware import MicrophoneModel, SpeakerModel
 from ..channel.link import AcousticLink
 from ..channel.scenarios import Environment, get_environment
 from ..config import SystemConfig
+from ..core.stages import SessionContext, StageEngine, StageRng
+from ..core.trace import TraceReport, Tracer
 from ..devices.battery import EnergyMeter
-from ..devices.compute import (
-    demodulation_workload,
-    dtw_workload,
-    probe_processing_workload,
-)
 from ..devices.profiles import DeviceProfile, MOTO360, NEXUS6
-from ..errors import PreambleNotFoundError, WearLockError
-from ..modem.bits import bit_error_rate
+from ..errors import WearLockError
 from ..offload.planner import OffloadPlanner, Placement
 from ..security.otp import OtpManager
-from ..sensors.motion_filter import MotionDecision
-from ..sensors.traces import (
-    ActivityKind,
-    co_located_pair,
-    different_devices_pair,
-)
-from ..wireless.radio import BleLink, WifiLink, WirelessLink
+from ..sensors.traces import ActivityKind
+from ..wireless.radio import BleLink, WifiLink
 from .controllers import PhoneController, WatchController
 from .events import Timeline
+from .stages import (
+    AUDIO_PATH_START_DELAY,
+    BUTTON_TO_APP_DELAY,
+    KEYGUARD_DISMISS_DELAY,
+    SENSOR_WINDOW_SECONDS,
+    UNLOCK_STAGE_NAMES,
+    build_unlock_stages,
+)
+
+__all__ = [
+    "AbortReason",
+    "SessionConfig",
+    "UnlockOutcome",
+    "UnlockSession",
+    "ambient_similarity",
+    "BUTTON_TO_APP_DELAY",
+    "AUDIO_PATH_START_DELAY",
+    "KEYGUARD_DISMISS_DELAY",
+    "SENSOR_WINDOW_SECONDS",
+]
 
 
 class AbortReason(str, Enum):
-    """Why a session ended without an unlock."""
+    """Why a session ended without an unlock.
+
+    Values double as the stage engine's abort-reason strings, so a
+    stage's ``StageResult.abort(...)`` and a ``FilterChain``'s
+    ``stopped_by`` both round-trip through this enum.
+    """
 
     NONE = "none"
     NO_WIRELESS_LINK = "no_wireless_link"
@@ -63,14 +86,6 @@ class AbortReason(str, Enum):
     TOKEN_REJECTED = "token_rejected"
     DATA_NOT_DETECTED = "data_not_detected"
     LOCKED_OUT = "locked_out"
-
-
-# Android-stack latency constants (seconds), calibrated to the paper's
-# measured end-to-end delays (Fig. 12 regime).
-BUTTON_TO_APP_DELAY = 0.05
-AUDIO_PATH_START_DELAY = 0.12
-KEYGUARD_DISMISS_DELAY = 0.08
-SENSOR_WINDOW_SECONDS = 2.0  # 100 samples at 50 Hz
 
 
 @dataclass
@@ -120,6 +135,9 @@ class UnlockOutcome:
     timeline: Timeline
     watch_energy_j: float
     phone_energy_j: float
+    stages_run: Tuple[str, ...] = ()
+    stopped_by: Optional[str] = None
+    trace: Optional[TraceReport] = None
 
     @property
     def succeeded(self) -> bool:
@@ -150,6 +168,9 @@ def ambient_similarity(
 
 class UnlockSession:
     """Runs one complete unlock attempt against the simulated world."""
+
+    #: The Fig. 2 stage order this session executes.
+    stage_names = UNLOCK_STAGE_NAMES
 
     def __init__(
         self,
@@ -199,265 +220,74 @@ class UnlockSession:
             seed=seed,
         )
 
+    def _build_context(self, rng) -> SessionContext:
+        """Assemble the immutable actors + fresh per-attempt state."""
+        if isinstance(rng, np.random.Generator):
+            stage_rng = StageRng(shared=rng)
+        else:
+            stage_rng = StageRng(
+                seed=rng if rng is not None else self.config.seed
+            )
+        wireless = self._link_cls(
+            connected=self.config.wireless_connected,
+            seed=stage_rng.seed_for("wireless"),
+        )
+        return SessionContext(
+            config=self.config,
+            system=self._system,
+            rng=stage_rng,
+            timeline=Timeline(),
+            watch_meter=EnergyMeter(device=self.config.watch_device),
+            phone_meter=EnergyMeter(device=self.config.phone_device),
+            phone=self.phone,
+            watch=self.watch,
+            wireless=wireless,
+            link=self._acoustic_link(stage_rng.seed_for("acoustic-link")),
+            planner=OffloadPlanner(
+                self.config.watch_device,
+                self.config.phone_device,
+                wireless,
+                prefer=self.config.offload,
+            ),
+            sample_rate=self._system.modem.sample_rate,
+            noise_spl_estimate=float(self._env.noise.effective_spl()),
+        )
+
     # ------------------------------------------------------------------
     # the protocol
     # ------------------------------------------------------------------
 
-    def run(self, rng=None) -> UnlockOutcome:
-        """Execute the full protocol once."""
-        generator = (
-            rng
-            if isinstance(rng, np.random.Generator)
-            else np.random.default_rng(
-                rng if rng is not None else self.config.seed
-            )
+    def run(self, rng=None, tracer: Optional[Tracer] = None) -> UnlockOutcome:
+        """Execute the full protocol once via the stage engine."""
+        ctx = self._build_context(rng)
+        engine = StageEngine(build_unlock_stages(), tracer=tracer)
+        engine.tracer.bind_sim_clock(lambda: ctx.timeline.clock.now)
+        result = engine.execute(ctx)
+        reason = (
+            AbortReason(result.abort_reason)
+            if result.abort_reason is not None
+            else AbortReason.NONE
         )
-        timeline = Timeline()
-        watch_meter = EnergyMeter(device=self.config.watch_device)
-        phone_meter = EnergyMeter(device=self.config.phone_device)
-        wireless: WirelessLink = self._link_cls(
-            connected=self.config.wireless_connected,
-            seed=int(generator.integers(0, 2**31)),
-        )
-        link = self._acoustic_link(int(generator.integers(0, 2**31)))
-        fs = self._system.modem.sample_rate
-
-        def outcome(
-            unlocked: bool,
-            reason: AbortReason,
-            mode=None,
-            ber=None,
-            psnr=None,
-            motion=None,
-            noise_sim=None,
-            nlos=None,
-        ) -> UnlockOutcome:
-            return UnlockOutcome(
-                unlocked=unlocked,
-                abort_reason=reason,
-                total_delay_s=timeline.total,
-                mode=mode,
-                raw_ber=ber,
-                psnr_db=psnr,
-                motion_score=motion,
-                noise_similarity=noise_sim,
-                nlos=nlos,
-                timeline=timeline,
-                watch_energy_j=watch_meter.total_joules,
-                phone_energy_j=phone_meter.total_joules,
-            )
-
-        # -- 0. power button, wireless link presence ------------------
-        timeline.record("button_to_app", BUTTON_TO_APP_DELAY, "stack")
-        if not wireless.connected:
-            return outcome(False, AbortReason.NO_WIRELESS_LINK)
-
-        # -- 1. RTS handshake ------------------------------------------
-        rts = wireless.send_message(24)
-        timeline.record("msg_rts", rts.seconds, "comm")
-        ack = wireless.send_message(16)
-        timeline.record("msg_rts_ack", ack.seconds, "comm")
-
-        # -- 2. Phase 1: probe over the air ----------------------------
-        timeline.record("audio_start_p1", AUDIO_PATH_START_DELAY, "stack")
-        prober = self.watch.prober
-        probe_wave = prober.build_probe()
-
-        # The phone self-records ambient noise before transmitting
-        # (used for the volume rule and the noise-similarity filter).
-        phone_ambient = link.record_ambient(0.15, rng=generator)
-        noise_spl_estimate = float(
-            self._env.noise.effective_spl()
-        )
-        _, tx_spl = self.phone.choose_volume(noise_spl_estimate)
-
-        probe_recording, _ = link.transmit(
-            probe_wave, tx_spl=tx_spl, rng=generator
-        )
-        probe_air_s = probe_recording.size / fs
-        timeline.record("probe_on_air", probe_air_s, "audio")
-        watch_meter.record_audio(probe_air_s)
-        phone_meter.record_audio(probe_air_s)
-
-        # -- 3. Phase-1 processing (local or offloaded) ----------------
-        clip_bytes = int(probe_recording.size * 2)
-        p1_work = probe_processing_workload(
-            probe_recording.size,
-            self._system.modem.preamble_length,
-            self._system.modem.fft_size,
-        )
-        planner = OffloadPlanner(
-            self.config.watch_device,
-            self.config.phone_device,
-            wireless,
-            prefer=self.config.offload,
-        )
-        p1_plan = planner.plan(p1_work, clip_bytes)
-        if p1_plan.offloaded:
-            xfer = wireless.send_file(clip_bytes)
-            timeline.record("p1_audio_transfer", xfer.seconds, "comm")
-            watch_meter.record_radio(xfer.seconds)
-            p1_compute = phone_meter.record_compute(p1_work.mops)
-            timeline.record("p1_processing_phone", p1_compute, "compute_p1")
-        else:
-            p1_compute = watch_meter.record_compute(p1_work.mops)
-            timeline.record("p1_processing_watch", p1_compute, "compute_p1")
-
-        report = self.watch.analyze_probe(probe_recording)
-        cts = self.watch.cts_message(report)
-        cts_xfer = wireless.send_message(cts.size_bytes())
-        timeline.record("msg_cts", cts_xfer.seconds, "comm")
-
-        if not report.detected:
-            return outcome(False, AbortReason.PROBE_NOT_DETECTED)
-
-        # -- 4. pre-filters --------------------------------------------
-        noise_sim = None
-        # The Sound-Proof-style filter needs ambient *context*: in a
-        # near-silent room each microphone mostly hears its own noise
-        # floor, whose spectra are uncorrelated even when co-located
-        # (the limitation the "Sound of silence" paper addresses), so
-        # the filter only runs when the scene is loud enough to carry
-        # a fingerprint.
-        if self.config.use_noise_filter and noise_spl_estimate >= 35.0:
-            watch_head = probe_recording[
-                : max(int(0.1 * fs), self._system.modem.fft_size)
-            ]
-            noise_sim = ambient_similarity(phone_ambient, watch_head, fs)
-            if noise_sim < 0.25:
-                return outcome(
-                    False, AbortReason.NOISE_MISMATCH, noise_sim=noise_sim
-                )
-
-        motion_score = None
-        fast_path = False
-        if self.config.use_motion_filter:
-            if self.config.co_located:
-                phone_xyz, watch_xyz = co_located_pair(
-                    self.config.activity, rng=generator
-                )
-            else:
-                phone_xyz, watch_xyz = different_devices_pair(
-                    self.config.activity, rng=generator
-                )
-            sensor_msg_s = wireless.send_message(24 + 400).seconds
-            timeline.record("msg_sensor", sensor_msg_s, "comm")
-            dtw_s = phone_meter.record_compute(
-                dtw_workload(100, 100).mops
-            )
-            timeline.record("dtw_on_phone", dtw_s, "compute_p1")
-            motion = self.phone.evaluate_motion(phone_xyz, watch_xyz)
-            motion_score = motion.score
-            if motion.decision is MotionDecision.ABORT:
-                return outcome(
-                    False,
-                    AbortReason.MOTION_MISMATCH,
-                    motion=motion_score,
-                    noise_sim=noise_sim,
-                )
-            fast_path = motion.decision is MotionDecision.FAST_PATH
-
-        # -- 5. NLOS + adaptive modulation ------------------------------
-        nlos_verdict = self.phone.evaluate_nlos(report)
-        max_ber = (
-            self.config.max_ber
-            if self.config.max_ber is not None
-            else self._system.security.max_ber
-        )
-        if nlos_verdict.nlos and self.config.use_nlos_check:
-            # The case study relaxes the BER requirement under NLOS
-            # rather than refusing outright.
-            max_ber = max(
-                max_ber, self._system.security.nlos_relaxed_max_ber
-            )
-        if fast_path:
-            # Motion fast path: high confidence of co-location, accept a
-            # tighter packet (reduce MaxBER, per Alg. 1's comment).
-            max_ber = min(max_ber, self._system.security.max_ber)
-
-        decision = self.phone.select_mode(report, max_ber)
-        if not decision.feasible:
-            return outcome(
-                False,
-                AbortReason.NO_FEASIBLE_MODE,
-                psnr=report.psnr_db,
-                motion=motion_score,
-                noise_sim=noise_sim,
-                nlos=nlos_verdict.nlos,
-            )
-
-        # -- 6. Phase 2: token over the air -----------------------------
-        tt = self.phone.prepare_token(
-            decision, report.recommended_plan, tx_spl
-        )
-        cfg_msg = self.phone.channel_config_message(tt)
-        cfg_xfer = wireless.send_message(cfg_msg.size_bytes())
-        timeline.record("msg_channel_config", cfg_xfer.seconds, "comm")
-
-        timeline.record("audio_start_p2", AUDIO_PATH_START_DELAY, "stack")
-        data_recording, _ = link.transmit(
-            tt.result.waveform, tx_spl=tx_spl, rng=generator
-        )
-        data_air_s = data_recording.size / fs
-        timeline.record("token_on_air", data_air_s, "audio")
-        watch_meter.record_audio(data_air_s)
-        phone_meter.record_audio(data_air_s)
-
-        stop_xfer = wireless.send_message(16)
-        timeline.record("msg_stop_recording", stop_xfer.seconds, "comm")
-
-        # -- 7. Phase-2 processing (local or offloaded) -----------------
-        data_bytes = int(data_recording.size * 2)
-        pre_work = probe_processing_workload(
-            data_recording.size,
-            self._system.modem.preamble_length,
-            self._system.modem.fft_size,
-        )
-        demod_work = demodulation_workload(
-            tt.result.layout.n_symbols,
-            self._system.modem.fft_size,
-            len(tt.plan.data),
-            len(tt.plan.pilots),
-        )
-        p2_plan = planner.plan(pre_work + demod_work, data_bytes)
-        if p2_plan.offloaded:
-            xfer = wireless.send_file(data_bytes)
-            timeline.record("p2_audio_transfer", xfer.seconds, "comm")
-            watch_meter.record_radio(xfer.seconds)
-            pre_s = phone_meter.record_compute(pre_work.mops)
-            timeline.record("p2_preprocessing_phone", pre_s, "compute_p2pre")
-            demod_s = phone_meter.record_compute(demod_work.mops)
-            timeline.record("p2_demodulation_phone", demod_s, "compute_p2demod")
-        else:
-            pre_s = watch_meter.record_compute(pre_work.mops)
-            timeline.record("p2_preprocessing_watch", pre_s, "compute_p2pre")
-            demod_s = watch_meter.record_compute(demod_work.mops)
-            timeline.record("p2_demodulation_watch", demod_s, "compute_p2demod")
-
-        try:
-            received_bits = self.watch.demodulate(data_recording, cfg_msg)
-        except PreambleNotFoundError:
-            self.phone.keyguard.trusted_failure()
-            return outcome(
-                False,
-                AbortReason.DATA_NOT_DETECTED,
-                mode=tt.mode,
-                psnr=report.psnr_db,
-                motion=motion_score,
-                noise_sim=noise_sim,
-                nlos=nlos_verdict.nlos,
-            )
-
-        ok, raw_ber = self.phone.verify_token_bits(tt, received_bits)
-        timeline.record("keyguard", KEYGUARD_DISMISS_DELAY, "stack")
-
-        return outcome(
-            ok,
-            AbortReason.NONE if ok else AbortReason.TOKEN_REJECTED,
-            mode=tt.mode,
-            ber=raw_ber,
-            psnr=report.psnr_db,
-            motion=motion_score,
-            noise_sim=noise_sim,
-            nlos=nlos_verdict.nlos,
+        return UnlockOutcome(
+            unlocked=ctx.unlocked,
+            abort_reason=reason,
+            total_delay_s=ctx.timeline.total,
+            mode=ctx.token_tx.mode if ctx.token_tx is not None else None,
+            raw_ber=ctx.raw_ber,
+            psnr_db=(
+                ctx.report.psnr_db if ctx.nlos_verdict is not None else None
+            ),
+            motion_score=ctx.motion_score,
+            noise_similarity=ctx.noise_similarity,
+            nlos=(
+                ctx.nlos_verdict.nlos
+                if ctx.nlos_verdict is not None
+                else None
+            ),
+            timeline=ctx.timeline,
+            watch_energy_j=ctx.watch_meter.total_joules,
+            phone_energy_j=ctx.phone_meter.total_joules,
+            stages_run=result.stages_run,
+            stopped_by=result.stopped_by,
+            trace=engine.tracer.report() if engine.tracer.enabled else None,
         )

@@ -1,0 +1,363 @@
+"""The Fig. 2 unlock flow as named stages for the stage-graph engine.
+
+Each stage maps one box of the paper's protocol diagram onto a
+:class:`repro.core.stages.Stage`:
+
+================  ====================================================
+stage             paper step (Fig. 2)
+================  ====================================================
+wireless-check    power-button click → Bluetooth/WiFi link presence
+sensor-capture    RTS/ACK handshake; both devices capture the 2 s
+                  accelerometer window during Phase 1
+probe-tx          Phase 1 on air: volume rule, probe transmission
+probe-process     probe DSP (local or offloaded) + CTS channel report
+prefilter         computation-reduction gates: ambient-noise
+                  similarity, motion DTW (a FilterChain)
+mode-select       NLOS verdict, MaxBER policy, adaptive modulation
+otp-tx            channel-config message + Phase 2 OTP on air
+verify            Phase 2 DSP (local or offloaded), demodulation,
+                  token verification, keyguard update
+================  ====================================================
+
+Cheap gates run first and every stage may abort; the engine's
+``stopped_by`` plus the domain :class:`~repro.protocol.session.
+AbortReason` make the two reporting schemes (stage graph and
+:class:`~repro.core.pipeline.FilterChain`) read identically.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.pipeline import FilterChain
+from ..core.stages import SessionContext, Stage, StageResult
+from ..devices.compute import (
+    demodulation_workload,
+    dtw_workload,
+    probe_processing_workload,
+)
+from ..errors import PreambleNotFoundError
+from ..sensors.motion_filter import MotionDecision
+from ..sensors.traces import co_located_pair, different_devices_pair
+
+__all__ = [
+    "WirelessCheckStage",
+    "SensorCaptureStage",
+    "ProbeTxStage",
+    "ProbeProcessStage",
+    "PrefilterStage",
+    "ModeSelectStage",
+    "OtpTxStage",
+    "VerifyStage",
+    "build_unlock_stages",
+    "UNLOCK_STAGE_NAMES",
+]
+
+# Android-stack latency constants (seconds), calibrated to the paper's
+# measured end-to-end delays (Fig. 12 regime).
+BUTTON_TO_APP_DELAY = 0.05
+AUDIO_PATH_START_DELAY = 0.12
+KEYGUARD_DISMISS_DELAY = 0.08
+SENSOR_WINDOW_SECONDS = 2.0  # 100 samples at 50 Hz
+
+#: Sound-Proof-style gate parameters (paper §V / DESIGN.md §5).
+NOISE_FILTER_MIN_SPL = 35.0
+NOISE_FILTER_MIN_SIMILARITY = 0.25
+
+
+class WirelessCheckStage:
+    """Power button pressed; is the watch even in wireless range?"""
+
+    name = "wireless-check"
+
+    def run(self, ctx: SessionContext) -> StageResult:
+        ctx.timeline.record("button_to_app", BUTTON_TO_APP_DELAY, "stack")
+        if not ctx.wireless.connected:
+            return StageResult.abort("no_wireless_link")
+        return StageResult.proceed()
+
+
+class SensorCaptureStage:
+    """RTS handshake; both devices record their accelerometer window.
+
+    The sensor window is captured *concurrently* with Phase 1 (the
+    paper's Fig. 2), so it adds no simulated delay of its own — only
+    the RTS/ACK messages hit the timeline here.  The traces are staged
+    into the context for the prefilter's DTW gate.
+    """
+
+    name = "sensor-capture"
+
+    def run(self, ctx: SessionContext) -> StageResult:
+        rts = ctx.wireless.send_message(24)
+        ctx.timeline.record("msg_rts", rts.seconds, "comm")
+        ack = ctx.wireless.send_message(16)
+        ctx.timeline.record("msg_rts_ack", ack.seconds, "comm")
+
+        if ctx.config.use_motion_filter:
+            rng = ctx.rng_for(self.name)
+            if ctx.config.co_located:
+                ctx.sensor_pair = co_located_pair(
+                    ctx.config.activity, rng=rng
+                )
+            else:
+                ctx.sensor_pair = different_devices_pair(
+                    ctx.config.activity, rng=rng
+                )
+        return StageResult.proceed()
+
+
+class ProbeTxStage:
+    """Phase 1 on air: ambient self-recording, volume rule, probe."""
+
+    name = "probe-tx"
+
+    def run(self, ctx: SessionContext) -> StageResult:
+        ctx.timeline.record("audio_start_p1", AUDIO_PATH_START_DELAY, "stack")
+        rng = ctx.rng_for(self.name)
+        probe_wave = ctx.watch.prober.build_probe()
+
+        # The phone self-records ambient noise before transmitting
+        # (used for the volume rule and the noise-similarity filter).
+        ctx.phone_ambient = ctx.link.record_ambient(0.15, rng=rng)
+        _, ctx.tx_spl = ctx.phone.choose_volume(ctx.noise_spl_estimate)
+
+        ctx.probe_recording, _ = ctx.link.transmit(
+            probe_wave, tx_spl=ctx.tx_spl, rng=rng
+        )
+        probe_air_s = ctx.probe_recording.size / ctx.sample_rate
+        ctx.timeline.record("probe_on_air", probe_air_s, "audio")
+        ctx.watch_meter.record_audio(probe_air_s)
+        ctx.phone_meter.record_audio(probe_air_s)
+        return StageResult.proceed()
+
+
+class ProbeProcessStage:
+    """Phase-1 DSP — locally or offloaded — and the CTS report."""
+
+    name = "probe-process"
+
+    def run(self, ctx: SessionContext) -> StageResult:
+        modem = ctx.system.modem
+        clip_bytes = int(ctx.probe_recording.size * 2)
+        work = probe_processing_workload(
+            ctx.probe_recording.size,
+            modem.preamble_length,
+            modem.fft_size,
+        )
+        plan = ctx.planner.plan(work, clip_bytes)
+        ctx.tracer.counter("offloaded", float(plan.offloaded))
+        ctx.tracer.counter("transfer_bytes", plan.transfer_bytes)
+        if plan.offloaded:
+            xfer = ctx.wireless.send_file(clip_bytes)
+            ctx.timeline.record("p1_audio_transfer", xfer.seconds, "comm")
+            ctx.watch_meter.record_radio(xfer.seconds)
+            compute_s = ctx.phone_meter.record_compute(work.mops)
+            ctx.timeline.record("p1_processing_phone", compute_s, "compute_p1")
+        else:
+            compute_s = ctx.watch_meter.record_compute(work.mops)
+            ctx.timeline.record("p1_processing_watch", compute_s, "compute_p1")
+
+        with ctx.trace_span("modem.analyze_probe"):
+            ctx.report = ctx.watch.analyze_probe(ctx.probe_recording)
+        cts = ctx.watch.cts_message(ctx.report)
+        cts_xfer = ctx.wireless.send_message(cts.size_bytes())
+        ctx.timeline.record("msg_cts", cts_xfer.seconds, "comm")
+
+        if not ctx.report.detected:
+            return StageResult.abort("probe_not_detected")
+        return StageResult.proceed()
+
+
+class PrefilterStage:
+    """The §V computation-reduction gates as a FilterChain.
+
+    The chain's ``stopped_by`` names the gate that fired; those names
+    are the session's abort reasons (``noise_mismatch`` /
+    ``motion_mismatch``), so filter-chain and stage-graph diagnostics
+    agree without a translation table.
+    """
+
+    name = "prefilter"
+
+    def _noise_gate(self, ctx: SessionContext):
+        # The Sound-Proof-style filter needs ambient *context*: in a
+        # near-silent room each microphone mostly hears its own noise
+        # floor, whose spectra are uncorrelated even when co-located
+        # (the limitation the "Sound of silence" paper addresses), so
+        # the filter only runs when the scene is loud enough to carry
+        # a fingerprint.
+        if (
+            not ctx.config.use_noise_filter
+            or ctx.noise_spl_estimate < NOISE_FILTER_MIN_SPL
+        ):
+            return True, None
+        from .session import ambient_similarity
+
+        modem = ctx.system.modem
+        head = ctx.probe_recording[
+            : max(int(0.1 * ctx.sample_rate), modem.fft_size)
+        ]
+        ctx.noise_similarity = ambient_similarity(
+            ctx.phone_ambient, head, ctx.sample_rate
+        )
+        passed = ctx.noise_similarity >= NOISE_FILTER_MIN_SIMILARITY
+        return passed, ctx.noise_similarity
+
+    def _motion_gate(self, ctx: SessionContext):
+        if not ctx.config.use_motion_filter:
+            return True, None
+        phone_xyz, watch_xyz = ctx.sensor_pair
+        sensor_msg_s = ctx.wireless.send_message(24 + 400).seconds
+        ctx.timeline.record("msg_sensor", sensor_msg_s, "comm")
+        dtw_s = ctx.phone_meter.record_compute(dtw_workload(100, 100).mops)
+        ctx.timeline.record("dtw_on_phone", dtw_s, "compute_p1")
+        motion = ctx.phone.evaluate_motion(phone_xyz, watch_xyz)
+        ctx.motion_score = motion.score
+        ctx.fast_path = motion.decision is MotionDecision.FAST_PATH
+        passed = motion.decision is not MotionDecision.ABORT
+        return passed, ctx.motion_score
+
+    def run(self, ctx: SessionContext) -> StageResult:
+        chain = (
+            FilterChain()
+            .add("noise_mismatch", lambda c: self._noise_gate(c))
+            .add("motion_mismatch", lambda c: self._motion_gate(c))
+        )
+        result = chain.evaluate(ctx)
+        if not result.passed:
+            detail = dict(result.scores).get(result.stopped_by)
+            return StageResult.abort(result.stopped_by, detail=detail)
+        return StageResult.proceed()
+
+
+class ModeSelectStage:
+    """NLOS policy and the adaptive modulation decision (Alg. 1)."""
+
+    name = "mode-select"
+
+    def run(self, ctx: SessionContext) -> StageResult:
+        ctx.nlos_verdict = ctx.phone.evaluate_nlos(ctx.report)
+        security = ctx.system.security
+        max_ber = (
+            ctx.config.max_ber
+            if ctx.config.max_ber is not None
+            else security.max_ber
+        )
+        if ctx.nlos_verdict.nlos and ctx.config.use_nlos_check:
+            # The case study relaxes the BER requirement under NLOS
+            # rather than refusing outright.
+            max_ber = max(max_ber, security.nlos_relaxed_max_ber)
+        if ctx.fast_path:
+            # Motion fast path: high confidence of co-location, accept a
+            # tighter packet (reduce MaxBER, per Alg. 1's comment).
+            max_ber = min(max_ber, security.max_ber)
+
+        ctx.mode_decision = ctx.phone.select_mode(ctx.report, max_ber)
+        if not ctx.mode_decision.feasible:
+            return StageResult.abort("no_feasible_mode")
+        return StageResult.proceed()
+
+
+class OtpTxStage:
+    """Channel-config message, then the OTP frame over the air."""
+
+    name = "otp-tx"
+
+    def run(self, ctx: SessionContext) -> StageResult:
+        ctx.token_tx = ctx.phone.prepare_token(
+            ctx.mode_decision, ctx.report.recommended_plan, ctx.tx_spl
+        )
+        ctx.config_msg = ctx.phone.channel_config_message(ctx.token_tx)
+        cfg_xfer = ctx.wireless.send_message(ctx.config_msg.size_bytes())
+        ctx.timeline.record("msg_channel_config", cfg_xfer.seconds, "comm")
+
+        ctx.timeline.record("audio_start_p2", AUDIO_PATH_START_DELAY, "stack")
+        ctx.data_recording, _ = ctx.link.transmit(
+            ctx.token_tx.result.waveform,
+            tx_spl=ctx.tx_spl,
+            rng=ctx.rng_for(self.name),
+        )
+        data_air_s = ctx.data_recording.size / ctx.sample_rate
+        ctx.timeline.record("token_on_air", data_air_s, "audio")
+        ctx.watch_meter.record_audio(data_air_s)
+        ctx.phone_meter.record_audio(data_air_s)
+
+        stop_xfer = ctx.wireless.send_message(16)
+        ctx.timeline.record("msg_stop_recording", stop_xfer.seconds, "comm")
+        return StageResult.proceed()
+
+
+class VerifyStage:
+    """Phase-2 DSP, demodulation and token verification."""
+
+    name = "verify"
+
+    def run(self, ctx: SessionContext) -> StageResult:
+        modem = ctx.system.modem
+        tt = ctx.token_tx
+        data_bytes = int(ctx.data_recording.size * 2)
+        pre_work = probe_processing_workload(
+            ctx.data_recording.size,
+            modem.preamble_length,
+            modem.fft_size,
+        )
+        demod_work = demodulation_workload(
+            tt.result.layout.n_symbols,
+            modem.fft_size,
+            len(tt.plan.data),
+            len(tt.plan.pilots),
+        )
+        plan = ctx.planner.plan(pre_work + demod_work, data_bytes)
+        ctx.tracer.counter("offloaded", float(plan.offloaded))
+        ctx.tracer.counter("transfer_bytes", plan.transfer_bytes)
+        if plan.offloaded:
+            xfer = ctx.wireless.send_file(data_bytes)
+            ctx.timeline.record("p2_audio_transfer", xfer.seconds, "comm")
+            ctx.watch_meter.record_radio(xfer.seconds)
+            pre_s = ctx.phone_meter.record_compute(pre_work.mops)
+            ctx.timeline.record("p2_preprocessing_phone", pre_s, "compute_p2pre")
+            demod_s = ctx.phone_meter.record_compute(demod_work.mops)
+            ctx.timeline.record(
+                "p2_demodulation_phone", demod_s, "compute_p2demod"
+            )
+        else:
+            pre_s = ctx.watch_meter.record_compute(pre_work.mops)
+            ctx.timeline.record("p2_preprocessing_watch", pre_s, "compute_p2pre")
+            demod_s = ctx.watch_meter.record_compute(demod_work.mops)
+            ctx.timeline.record(
+                "p2_demodulation_watch", demod_s, "compute_p2demod"
+            )
+
+        try:
+            with ctx.trace_span("modem.demodulate"):
+                ctx.received_bits = ctx.watch.demodulate(
+                    ctx.data_recording, ctx.config_msg
+                )
+        except PreambleNotFoundError:
+            ctx.phone.keyguard.trusted_failure()
+            return StageResult.abort("data_not_detected")
+
+        ok, ctx.raw_ber = ctx.phone.verify_token_bits(tt, ctx.received_bits)
+        ctx.timeline.record("keyguard", KEYGUARD_DISMISS_DELAY, "stack")
+        ctx.unlocked = ok
+        if not ok:
+            return StageResult.abort("token_rejected", detail=ctx.raw_ber)
+        return StageResult.proceed()
+
+
+def build_unlock_stages() -> List[Stage]:
+    """The Fig. 2 flow, in order, as fresh stage instances."""
+    return [
+        WirelessCheckStage(),
+        SensorCaptureStage(),
+        ProbeTxStage(),
+        ProbeProcessStage(),
+        PrefilterStage(),
+        ModeSelectStage(),
+        OtpTxStage(),
+        VerifyStage(),
+    ]
+
+
+UNLOCK_STAGE_NAMES = tuple(s.name for s in build_unlock_stages())
