@@ -21,11 +21,31 @@ import numpy as np
 
 from ..errors import ChannelError
 from ..dsp.energy import rms, spl_to_amplitude
+from ..dsp.plane import KeyedCache
 from ..dsp.resample import apply_clock_skew
 from .acoustics import D0_METERS, received_spl, spreading_loss_db
 from .hardware import MicrophoneModel, SpeakerModel
 from .multipath import RoomImpulseResponse
 from .noise import NoiseScene
+
+#: NLOS room variants keyed by the parent room's parameters — building
+#: one per transmit() call showed up in batch sweeps.
+_NLOS_VARIANTS = KeyedCache("channel.nlos_rooms", maxsize=32)
+
+
+def _nlos_variant(
+    room: RoomImpulseResponse, blocking_db: float
+) -> RoomImpulseResponse:
+    key = (
+        room.sample_rate,
+        room.rt60,
+        room.direct_gain,
+        room.reverb_gain,
+        room.tail_length,
+        room.echo_density,
+        blocking_db,
+    )
+    return _NLOS_VARIANTS.get(key, lambda: room.nlos(blocking_db))
 
 
 @dataclass(frozen=True)
@@ -137,8 +157,8 @@ class AcousticLink:
         emitted = self.speaker.play(driven)
 
         if self.room is not None:
-            room = self.room if self.los else self.room.nlos(
-                self.nlos_blocking_db
+            room = self.room if self.los else _nlos_variant(
+                self.room, self.nlos_blocking_db
             )
             # The IR's direct tap is unit gain; NLOS attenuation of the
             # direct path is inside the IR, so only spreading loss is

@@ -20,6 +20,26 @@ from typing import Optional
 import numpy as np
 
 from ..errors import ChannelError
+from ..dsp.plane import KeyedCache
+
+#: Read-only decay envelopes keyed by (sample_rate, rt60, tail_length) —
+#: the deterministic part of every IR draw, shared across realizations.
+_IR_KERNELS = KeyedCache("channel.ir_kernels", maxsize=64)
+
+
+def _ir_envelope(
+    sample_rate: float, rt60: float, tail_length: int
+) -> np.ndarray:
+    key = (sample_rate, rt60, tail_length)
+
+    def build() -> np.ndarray:
+        decay_rate = 6.9078 / rt60  # ln(10^3) => -60 dB at rt60
+        t = np.arange(tail_length) / sample_rate
+        envelope = np.exp(-decay_rate * t)
+        envelope.setflags(write=False)
+        return envelope
+
+    return _IR_KERNELS.get(key, build)
 
 
 def rms_delay_spread(profile: np.ndarray, sample_rate: float) -> float:
@@ -96,10 +116,12 @@ class RoomImpulseResponse:
         ir[0] = self.direct_gain
 
         # Sparse early reflections + dense late tail, both under an
-        # exponential envelope with the configured RT60.
-        decay_rate = 6.9078 / self.rt60  # ln(10^3) => -60 dB at rt60
-        t = np.arange(self.tail_length) / self.sample_rate
-        envelope = np.exp(-decay_rate * t)
+        # exponential envelope with the configured RT60.  The envelope
+        # is deterministic per (rate, rt60, length) and read-only, so
+        # realizations share it; all randomness stays below.
+        envelope = _ir_envelope(
+            self.sample_rate, self.rt60, self.tail_length
+        )
 
         n_echoes = max(
             1,

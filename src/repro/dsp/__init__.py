@@ -14,15 +14,18 @@ from .correlation import (
 )
 from .fftops import (
     fft_interpolate,
+    fft_interpolate_rows,
     spectrum_bins,
     goertzel_power,
 )
+from .plane import CacheStats, KeyedCache, all_cache_stats
 from .filters import (
     design_lowpass_fir,
     design_bandpass_fir,
     fir_filter,
 )
 from .energy import (
+    SILENCE_FLOOR_SPL_DB,
     rms,
     amplitude_to_spl,
     spl_to_amplitude,
@@ -45,11 +48,16 @@ __all__ = [
     "sliding_normalized_correlation",
     "best_alignment",
     "fft_interpolate",
+    "fft_interpolate_rows",
     "spectrum_bins",
     "goertzel_power",
+    "CacheStats",
+    "KeyedCache",
+    "all_cache_stats",
     "design_lowpass_fir",
     "design_bandpass_fir",
     "fir_filter",
+    "SILENCE_FLOOR_SPL_DB",
     "rms",
     "amplitude_to_spl",
     "spl_to_amplitude",

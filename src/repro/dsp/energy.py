@@ -23,6 +23,14 @@ from ..errors import DspError
 #: Digital "pressure" reference for 0 dB SPL.
 P_REF: float = 2.0e-5
 
+#: Finite SPL floor reported for silent/empty ambient measurements.
+#: An all-zero (or missing) pre-preamble slice has no defined SPL;
+#: reporting ``-inf`` poisons downstream SNR arithmetic
+#: (``-inf - x = nan`` in the adaptive-modulation stage), so consumers
+#: clamp to this floor — far below any audible scene (quietest room in
+#: the paper ≈ 15 dB SPL) yet still finite.
+SILENCE_FLOOR_SPL_DB: float = -120.0
+
 
 def rms(signal: np.ndarray) -> float:
     """Root-mean-square amplitude of a signal (0.0 for empty input)."""

@@ -52,6 +52,36 @@ def fft_interpolate(values: np.ndarray, factor: int) -> np.ndarray:
     return np.fft.ifft(padded) * factor
 
 
+def fft_interpolate_rows(values: np.ndarray, factor: int) -> np.ndarray:
+    """Row-wise :func:`fft_interpolate` over a 2-D batch.
+
+    Each row is interpolated independently with the exact arithmetic of
+    the 1-D version (same slice layout, same Nyquist split), so row
+    ``i`` of the output is bit-identical to
+    ``fft_interpolate(values[i], factor)``.
+    """
+    v = np.asarray(values, dtype=np.complex128)
+    if v.ndim != 2 or v.shape[1] == 0:
+        raise DspError("values must be a 2-D array with non-empty rows")
+    if factor < 1:
+        raise DspError("interpolation factor must be >= 1")
+    if factor == 1:
+        return v.copy()
+    m = v.shape[1]
+    spec = np.fft.fft(v, axis=1)
+    padded = np.zeros((v.shape[0], m * factor), dtype=np.complex128)
+    half = m // 2
+    padded[:, : half + 1] = spec[:, : half + 1]
+    if half:
+        tail = m - half - 1
+        if tail:
+            padded[:, -tail:] = spec[:, half + 1:]
+        if m % 2 == 0:
+            padded[:, half] *= 0.5
+            padded[:, m * factor - half] = padded[:, half]
+    return np.fft.ifft(padded, axis=1) * factor
+
+
 def spectrum_bins(block: np.ndarray, fft_size: int) -> np.ndarray:
     """FFT a time-domain OFDM block and return all complex bins.
 
@@ -72,7 +102,7 @@ def spectrum_bins(block: np.ndarray, fft_size: int) -> np.ndarray:
 
 
 def goertzel_power(signal: np.ndarray, sample_rate: float, freq: float) -> float:
-    """Single-bin DFT power at ``freq`` via the Goertzel recurrence.
+    """Single-bin DFT power at ``freq`` (Goertzel's single-tone DFT).
 
     Cheaper than a full FFT when only one tone matters — used by the
     channel prober to measure jammer power on individual sub-channels.
@@ -88,11 +118,11 @@ def goertzel_power(signal: np.ndarray, sample_rate: float, freq: float) -> float
     n = x.size
     k = freq * n / sample_rate
     omega = 2.0 * np.pi * k / n
-    coeff = 2.0 * np.cos(omega)
-    s_prev = s_prev2 = 0.0
-    for sample in x:
-        s = sample + coeff * s_prev - s_prev2
-        s_prev2 = s_prev
-        s_prev = s
-    power = s_prev2 * s_prev2 + s_prev * s_prev - coeff * s_prev * s_prev2
+    # The Goertzel recurrence computes |sum_n x_n e^{-j omega n}|^2; the
+    # equivalent direct projection vectorizes (two dot products instead
+    # of a per-sample Python loop) at the same O(n) cost.
+    phase = omega * np.arange(n)
+    re = float(np.dot(x, np.cos(phase)))
+    im = float(np.dot(x, np.sin(phase)))
+    power = re * re + im * im
     return float(max(power, 0.0)) / (n * n)

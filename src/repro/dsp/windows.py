@@ -5,6 +5,12 @@ mitigate the speaker *rise effect* (§III, "Microphone and Speaker
 Characteristics").  :func:`fade_edges` implements that fade with a raised
 cosine ramp; the classic Hann/Hamming windows support PSD estimation in
 :mod:`repro.dsp.spectrum`.
+
+Window arrays are memoized in a :class:`~repro.dsp.plane.KeyedCache`
+keyed by (kind, length): sweeps fade thousands of frames with the same
+32-sample ramps, so each shape is synthesized once.  The cached arrays
+are read-only; the public functions return copies so callers keep the
+historical mutate-freely contract.
 """
 
 from __future__ import annotations
@@ -12,6 +18,43 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import DspError
+from .plane import KeyedCache
+
+_WINDOWS = KeyedCache("dsp.windows", maxsize=128)
+
+
+def _readonly(a: np.ndarray) -> np.ndarray:
+    a.setflags(write=False)
+    return a
+
+
+def _hann_cached(length: int) -> np.ndarray:
+    def build() -> np.ndarray:
+        if length == 1:
+            return _readonly(np.ones(1))
+        n = np.arange(length)
+        return _readonly(0.5 - 0.5 * np.cos(2.0 * np.pi * n / (length - 1)))
+
+    return _WINDOWS.get(("hann", length), build)
+
+
+def _hamming_cached(length: int) -> np.ndarray:
+    def build() -> np.ndarray:
+        if length == 1:
+            return _readonly(np.ones(1))
+        n = np.arange(length)
+        return _readonly(0.54 - 0.46 * np.cos(2.0 * np.pi * n / (length - 1)))
+
+    return _WINDOWS.get(("hamming", length), build)
+
+
+def _ramp_cached(length: int, rising: bool) -> np.ndarray:
+    def build() -> np.ndarray:
+        n = np.arange(length)
+        ramp = 0.5 - 0.5 * np.cos(np.pi * n / max(length - 1, 1))
+        return _readonly(ramp if rising else ramp[::-1].copy())
+
+    return _WINDOWS.get(("ramp", length, rising), build)
 
 
 def hann_window(length: int) -> np.ndarray:
@@ -23,20 +66,14 @@ def hann_window(length: int) -> np.ndarray:
     """
     if length < 1:
         raise DspError(f"window length must be >= 1, got {length}")
-    if length == 1:
-        return np.ones(1)
-    n = np.arange(length)
-    return 0.5 - 0.5 * np.cos(2.0 * np.pi * n / (length - 1))
+    return _hann_cached(length).copy()
 
 
 def hamming_window(length: int) -> np.ndarray:
     """Return a symmetric Hamming window of ``length`` samples."""
     if length < 1:
         raise DspError(f"window length must be >= 1, got {length}")
-    if length == 1:
-        return np.ones(1)
-    n = np.arange(length)
-    return 0.54 - 0.46 * np.cos(2.0 * np.pi * n / (length - 1))
+    return _hamming_cached(length).copy()
 
 
 def raised_cosine_ramp(length: int, rising: bool = True) -> np.ndarray:
@@ -53,9 +90,7 @@ def raised_cosine_ramp(length: int, rising: bool = True) -> np.ndarray:
         raise DspError("ramp length must be non-negative")
     if length == 0:
         return np.zeros(0)
-    n = np.arange(length)
-    ramp = 0.5 - 0.5 * np.cos(np.pi * n / max(length - 1, 1))
-    return ramp if rising else ramp[::-1]
+    return _ramp_cached(length, rising).copy()
 
 
 def fade_edges(signal: np.ndarray, fade_samples: int) -> np.ndarray:
@@ -74,6 +109,6 @@ def fade_edges(signal: np.ndarray, fade_samples: int) -> np.ndarray:
     n = min(fade_samples, x.size // 2)
     if n == 0:
         return out
-    out[:n] *= raised_cosine_ramp(n, rising=True)
-    out[-n:] *= raised_cosine_ramp(n, rising=False)
+    out[:n] *= _ramp_cached(n, rising=True)
+    out[-n:] *= _ramp_cached(n, rising=False)
     return out

@@ -114,6 +114,11 @@ class BatchRunner:
     executor:
         ``"thread"`` (default — the DSP stack releases the GIL inside
         FFTs) or ``"process"``.
+    tracer:
+        Optional :class:`repro.core.trace.Tracer`; when given, each
+        :meth:`run` is wrapped in a ``batch.run`` span carrying the
+        grid size and the signal-plane cache hit/miss deltas the sweep
+        produced (how much template construction the cells shared).
     """
 
     def __init__(
@@ -121,6 +126,7 @@ class BatchRunner:
         fn: Callable[..., Any],
         workers: Optional[int] = None,
         executor: str = "thread",
+        tracer: Optional[Any] = None,
     ):
         if executor not in ("thread", "process"):
             raise WearLockError("executor must be 'thread' or 'process'")
@@ -129,6 +135,7 @@ class BatchRunner:
         self._fn = fn
         self._workers = int(workers or 0)
         self._executor = executor
+        self._tracer = tracer
 
     @property
     def parallel(self) -> bool:
@@ -137,6 +144,27 @@ class BatchRunner:
     def run(self, tasks: Iterable[BatchTask]) -> List[BatchResult]:
         """Execute every task; results return in task order."""
         task_list = list(tasks)
+        if self._tracer is not None:
+            # Imported here: the eval layer stays importable without
+            # pulling the whole modem stack in for untraced runs.
+            from ..modem.context import plane_cache_stats
+
+            before = plane_cache_stats()
+            with self._tracer.span("batch.run"):
+                results = self._run(task_list)
+                after = plane_cache_stats()
+                self._tracer.counter("cells", float(len(task_list)))
+                self._tracer.counter(
+                    "plane_cache_hits", float(after.hits - before.hits)
+                )
+                self._tracer.counter(
+                    "plane_cache_misses",
+                    float(after.misses - before.misses),
+                )
+            return results
+        return self._run(task_list)
+
+    def _run(self, task_list: List[BatchTask]) -> List[BatchResult]:
         if not self.parallel:
             return [
                 BatchResult(key=t.key, value=self._fn(**t.params))

@@ -21,6 +21,7 @@ from ..config import ModemConfig
 from ..errors import PreambleNotFoundError, SynchronizationError
 from ..modem.bits import bit_error_rate, random_bits
 from ..modem.constellation import get_constellation
+from ..modem.context import signal_plane
 from ..modem.receiver import OfdmReceiver
 from ..modem.subchannels import ChannelPlan
 from ..modem.transmitter import OfdmTransmitter
@@ -79,8 +80,9 @@ def ber_trial(spec: TrialSpec, rng=None) -> BerTrialResult:
     constellation = get_constellation(spec.mode)
     plan = spec.plan if spec.plan is not None else ChannelPlan.from_config(config)
 
-    tx = OfdmTransmitter(config, constellation, plan=plan)
-    rx = OfdmReceiver(config, constellation, plan=plan)
+    plane = signal_plane(config, plan, constellation)
+    tx = OfdmTransmitter(plane=plane)
+    rx = OfdmReceiver(plane=plane)
 
     bits = random_bits(spec.n_bits, rng=generator)
     modulated = tx.modulate(bits)

@@ -26,13 +26,42 @@ from .constellation import (
     CONSTELLATIONS,
 )
 from .subchannels import ChannelPlan
-from .preamble import PreambleDetector, build_preamble
-from .frame import modulate_symbol, demodulate_block, frame_layout, FrameLayout
+from .preamble import PreambleDetector, build_preamble, preamble_template
+from .context import (
+    SignalPlane,
+    signal_plane,
+    plane_cache_stats,
+    clear_plane_cache,
+)
+from .frame import (
+    modulate_symbol,
+    modulate_symbols,
+    demodulate_block,
+    demodulate_blocks,
+    frame_layout,
+    FrameLayout,
+)
 from .transmitter import OfdmTransmitter
-from .synchronizer import Synchronizer, fine_sync_offset
-from .equalizer import estimate_channel, equalize
+from .synchronizer import (
+    Synchronizer,
+    fine_sync_offset,
+    fine_sync_offsets_batch,
+)
+from .equalizer import (
+    estimate_channel,
+    estimate_channel_rows,
+    equalize,
+    equalize_rows,
+)
 from .receiver import OfdmReceiver, ReceiveResult
-from .snr import pilot_snr_linear, pilot_snr_db, ebn0_db_from_psnr, data_rate
+from .reference import reference_modulate, reference_receive
+from .snr import (
+    pilot_snr_linear,
+    pilot_snr_db,
+    pilot_snr_db_rows,
+    ebn0_db_from_psnr,
+    data_rate,
+)
 from .adaptive import BerModel, AdaptiveModulator, TRANSMISSION_MODES
 from .probe import ChannelProber, ProbeReport
 from .coding import (
@@ -64,19 +93,32 @@ __all__ = [
     "ChannelPlan",
     "PreambleDetector",
     "build_preamble",
+    "preamble_template",
+    "SignalPlane",
+    "signal_plane",
+    "plane_cache_stats",
+    "clear_plane_cache",
     "modulate_symbol",
+    "modulate_symbols",
     "demodulate_block",
+    "demodulate_blocks",
     "frame_layout",
     "FrameLayout",
     "OfdmTransmitter",
     "Synchronizer",
     "fine_sync_offset",
+    "fine_sync_offsets_batch",
     "estimate_channel",
+    "estimate_channel_rows",
     "equalize",
+    "equalize_rows",
     "OfdmReceiver",
     "ReceiveResult",
+    "reference_modulate",
+    "reference_receive",
     "pilot_snr_linear",
     "pilot_snr_db",
+    "pilot_snr_db_rows",
     "ebn0_db_from_psnr",
     "data_rate",
     "BerModel",

@@ -16,6 +16,11 @@ from typing import Dict, Tuple
 import numpy as np
 
 from ..errors import ModemError
+from ..dsp.plane import KeyedCache
+
+#: One read-only complex array per distinct point tuple — rebuilding
+#: the lookup table on every map/demap call dominated small payloads.
+_POINT_ARRAYS = KeyedCache("modem.constellation", maxsize=64)
 
 
 def _gray(n: int) -> int:
@@ -71,7 +76,14 @@ class Constellation:
         return len(self.points)
 
     def _point_array(self) -> np.ndarray:
-        return np.asarray(self.points, dtype=np.complex128)
+        points = self.points
+
+        def build() -> np.ndarray:
+            arr = np.asarray(points, dtype=np.complex128)
+            arr.setflags(write=False)
+            return arr
+
+        return _POINT_ARRAYS.get(points, build)
 
     def map(self, bits: np.ndarray) -> np.ndarray:
         """Map a bit vector to complex symbols.

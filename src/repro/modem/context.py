@@ -1,0 +1,153 @@
+"""The signal plane: shared read-only DSP state per modem configuration.
+
+A :class:`SignalPlane` owns everything the modem chain can reuse across
+calls for one ``(ModemConfig, ChannelPlan, Constellation)`` triple — the
+chirp preamble template and its RMS, the shared preamble detector, the
+plan's index arrays in both the sorted order the equalizer uses and the
+raw declaration order the SNR estimators use, the quiet-null bin set,
+and the constellation's point table.  Transmitter, receiver and prober
+accept a ``plane=`` and skip all of their per-instance template
+construction; a BatchRunner sweep of N cells on the same configuration
+builds each template exactly once.
+
+Planes come from :func:`signal_plane`, a bounded keyed cache: all three
+key components are frozen/hashable dataclasses, so a cell that *varies*
+any modem parameter simply maps to a different plane.  The cached plane
+is immutable — arrays are write-protected — and therefore safe to share
+across threads (the BatchRunner's default executor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..config import ModemConfig
+from ..dsp.energy import rms
+from ..dsp.plane import CacheStats, KeyedCache
+from .constellation import Constellation
+from .preamble import PreambleDetector, preamble_template
+from .subchannels import ChannelPlan
+
+__all__ = [
+    "SignalPlane",
+    "signal_plane",
+    "plane_cache_stats",
+    "clear_plane_cache",
+]
+
+
+def _readonly(a: np.ndarray) -> np.ndarray:
+    a.setflags(write=False)
+    return a
+
+
+@dataclass(frozen=True)
+class SignalPlane:
+    """Immutable bundle of reusable DSP state for one modem setup.
+
+    Attributes
+    ----------
+    config, plan, constellation:
+        The defining triple.
+    preamble:
+        Read-only chirp template (shared with ``preamble_template``).
+    preamble_rms:
+        Cached ``rms(preamble)`` — the transmitter's RMS-match target.
+    detector:
+        Shared :class:`PreambleDetector` at the config's default
+        threshold (threshold overrides build their own detector around
+        the same template).
+    data_bins:
+        Data bin indices in ascending order (equalizer/demap order).
+    pilot_bins:
+        Pilot bin indices in the plan's declaration order (the order
+        the SNR estimators index with).
+    quiet_nulls:
+        ``plan.quiet_null_channels(min_distance=2)`` — the receiver's
+        eq. 3 noise bins.
+    points:
+        Read-only constellation point table.
+    """
+
+    config: ModemConfig
+    plan: ChannelPlan
+    constellation: Constellation
+    preamble: np.ndarray
+    preamble_rms: float
+    detector: PreambleDetector
+    data_bins: np.ndarray
+    pilot_bins: np.ndarray
+    quiet_nulls: Tuple[int, ...]
+    points: np.ndarray
+    pilot_spacing: int
+    band_start: int
+    band_len: int
+
+    @staticmethod
+    def build(
+        config: ModemConfig,
+        plan: ChannelPlan,
+        constellation: Constellation,
+    ) -> "SignalPlane":
+        """Construct a plane from scratch (no caching — use
+        :func:`signal_plane` instead)."""
+        preamble = preamble_template(config)
+        sorted_pilots = sorted(plan.pilots)
+        return SignalPlane(
+            config=config,
+            plan=plan,
+            constellation=constellation,
+            preamble=preamble,
+            preamble_rms=rms(preamble),
+            detector=PreambleDetector(config, template=preamble),
+            data_bins=_readonly(
+                np.array(sorted(plan.data), dtype=np.intp)
+            ),
+            pilot_bins=_readonly(
+                np.array(list(plan.pilots), dtype=np.intp)
+            ),
+            quiet_nulls=plan.quiet_null_channels(min_distance=2),
+            points=constellation._point_array(),
+            pilot_spacing=plan.pilot_spacing,
+            band_start=sorted_pilots[0],
+            band_len=sorted_pilots[-1] - sorted_pilots[0] + 1,
+        )
+
+
+_PLANES = KeyedCache("modem.signal_plane", maxsize=64)
+
+
+def signal_plane(
+    config: ModemConfig,
+    plan: Optional[ChannelPlan] = None,
+    constellation: Optional[Constellation] = None,
+) -> SignalPlane:
+    """The cached :class:`SignalPlane` for this configuration triple.
+
+    ``plan`` defaults to ``ChannelPlan.from_config(config)``.
+    ``constellation`` is required (pilot-only users pass a placeholder,
+    conventionally QPSK, matching the prober's historical behaviour).
+    """
+    if plan is None:
+        plan = ChannelPlan.from_config(config)
+    if constellation is None:
+        from .constellation import QPSK
+
+        constellation = QPSK
+    key = (config, plan, constellation)
+    return _PLANES.get(
+        key, lambda: SignalPlane.build(config, plan, constellation)
+    )
+
+
+def plane_cache_stats() -> CacheStats:
+    """Hit/miss counters of the global plane cache."""
+    return _PLANES.stats()
+
+
+def clear_plane_cache() -> None:
+    """Drop every cached plane (tests and benchmarks)."""
+    _PLANES.clear()

@@ -117,6 +117,115 @@ def estimate_channel_linear(
     )
 
 
+def estimate_channel_rows(
+    spectra: np.ndarray, plan: ChannelPlan
+) -> ChannelEstimate:
+    """Batched :func:`estimate_channel` over ``(n_symbols, fft_size)``.
+
+    Returns a :class:`ChannelEstimate` whose ``response`` is 2-D,
+    ``(n_symbols, band_len)``; row ``i`` is bit-identical to
+    ``estimate_channel(spectra[i], plan).response``.  (``at_bin`` is for
+    1-D estimates only — index ``response[:, k - band_start]`` here.)
+    """
+    from ..dsp.fftops import fft_interpolate_rows
+
+    x = np.asarray(spectra, dtype=np.complex128)
+    if x.ndim != 2 or x.shape[1] < plan.fft_size:
+        raise DemodulationError(
+            f"spectra must be 2-D with at least fft_size={plan.fft_size} bins"
+        )
+    pilots = sorted(plan.pilots)
+    z = x[:, pilots]
+    if np.any(np.all(np.abs(z) < 1e-300, axis=1)):
+        raise DemodulationError("all pilot bins are empty — no signal")
+    spacing = plan.pilot_spacing
+    interpolated = fft_interpolate_rows(z, spacing)
+    band_len = pilots[-1] - pilots[0] + 1
+    response = interpolated[:, :band_len].copy()
+    for i, p in enumerate(pilots):
+        response[:, p - pilots[0]] = z[:, i]
+    return ChannelEstimate(band_start=pilots[0], response=response)
+
+
+def estimate_channel_magnitude_rows(
+    spectra: np.ndarray, plan: ChannelPlan
+) -> ChannelEstimate:
+    """Batched :func:`estimate_channel_magnitude` (row-identical)."""
+    from ..dsp.fftops import fft_interpolate_rows
+
+    x = np.asarray(spectra, dtype=np.complex128)
+    if x.ndim != 2:
+        raise DemodulationError("spectra must be 2-D")
+    pilots = sorted(plan.pilots)
+    z = np.abs(x[:, pilots])
+    if np.any(np.all(z < 1e-300, axis=1)):
+        raise DemodulationError("all pilot bins are empty — no signal")
+    spacing = plan.pilot_spacing
+    interpolated = np.abs(
+        fft_interpolate_rows(z.astype(np.complex128), spacing)
+    )
+    band_len = pilots[-1] - pilots[0] + 1
+    response = interpolated[:, :band_len].astype(np.complex128)
+    for i, p in enumerate(pilots):
+        response[:, p - pilots[0]] = z[:, i]
+    return ChannelEstimate(band_start=pilots[0], response=response)
+
+
+def estimate_channel_linear_rows(
+    spectra: np.ndarray, plan: ChannelPlan
+) -> ChannelEstimate:
+    """Batched :func:`estimate_channel_linear` (row-identical).
+
+    ``np.interp`` is 1-D only, so each row interpolates separately —
+    still one estimate object and no per-row Python in the equalize
+    step.  This is the ablation path; the FFT interpolator above is the
+    hot one.
+    """
+    x = np.asarray(spectra, dtype=np.complex128)
+    if x.ndim != 2:
+        raise DemodulationError("spectra must be 2-D")
+    pilots = sorted(plan.pilots)
+    z = x[:, pilots]
+    band = np.arange(pilots[0], pilots[-1] + 1)
+    response = np.empty((x.shape[0], band.size), dtype=np.complex128)
+    for i in range(x.shape[0]):
+        real = np.interp(band, pilots, z[i].real)
+        imag = np.interp(band, pilots, z[i].imag)
+        response[i] = real + 1j * imag
+    return ChannelEstimate(band_start=pilots[0], response=response)
+
+
+def equalize_rows(
+    spectra: np.ndarray,
+    plan: ChannelPlan,
+    estimate: ChannelEstimate,
+    regularization: float = 1e-9,
+) -> np.ndarray:
+    """Batched :func:`equalize`: all symbols' data bins in one division.
+
+    ``estimate.response`` must be 2-D (from the ``*_rows`` estimators).
+    Returns ``(n_symbols, n_data)`` equalized symbols with columns in
+    ascending data-bin order — the order the sequential receiver built
+    by sorting the :func:`equalize` dict keys.
+    """
+    x = np.asarray(spectra, dtype=np.complex128)
+    response = np.asarray(estimate.response)
+    if x.ndim != 2 or response.ndim != 2:
+        raise DemodulationError("equalize_rows needs 2-D spectra and response")
+    data_bins = np.asarray(sorted(plan.data), dtype=np.intp)
+    cols = data_bins - estimate.band_start
+    if cols.size and (cols.min() < 0 or cols.max() >= response.shape[1]):
+        k = int(data_bins[int(np.argmax((cols < 0) | (cols >= response.shape[1])))])
+        raise DemodulationError(
+            f"bin {k} outside estimated band "
+            f"[{estimate.band_start}, "
+            f"{estimate.band_start + response.shape[1]})"
+        )
+    h = response[:, cols]
+    denom = np.where(np.abs(h) > regularization, h, complex(regularization))
+    return x[:, data_bins] / denom
+
+
 def equalize(
     spectrum: np.ndarray,
     plan: ChannelPlan,

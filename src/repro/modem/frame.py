@@ -74,6 +74,54 @@ def frame_layout(config: ModemConfig, n_symbols: int) -> FrameLayout:
     )
 
 
+def modulate_symbols(
+    config: ModemConfig,
+    plan: ChannelPlan,
+    data_symbols: np.ndarray,
+    hermitian: bool = False,
+) -> np.ndarray:
+    """Build a whole symbol train as one ``(n_symbols, stride)`` array.
+
+    Row ``i`` is the time-domain symbol (CP + body + guard) carrying
+    ``data_symbols[i]``, bit-identical to assembling each row with
+    :func:`modulate_symbol`: the spectra are filled with one fancy
+    column write, the IFFTs run as one stacked transform, and the
+    CP/body/guard layout is a single preallocated write instead of
+    per-symbol concatenation.
+    """
+    s = np.asarray(data_symbols, dtype=np.complex128)
+    if s.ndim != 2:
+        raise ModemError("data_symbols must be 2-D (n_symbols, n_data)")
+    if s.shape[1] != len(plan.data):
+        raise ModemError(
+            f"expected {len(plan.data)} data symbols, got {s.shape[1]}"
+        )
+    n = config.fft_size
+    n_symbols = s.shape[0]
+    spectra = np.zeros((n_symbols, n), dtype=np.complex128)
+    spectra[:, sorted(plan.data)] = s
+    spectra[:, list(plan.pilots)] = PILOT_VALUE
+
+    if hermitian:
+        # Mirror the occupied bins so the IFFT itself is real.
+        ks = np.arange(1, n // 2)
+        if ks.size:
+            vals = spectra[:, ks]
+            spectra[:, n - ks] = np.where(
+                vals != 0, np.conj(vals), spectra[:, n - ks]
+            )
+        bodies = np.fft.ifft(spectra, axis=1).real
+    else:
+        bodies = np.real(np.fft.ifft(spectra, axis=1))
+
+    cp_len = config.cp_length
+    out = np.zeros((n_symbols, cp_len + n + config.symbol_guard))
+    if cp_len:
+        out[:, :cp_len] = bodies[:, -cp_len:]
+    out[:, cp_len: cp_len + n] = bodies
+    return out
+
+
 def modulate_symbol(
     config: ModemConfig,
     plan: ChannelPlan,
@@ -99,25 +147,30 @@ def modulate_symbol(
         raise ModemError(
             f"expected {len(plan.data)} data symbols, got {s.size}"
         )
-    n = config.fft_size
-    spectrum = np.zeros(n, dtype=np.complex128)
-    for bin_index, value in zip(sorted(plan.data), s):
-        spectrum[bin_index] = value
-    for bin_index in plan.pilots:
-        spectrum[bin_index] = PILOT_VALUE
+    return modulate_symbols(
+        config, plan, s.reshape(1, -1), hermitian=hermitian
+    )[0]
 
-    if hermitian:
-        # Mirror the occupied bins so the IFFT itself is real.
-        for k in range(1, n // 2):
-            if spectrum[k] != 0:
-                spectrum[n - k] = np.conj(spectrum[k])
-        body = np.fft.ifft(spectrum).real
-    else:
-        body = np.real(np.fft.ifft(spectrum))
 
-    cp = body[-config.cp_length:] if config.cp_length else body[:0]
-    guard = np.zeros(config.symbol_guard)
-    return np.concatenate([cp, body, guard])
+def demodulate_blocks(
+    config: ModemConfig, blocks: np.ndarray
+) -> np.ndarray:
+    """FFT a stack of received OFDM bodies (CP already stripped).
+
+    ``blocks`` is ``(n_symbols, samples)`` with ``samples >= fft_size``;
+    returns the ``(n_symbols, fft_size)`` complex spectra in one stacked
+    transform.  Row ``i`` equals ``demodulate_block(config, blocks[i])``
+    bit-for-bit.
+    """
+    x = np.asarray(blocks, dtype=np.float64)
+    if x.ndim != 2:
+        raise ModemError("blocks must be 2-D (n_symbols, samples)")
+    if x.shape[1] < config.fft_size:
+        raise ModemError(
+            f"block of {x.shape[1]} samples shorter than FFT size "
+            f"{config.fft_size}"
+        )
+    return np.fft.fft(x[:, : config.fft_size], axis=1)
 
 
 def demodulate_block(
@@ -145,5 +198,10 @@ def assemble_frame(
             f"preamble length {p.size} != configured "
             f"{config.preamble_length}"
         )
-    guard = np.zeros(config.guard_length)
-    return np.concatenate([p, guard, np.asarray(symbols, dtype=np.float64)])
+    s = np.asarray(symbols, dtype=np.float64)
+    if s.ndim != 1:
+        raise ModemError("symbols must be a 1-D sample train")
+    out = np.zeros(p.size + config.guard_length + s.size)
+    out[: p.size] = p
+    out[p.size + config.guard_length:] = s
+    return out

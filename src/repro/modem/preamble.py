@@ -18,18 +18,45 @@ from ..config import ModemConfig
 from ..errors import DspError, PreambleNotFoundError
 from ..dsp.chirp import linear_chirp
 from ..dsp.correlation import sliding_normalized_correlation
+from ..dsp.plane import KeyedCache
+
+_PREAMBLES = KeyedCache("modem.preamble", maxsize=32)
+
+
+def preamble_template(
+    config: ModemConfig, amplitude: float = 1.0
+) -> np.ndarray:
+    """The cached, read-only chirp template for ``config``.
+
+    Built once per (length, rate, band, amplitude) key and shared by
+    every detector/transmitter on that configuration.  The array is
+    write-protected; use :func:`build_preamble` for a mutable copy.
+    """
+    key = (
+        config.preamble_length,
+        config.sample_rate,
+        config.preamble_band,
+        amplitude,
+    )
+
+    def build() -> np.ndarray:
+        f_lo, f_hi = config.preamble_band
+        chirp = linear_chirp(
+            length=config.preamble_length,
+            sample_rate=config.sample_rate,
+            f_start=f_lo,
+            f_end=f_hi,
+            amplitude=amplitude,
+        )
+        chirp.setflags(write=False)
+        return chirp
+
+    return _PREAMBLES.get(key, build)
 
 
 def build_preamble(config: ModemConfig, amplitude: float = 1.0) -> np.ndarray:
     """Synthesize the chirp preamble described by ``config``."""
-    f_lo, f_hi = config.preamble_band
-    return linear_chirp(
-        length=config.preamble_length,
-        sample_rate=config.sample_rate,
-        f_start=f_lo,
-        f_end=f_hi,
-        amplitude=amplitude,
-    )
+    return preamble_template(config, amplitude).copy()
 
 
 @dataclass(frozen=True)
@@ -56,13 +83,21 @@ class PreambleDetector:
     threshold:
         Override for the NCC acceptance threshold; defaults to
         ``config.detection_threshold`` (paper: 0.05).
+    template:
+        Pre-built chirp template to share (must equal
+        ``preamble_template(config)``); defaults to the cached template.
     """
 
     def __init__(
-        self, config: ModemConfig, threshold: Optional[float] = None
+        self,
+        config: ModemConfig,
+        threshold: Optional[float] = None,
+        template: Optional[np.ndarray] = None,
     ):
         self._config = config
-        self._template = build_preamble(config)
+        self._template = (
+            template if template is not None else preamble_template(config)
+        )
         self._threshold = (
             threshold if threshold is not None else config.detection_threshold
         )

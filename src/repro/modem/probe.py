@@ -8,6 +8,10 @@ watch analyzes its recording and reports back:
   (long/short-term interferers like a restarting air conditioner),
 * the pilot SNR, converted to Eb/N0 for mode selection,
 * a re-planned data sub-channel assignment avoiding noisy bins.
+
+All pilot symbols of a probe are analyzed in one batched FFT + SNR
+pass, and the transmitter/synchronizer share their templates through
+the :class:`~repro.modem.context.SignalPlane`.
 """
 
 from __future__ import annotations
@@ -19,12 +23,13 @@ import numpy as np
 
 from ..config import ModemConfig
 from ..errors import PreambleNotFoundError
-from ..dsp.energy import signal_spl
+from ..dsp.energy import SILENCE_FLOOR_SPL_DB, signal_spl
 from ..dsp.spectrum import noise_power_per_bin
 from ..channel.multipath import rms_delay_spread
 from .constellation import get_constellation
-from .frame import demodulate_block, frame_layout
-from .snr import ebn0_db_from_psnr, pilot_snr_db
+from .context import SignalPlane, signal_plane
+from .frame import demodulate_blocks, frame_layout
+from .snr import _row_means, ebn0_db_from_psnr, pilot_snr_db_rows
 from .subchannels import ChannelPlan
 from .synchronizer import Synchronizer
 from .transmitter import OfdmTransmitter
@@ -76,23 +81,28 @@ class ChannelProber:
     n_pilot_symbols:
         Block-pilot symbols per probe; more symbols average noise better
         at the cost of probe airtime.
+    plane:
+        Pre-built :class:`SignalPlane` to share; supplies config/plan
+        when given.  The probe carries pilots only, so the plane's
+        constellation is irrelevant (the cache's QPSK placeholder by
+        default, matching the transmitter's bookkeeping).
     """
 
     def __init__(
         self,
-        config: ModemConfig,
+        config: Optional[ModemConfig] = None,
         plan: Optional[ChannelPlan] = None,
         n_pilot_symbols: int = 2,
+        plane: Optional[SignalPlane] = None,
     ):
-        self._config = config
-        self._plan = plan if plan is not None else ChannelPlan.from_config(config)
+        if plane is None:
+            plane = signal_plane(config, plan)
+        self._plane = plane
+        self._config = plane.config
+        self._plan = plane.plan
         self._n_pilot_symbols = n_pilot_symbols
-        # Probe carrier constellation is irrelevant (pilots only); use
-        # QPSK as a placeholder for the transmitter's bookkeeping.
-        self._tx = OfdmTransmitter(
-            config, get_constellation("QPSK"), plan=self._plan
-        )
-        self._sync = Synchronizer(config)
+        self._tx = OfdmTransmitter(plane=plane)
+        self._sync = Synchronizer(self._config, detector=plane.detector)
 
     @property
     def plan(self) -> ChannelPlan:
@@ -126,8 +136,10 @@ class ChannelProber:
             recommended = self._plan.select_data_channels(per_bin)
         else:
             per_bin = None
-            noise_spl = float("-inf")
+            noise_spl = SILENCE_FLOOR_SPL_DB
             recommended = self._plan
+        if not np.isfinite(noise_spl):
+            noise_spl = SILENCE_FLOOR_SPL_DB
 
         # Pilot SNR from the block-pilot symbols.  The block symbol
         # activates the plan's own bins, so the plan's *interspersed*
@@ -136,36 +148,39 @@ class ChannelProber:
         # noise is strongly colored (voice/babble).  Immediate
         # neighbours of occupied bins are skipped (timing-error
         # leakage).
-        block_plan = self._plan
-        nulls = block_plan.quiet_null_channels(min_distance=2)
-        psnrs = []
         try:
             bodies, _ = self._sync.extract_bodies(x, match, layout)
         except Exception:
             bodies = np.zeros((0, self._config.fft_size))
-        band_bins = list(self._plan.pilots) + list(self._plan.data)
-        for body in bodies:
-            spectrum = demodulate_block(self._config, body)
+
+        if bodies.shape[0] == 0:
+            psnr = float("-inf")
+        else:
+            spectra = demodulate_blocks(self._config, bodies)
+            noise_power = 0.0
             if per_bin is not None:
+                band_bins = list(self._plan.pilots) + list(self._plan.data)
+                # noise_power_per_bin normalizes by fft_size; rescale to
+                # the raw |FFT bin|^2 units of one block.
+                noise_power = float(
+                    np.mean(per_bin[band_bins]) * self._config.fft_size
+                )
+            if noise_power > 0:
                 # Preferred estimator: compare pilot power against the
                 # *ambient* per-bin noise measured before the preamble.
                 # The in-frame null bins are contaminated by spectral
                 # leakage (fractional timing, phase-ripple echoes) which
                 # saturates the estimate at high SNR; the ambient audio
                 # has no signal in it at all.
-                pw = np.abs(spectrum) ** 2
-                pilot_power = float(np.mean(pw[list(self._plan.pilots)]))
-                # noise_power_per_bin normalizes by fft_size; rescale to
-                # the raw |FFT bin|^2 units of one block.
-                noise_power = float(
-                    np.mean(per_bin[band_bins]) * self._config.fft_size
+                pw = np.abs(spectra) ** 2
+                pilot_power = _row_means(pw[:, list(self._plan.pilots)])
+                ratios = np.maximum(pilot_power / noise_power - 1.0, 1e-12)
+                psnr_rows = 10.0 * np.log10(ratios)
+            else:
+                psnr_rows = pilot_snr_db_rows(
+                    spectra, self._plan, null_bins=self._plane.quiet_nulls
                 )
-                if noise_power > 0:
-                    ratio = max(pilot_power / noise_power - 1.0, 1e-12)
-                    psnrs.append(10.0 * np.log10(ratio))
-                    continue
-            psnrs.append(pilot_snr_db(spectrum, block_plan, null_bins=nulls))
-        psnr = float(np.mean(psnrs)) if psnrs else float("-inf")
+            psnr = float(np.mean(psnr_rows))
 
         return ProbeReport(
             detected=True,

@@ -6,29 +6,37 @@ estimation + equalization → constellation de-mapping.  Alongside the
 payload bits the receiver reports the diagnostics the protocol layer
 needs: preamble score, pilot SNR, fine-sync offsets, and the preamble
 delay profile for NLOS detection.
+
+The demodulation chain is batched: all symbol bodies go through one
+stacked 2-D FFT, one batched pilot estimate/equalization and one demap
+call, bit-identical to the historical per-body loop (see
+``tests/test_vectorized_equivalence.py``).  Shared templates (preamble,
+detector, plan index arrays) come from the
+:class:`~repro.modem.context.SignalPlane`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
 
 from ..config import ModemConfig
 from ..errors import DemodulationError, PreambleNotFoundError
-from ..dsp.energy import EnergyDetector, signal_spl
+from ..dsp.energy import SILENCE_FLOOR_SPL_DB, EnergyDetector, signal_spl
 from .constellation import Constellation
+from .context import SignalPlane, signal_plane
 from .equalizer import (
     ChannelEstimate,
-    equalize,
-    estimate_channel,
-    estimate_channel_linear,
-    estimate_channel_magnitude,
+    equalize_rows,
+    estimate_channel_linear_rows,
+    estimate_channel_magnitude_rows,
+    estimate_channel_rows,
 )
-from .frame import demodulate_block, frame_layout
-from .preamble import PreambleMatch
-from .snr import ebn0_db_from_psnr, pilot_snr_db
+from .frame import demodulate_blocks, frame_layout
+from .preamble import PreambleDetector, PreambleMatch
+from .snr import ebn0_db_from_psnr, pilot_snr_db_rows
 from .subchannels import ChannelPlan
 from .synchronizer import Synchronizer
 
@@ -67,31 +75,45 @@ class OfdmReceiver:
         Enable CP fine synchronization (ablation switch).
     linear_equalizer:
         Ablation: linear pilot interpolation instead of FFT-based.
+    plane:
+        Pre-built :class:`SignalPlane` to share; when given it supplies
+        config/plan/constellation.  Without it, the plane is fetched
+        from the global cache.
     """
 
     def __init__(
         self,
-        config: ModemConfig,
-        constellation: Constellation,
+        config: Optional[ModemConfig] = None,
+        constellation: Optional[Constellation] = None,
         plan: Optional[ChannelPlan] = None,
         fine_sync: bool = True,
         linear_equalizer: bool = False,
         detection_threshold: Optional[float] = None,
+        plane: Optional[SignalPlane] = None,
     ):
-        self._config = config
-        self._plan = plan if plan is not None else ChannelPlan.from_config(config)
-        self._constellation = constellation
-        self._sync = Synchronizer(config, fine=fine_sync)
+        if plane is None:
+            if config is None or constellation is None:
+                raise DemodulationError(
+                    "config and constellation are required without a plane"
+                )
+            plane = signal_plane(config, plan, constellation)
+        self._plane = plane
+        self._config = plane.config
+        self._plan = plane.plan
+        self._constellation = plane.constellation
+        # Build the synchronizer exactly once; a custom detection
+        # threshold swaps in its own detector around the shared chirp
+        # template instead of reconstructing the whole stack.
+        detector = plane.detector
         if detection_threshold is not None:
-            from .preamble import PreambleDetector
-
-            self._sync = Synchronizer(
-                config,
-                fine=fine_sync,
-                detector=PreambleDetector(config, detection_threshold),
+            detector = PreambleDetector(
+                self._config, detection_threshold, template=plane.preamble
             )
+        self._sync = Synchronizer(
+            self._config, fine=fine_sync, detector=detector
+        )
         self._linear_eq = linear_equalizer
-        self._energy = EnergyDetector(frame_size=config.fft_size)
+        self._energy = EnergyDetector(frame_size=self._config.fft_size)
 
     @property
     def config(self) -> ModemConfig:
@@ -105,12 +127,12 @@ class OfdmReceiver:
     def constellation(self) -> Constellation:
         return self._constellation
 
-    def _estimate(self, spectrum: np.ndarray) -> ChannelEstimate:
+    def _estimate_rows(self, spectra: np.ndarray) -> ChannelEstimate:
         if self._constellation.decision == "magnitude":
-            return estimate_channel_magnitude(spectrum, self._plan)
+            return estimate_channel_magnitude_rows(spectra, self._plan)
         if self._linear_eq:
-            return estimate_channel_linear(spectrum, self._plan)
-        return estimate_channel(spectrum, self._plan)
+            return estimate_channel_linear_rows(spectra, self._plan)
+        return estimate_channel_rows(spectra, self._plan)
 
     def n_symbols_for_bits(self, n_bits: int) -> int:
         """Symbols the matching transmitter would have sent for n_bits."""
@@ -144,32 +166,28 @@ class OfdmReceiver:
 
         # Ambient noise SPL from the audio before the preamble — the
         # paper measures noise in the pre-signal portion of the stream.
+        # An empty or all-zero slice has no SPL; clamp to the finite
+        # silence floor so downstream SNR arithmetic never sees -inf.
         noise_start = max(0, match.start - layout.preamble_length)
         ambient = x[:noise_start]
-        noise_spl = signal_spl(ambient) if ambient.size else float("-inf")
+        noise_spl = (
+            signal_spl(ambient) if ambient.size else SILENCE_FLOOR_SPL_DB
+        )
+        if not np.isfinite(noise_spl):
+            noise_spl = SILENCE_FLOOR_SPL_DB
 
         bodies, offsets = self._sync.extract_bodies(x, match, layout)
 
-        all_bits = []
-        psnrs = []
-        symbols = []
-        quiet_nulls = self._plan.quiet_null_channels(min_distance=2)
-        for body in bodies:
-            spectrum = demodulate_block(self._config, body)
-            psnrs.append(
-                pilot_snr_db(spectrum, self._plan, null_bins=quiet_nulls)
-            )
-            estimate = self._estimate(spectrum)
-            eq = equalize(spectrum, self._plan, estimate)
-            ordered = np.array(
-                [eq[k] for k in sorted(self._plan.data)],
-                dtype=np.complex128,
-            )
-            symbols.append(ordered)
-            all_bits.append(self._constellation.demap(ordered))
+        spectra = demodulate_blocks(self._config, bodies)
+        psnr_rows = pilot_snr_db_rows(
+            spectra, self._plan, null_bins=self._plane.quiet_nulls
+        )
+        estimate = self._estimate_rows(spectra)
+        equalized = equalize_rows(spectra, self._plan, estimate)
+        symbols = equalized.reshape(-1)
+        bits = self._constellation.demap(symbols)[:expected_bits]
 
-        bits = np.concatenate(all_bits)[:expected_bits]
-        psnr = float(np.mean(psnrs))
+        psnr = float(np.mean(psnr_rows))
         ebn0 = ebn0_db_from_psnr(
             psnr, self._config, self._plan, self._constellation
         )
@@ -180,7 +198,7 @@ class OfdmReceiver:
             ebn0_db=ebn0,
             fine_offsets=offsets,
             delay_profile=match.delay_profile,
-            equalized_symbols=np.concatenate(symbols),
+            equalized_symbols=symbols,
             noise_spl=noise_spl,
         )
 

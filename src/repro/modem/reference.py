@@ -1,0 +1,276 @@
+"""Frozen pre-refactor modem path: the bit-identity oracle.
+
+The signal-plane refactor vectorized the transmitter's symbol assembly,
+the receiver's per-body demodulation loop and the CP fine-sync search.
+This module preserves the *sequential* implementations exactly as they
+stood before the refactor so that
+
+* ``tests/test_vectorized_equivalence.py`` can assert the vectorized
+  pipeline reproduces the original outputs bit-for-bit, and
+* ``benchmarks/bench_signal_plane.py`` can measure before/after
+  throughput of the same workload inside one process.
+
+The loops that the refactor *replaced* (fine sync, per-bin symbol
+assembly, edge fading, frame concatenation) are duplicated here
+verbatim — do not "clean them up" or re-route them through the
+vectorized code, that would destroy the oracle.  Scalar helpers that
+the refactor kept sequential (``demodulate_block``, ``estimate_channel*``,
+``equalize``, ``pilot_snr_db``) are reused directly: they *are* the
+original implementations.
+
+One deliberate deviation: the empty/zero-ambient noise floor is clamped
+to :data:`~repro.dsp.energy.SILENCE_FLOOR_SPL_DB` exactly as in the new
+receiver, so equivalence tests can compare every field of the results.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import ModemConfig
+from ..errors import DemodulationError, ModemError, SynchronizationError
+from ..dsp.energy import SILENCE_FLOOR_SPL_DB, rms, signal_spl
+from .constellation import Constellation
+from .equalizer import (
+    equalize,
+    estimate_channel,
+    estimate_channel_linear,
+    estimate_channel_magnitude,
+)
+from .frame import PILOT_VALUE, frame_layout, demodulate_block
+from .preamble import PreambleDetector, build_preamble
+from .receiver import ReceiveResult
+from .snr import ebn0_db_from_psnr, pilot_snr_db
+from .subchannels import ChannelPlan
+from .transmitter import TransmitResult
+
+__all__ = [
+    "reference_fine_sync_offset",
+    "reference_modulate",
+    "reference_receive",
+]
+
+
+def reference_fine_sync_offset(
+    signal: np.ndarray,
+    cp_start: int,
+    config: ModemConfig,
+    search_range: int = 32,
+) -> int:
+    """The original per-candidate fine-sync loop (eq. 2), verbatim."""
+    x = np.asarray(signal, dtype=np.float64)
+    n = config.fft_size
+    cp = config.cp_length
+    if cp == 0:
+        return 0
+    best_offset = 0
+    best_score = -np.inf
+    for tf in range(-search_range, search_range + 1):
+        a0 = cp_start + tf
+        a1 = a0 + cp
+        b0 = a0 + n
+        b1 = b0 + cp
+        if a0 < 0 or b1 > x.size:
+            continue
+        head = x[a0:a1]
+        tail = x[b0:b1]
+        he = float(np.dot(head, head))
+        te = float(np.dot(tail, tail))
+        if he <= 0.0 or te <= 0.0:
+            continue
+        score = float(np.dot(head, tail)) / np.sqrt(he * te)
+        if score > best_score:
+            best_score = score
+            best_offset = tf
+    return best_offset
+
+
+def _sequential_modulate_symbol(
+    config: ModemConfig,
+    plan: ChannelPlan,
+    data_symbols: np.ndarray,
+    hermitian: bool = False,
+) -> np.ndarray:
+    """The original per-bin OFDM symbol assembly, verbatim."""
+    s = np.asarray(data_symbols, dtype=np.complex128)
+    if s.size != len(plan.data):
+        raise ModemError(
+            f"expected {len(plan.data)} data symbols, got {s.size}"
+        )
+    n = config.fft_size
+    spectrum = np.zeros(n, dtype=np.complex128)
+    for bin_index, value in zip(sorted(plan.data), s):
+        spectrum[bin_index] = value
+    for bin_index in plan.pilots:
+        spectrum[bin_index] = PILOT_VALUE
+
+    if hermitian:
+        for k in range(1, n // 2):
+            if spectrum[k] != 0:
+                spectrum[n - k] = np.conj(spectrum[k])
+        body = np.fft.ifft(spectrum).real
+    else:
+        body = np.real(np.fft.ifft(spectrum))
+
+    cp = body[-config.cp_length:] if config.cp_length else body[:0]
+    guard = np.zeros(config.symbol_guard)
+    return np.concatenate([cp, body, guard])
+
+
+def _sequential_fade_edges(signal: np.ndarray, fade_samples: int) -> np.ndarray:
+    """The original raised-cosine edge fade, ramps computed in place."""
+    out = np.asarray(signal, dtype=np.float64).copy()
+    n = min(fade_samples, out.size // 2)
+    if n == 0:
+        return out
+    m = np.arange(n)
+    ramp = 0.5 - 0.5 * np.cos(np.pi * m / max(n - 1, 1))
+    out[:n] *= ramp
+    out[-n:] *= ramp[::-1]
+    return out
+
+
+def reference_modulate(
+    config: ModemConfig,
+    constellation: Constellation,
+    bits: np.ndarray,
+    plan: Optional[ChannelPlan] = None,
+    hermitian: bool = False,
+) -> TransmitResult:
+    """Pre-refactor ``OfdmTransmitter.modulate``: one symbol at a time.
+
+    Builds every template fresh per call — exactly what each sweep cell
+    paid before the signal plane existed.
+    """
+    plan = plan if plan is not None else ChannelPlan.from_config(config)
+    b = np.asarray(bits).astype(np.uint8)
+    if b.ndim != 1 or b.size == 0:
+        raise ModemError("bits must be a non-empty 1-D array")
+    per = len(plan.data) * constellation.bits_per_symbol
+    if b.size < 1:
+        raise ModemError("payload must contain at least one bit")
+    n_symbols = (b.size + per - 1) // per
+    padded = np.concatenate(
+        [b, np.zeros(n_symbols * per - b.size, dtype=np.uint8)]
+    )
+
+    blocks = []
+    for i in range(n_symbols):
+        chunk = padded[i * per: (i + 1) * per]
+        data_symbols = constellation.map(chunk)
+        blocks.append(
+            _sequential_modulate_symbol(
+                config, plan, data_symbols, hermitian=hermitian
+            )
+        )
+    train = np.concatenate(blocks)
+
+    preamble = build_preamble(config)
+    train_rms = rms(train)
+    target = rms(preamble)
+    if train_rms > 0:
+        train = train * (target / train_rms)
+
+    guard = np.zeros(config.guard_length)
+    waveform = np.concatenate(
+        [preamble, guard, np.asarray(train, dtype=np.float64)]
+    )
+    waveform = _sequential_fade_edges(waveform, 32)
+    return TransmitResult(
+        waveform=waveform,
+        layout=frame_layout(config, n_symbols),
+        padded_bits=padded,
+        n_payload_bits=b.size,
+    )
+
+
+def reference_receive(
+    config: ModemConfig,
+    constellation: Constellation,
+    recording: np.ndarray,
+    expected_bits: int,
+    plan: Optional[ChannelPlan] = None,
+    fine_sync: bool = True,
+    linear_equalizer: bool = False,
+    detection_threshold: Optional[float] = None,
+    search_range: int = 24,
+) -> ReceiveResult:
+    """Pre-refactor ``OfdmReceiver.receive``: one body at a time."""
+    plan = plan if plan is not None else ChannelPlan.from_config(config)
+    x = np.asarray(recording, dtype=np.float64)
+    if x.ndim != 1 or x.size == 0:
+        raise DemodulationError("recording must be a non-empty 1-D array")
+    per = len(plan.data) * constellation.bits_per_symbol
+    if expected_bits < 1:
+        raise DemodulationError("n_bits must be >= 1")
+    n_symbols = (expected_bits + per - 1) // per
+    layout = frame_layout(config, n_symbols)
+
+    detector = (
+        PreambleDetector(config)
+        if detection_threshold is None
+        else PreambleDetector(config, detection_threshold)
+    )
+    match = detector.detect(x)
+
+    noise_start = max(0, match.start - layout.preamble_length)
+    ambient = x[:noise_start]
+    noise_spl = signal_spl(ambient) if ambient.size else SILENCE_FLOOR_SPL_DB
+    if not np.isfinite(noise_spl):
+        noise_spl = SILENCE_FLOOR_SPL_DB
+
+    frame_anchor = match.start - layout.preamble_length
+    bodies = np.empty((layout.n_symbols, layout.fft_size))
+    offsets = []
+    for i, nominal in enumerate(layout.symbol_offsets()):
+        cp_start = frame_anchor + int(nominal)
+        offset = 0
+        if fine_sync and config.cp_length:
+            offset = reference_fine_sync_offset(
+                x, cp_start, config, search_range=search_range
+            )
+        body_start = cp_start + offset + layout.cp_length
+        if body_start + layout.fft_size > x.size:
+            raise SynchronizationError(
+                f"symbol {i} body [{body_start}, "
+                f"{body_start + layout.fft_size}) exceeds recording "
+                f"of {x.size} samples"
+            )
+        bodies[i] = x[body_start: body_start + layout.fft_size]
+        offsets.append(offset)
+
+    all_bits = []
+    psnrs = []
+    symbols = []
+    quiet_nulls = plan.quiet_null_channels(min_distance=2)
+    for body in bodies:
+        spectrum = demodulate_block(config, body)
+        psnrs.append(pilot_snr_db(spectrum, plan, null_bins=quiet_nulls))
+        if constellation.decision == "magnitude":
+            estimate = estimate_channel_magnitude(spectrum, plan)
+        elif linear_equalizer:
+            estimate = estimate_channel_linear(spectrum, plan)
+        else:
+            estimate = estimate_channel(spectrum, plan)
+        eq = equalize(spectrum, plan, estimate)
+        ordered = np.array(
+            [eq[k] for k in sorted(plan.data)], dtype=np.complex128
+        )
+        symbols.append(ordered)
+        all_bits.append(constellation.demap(ordered))
+
+    bits = np.concatenate(all_bits)[:expected_bits]
+    psnr = float(np.mean(psnrs))
+    ebn0 = ebn0_db_from_psnr(psnr, config, plan, constellation)
+    return ReceiveResult(
+        bits=bits,
+        preamble_score=match.score,
+        psnr_db=psnr,
+        ebn0_db=ebn0,
+        fine_offsets=tuple(offsets),
+        delay_profile=match.delay_profile,
+        equalized_symbols=np.concatenate(symbols),
+        noise_spl=noise_spl,
+    )

@@ -69,6 +69,66 @@ def pilot_snr_db(
     return float(10.0 * np.log10(pilot_snr_linear(spectrum, plan, null_bins)))
 
 
+def _row_means(power: np.ndarray) -> np.ndarray:
+    """Per-row means via 1-D reductions.
+
+    ``np.mean(power, axis=1)`` associates the sum differently from the
+    1-D reduction the scalar estimators use (NumPy's pairwise/unrolled
+    accumulation), which drifts by an ULP on some inputs.  Reducing each
+    contiguous row separately keeps the batched estimators bit-identical
+    to their scalar counterparts; the row count is the symbol count, so
+    the Python loop is negligible next to the FFTs.
+    """
+    n_rows, width = power.shape
+    out = np.empty(n_rows)
+    div = float(width)
+    reduce_ = np.add.reduce  # what np.mean's 1-D sum resolves to
+    for i in range(n_rows):
+        out[i] = reduce_(power[i]) / div
+    return out
+
+
+def pilot_snr_linear_rows(
+    spectra: np.ndarray,
+    plan: ChannelPlan,
+    null_bins: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Batched :func:`pilot_snr_linear` over ``(n_symbols, fft_size)``.
+
+    Entry ``i`` is bit-identical to ``pilot_snr_linear(spectra[i], ...)``
+    (same raw pilot-bin ordering, same clamps).
+    """
+    x = np.asarray(spectra, dtype=np.complex128)
+    if x.ndim != 2 or x.shape[1] < plan.fft_size:
+        raise DemodulationError("spectra must be 2-D covering the full FFT")
+    nulls = tuple(null_bins) if null_bins is not None else plan.null_channels()
+    if not nulls:
+        raise DemodulationError("no null bins available for noise estimate")
+    p = x[:, list(plan.pilots)]
+    q = x[:, list(nulls)]
+    p_pilot = _row_means(p.real ** 2 + p.imag ** 2)
+    p_null = _row_means(q.real ** 2 + q.imag ** 2)
+    out = np.empty(x.shape[0])
+    clean = p_null <= 0.0
+    # Perfectly clean simulation: very high but finite SNR (matches the
+    # scalar path's early return).
+    out[clean] = 1e12
+    live = ~clean
+    out[live] = np.maximum(
+        (p_pilot[live] - p_null[live]) / p_null[live], 1e-12
+    )
+    return out
+
+
+def pilot_snr_db_rows(
+    spectra: np.ndarray,
+    plan: ChannelPlan,
+    null_bins: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Batched :func:`pilot_snr_db` (per-row dB conversion)."""
+    return 10.0 * np.log10(pilot_snr_linear_rows(spectra, plan, null_bins))
+
+
 def data_rate(
     config: ModemConfig,
     plan: ChannelPlan,

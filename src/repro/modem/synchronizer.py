@@ -21,6 +21,15 @@ from .frame import FrameLayout
 from .preamble import PreambleDetector, PreambleMatch
 
 
+#: Width of the re-scoring band in :func:`fine_sync_offset`.  The
+#: strided batch scores differ from the sequential ``np.dot`` scores by
+#: summation order only (≲1e-13 relative); any candidate whose exact
+#: score could tie the exact maximum lies within this much of the batch
+#: maximum, so re-scoring just that band with the original arithmetic
+#: provably reproduces the sequential selection.
+_FINE_SYNC_SCORE_BAND = 1e-9
+
+
 def fine_sync_offset(
     signal: np.ndarray,
     cp_start: int,
@@ -33,32 +42,134 @@ def fine_sync_offset(
     window one FFT-size later (the symbol tail) — the sliding-window
     matching of eq. (2).  Returns 0 when the search window falls outside
     the signal (callers keep the coarse estimate).
+
+    All candidate scores are computed in one strided batch; the few
+    candidates within :data:`_FINE_SYNC_SCORE_BAND` of the batch maximum
+    are then re-scored with the sequential per-candidate arithmetic, so
+    the returned offset is bit-identical to the original scalar loop
+    (first strict maximum in ascending ``tf`` order).
     """
     x = np.asarray(signal, dtype=np.float64)
     n = config.fft_size
     cp = config.cp_length
     if cp == 0:
         return 0
+    offsets = np.arange(-search_range, search_range + 1)
+    starts = cp_start + offsets
+    valid = (starts >= 0) & (starts + n + cp <= x.size)
+    if not np.any(valid):
+        return 0
+    cand = offsets[valid]
+    starts = starts[valid]
+    lo = int(starts[0])
+    seg = x[lo: int(starts[-1]) + n + cp]
+    windows = np.lib.stride_tricks.sliding_window_view(seg, cp)
+    heads = windows[starts - lo]
+    tails = windows[starts - lo + n]
+    # he/te are sums of squares: zero in the batch iff zero in the
+    # sequential loop (non-negative terms cannot cancel), so the skip
+    # conditions agree exactly even though the sums round differently.
+    he = np.einsum("ij,ij->i", heads, heads)
+    te = np.einsum("ij,ij->i", tails, tails)
+    ok = (he > 0.0) & (te > 0.0)
+    if not np.any(ok):
+        return 0
+    num = np.einsum("ij,ij->i", heads, tails)
+    scores = np.full(cand.size, -np.inf)
+    scores[ok] = num[ok] / np.sqrt(he[ok] * te[ok])
+    vmax = float(scores.max())
+    band = np.flatnonzero(
+        scores >= vmax - _FINE_SYNC_SCORE_BAND * max(1.0, abs(vmax))
+    )
     best_offset = 0
     best_score = -np.inf
-    for tf in range(-search_range, search_range + 1):
+    for i in band:
+        tf = int(cand[i])
         a0 = cp_start + tf
-        a1 = a0 + cp
-        b0 = a0 + n
-        b1 = b0 + cp
-        if a0 < 0 or b1 > x.size:
+        head = x[a0: a0 + cp]
+        tail = x[a0 + n: a0 + n + cp]
+        he_exact = float(np.dot(head, head))
+        te_exact = float(np.dot(tail, tail))
+        if he_exact <= 0.0 or te_exact <= 0.0:
             continue
-        head = x[a0:a1]
-        tail = x[b0:b1]
-        he = float(np.dot(head, head))
-        te = float(np.dot(tail, tail))
-        if he <= 0.0 or te <= 0.0:
-            continue
-        score = float(np.dot(head, tail)) / np.sqrt(he * te)
+        score = float(np.dot(head, tail)) / np.sqrt(he_exact * te_exact)
         if score > best_score:
             best_score = score
             best_offset = tf
     return best_offset
+
+
+def fine_sync_offsets_batch(
+    signal: np.ndarray,
+    cp_starts: "np.ndarray",
+    config: ModemConfig,
+    search_range: int = 32,
+) -> np.ndarray:
+    """Batched :func:`fine_sync_offset` over many coarse CP starts.
+
+    Entry ``i`` equals ``fine_sync_offset(signal, cp_starts[i], ...)``
+    bit-for-bit: the symbols of a frame search independently, so their
+    candidate scores stack into one ``(n_symbols, n_candidates)`` batch,
+    and each row goes through the same band + exact-re-score selection
+    as the single-start version.
+    """
+    x = np.asarray(signal, dtype=np.float64)
+    n = config.fft_size
+    cp = config.cp_length
+    anchors = np.asarray(cp_starts, dtype=np.intp)
+    out = np.zeros(anchors.size, dtype=int)
+    if cp == 0 or anchors.size == 0 or x.size < n + cp:
+        return out
+    # One strided window table over the whole recording; each symbol's
+    # candidate windows are then contiguous slices of it (no gather).
+    windows = np.lib.stride_tricks.sliding_window_view(x, cp)
+    last_start = x.size - n - cp
+    for s in range(anchors.size):
+        anchor = int(anchors[s])
+        # A candidate start ``anchor + tf`` is valid iff it lies in
+        # ``[0, last_start]``; the valid ``tf`` form one contiguous run.
+        lo = max(-search_range, -anchor)
+        hi = min(search_range, last_start - anchor)
+        if hi < lo:
+            continue
+        k = hi - lo + 1
+        s0 = anchor + lo
+        heads = windows[s0: s0 + k]
+        tails = windows[s0 + n: s0 + n + k]
+        he = np.einsum("ij,ij->i", heads, heads)
+        te = np.einsum("ij,ij->i", tails, tails)
+        num = np.einsum("ij,ij->i", heads, tails)
+        if he.min() > 0.0 and te.min() > 0.0:
+            scores = num / np.sqrt(he * te)
+        else:
+            ok = (he > 0.0) & (te > 0.0)
+            if not np.any(ok):
+                continue
+            scores = np.full(k, -np.inf)
+            scores[ok] = num[ok] / np.sqrt(he[ok] * te[ok])
+        vmax = float(scores.max())
+        band = np.flatnonzero(
+            scores >= vmax - _FINE_SYNC_SCORE_BAND * max(1.0, abs(vmax))
+        )
+        best_offset = 0
+        best_score = -np.inf
+        for i in band:
+            tf = lo + int(i)
+            a0 = anchor + tf
+            head = x[a0: a0 + cp]
+            tail = x[a0 + n: a0 + n + cp]
+            he_exact = float(np.dot(head, head))
+            te_exact = float(np.dot(tail, tail))
+            if he_exact <= 0.0 or te_exact <= 0.0:
+                continue
+            score = float(np.dot(head, tail)) / np.sqrt(
+                he_exact * te_exact
+            )
+            if score > best_score:
+                best_score = score
+                best_offset = tf
+        out[s] = best_offset
+    return out
 
 
 @dataclass(frozen=True)
@@ -117,14 +228,19 @@ class Synchronizer:
         """Yield fine-adjusted timing for each symbol of the frame."""
         x = np.asarray(recording, dtype=np.float64)
         frame_anchor = match.start - layout.preamble_length
-        for i, nominal in enumerate(layout.symbol_offsets()):
-            cp_start = frame_anchor + int(nominal)
-            offset = 0
-            if self._fine and self._config.cp_length:
-                offset = fine_sync_offset(
-                    x, cp_start, self._config,
-                    search_range=self._search_range,
-                )
+        cp_starts = [
+            frame_anchor + int(nominal)
+            for nominal in layout.symbol_offsets()
+        ]
+        if self._fine and self._config.cp_length:
+            fine = fine_sync_offsets_batch(
+                x, cp_starts, self._config,
+                search_range=self._search_range,
+            )
+        else:
+            fine = np.zeros(len(cp_starts), dtype=int)
+        for i, cp_start in enumerate(cp_starts):
+            offset = int(fine[i])
             body_start = cp_start + offset + layout.cp_length
             if body_start + layout.fft_size > x.size:
                 raise SynchronizationError(

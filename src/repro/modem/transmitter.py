@@ -5,12 +5,17 @@ pilot-tone insertion → IFFT (eq. 1, real part) → cyclic prefix →
 preamble insertion → edge fading.  The symbol train is scaled so its
 RMS matches the preamble's, keeping the pilot/data power ratio stable
 through the link's overall volume normalization.
+
+All symbols of a frame are assembled in one batched
+:func:`~repro.modem.frame.modulate_symbols` call (stacked IFFT plus a
+single preallocated CP/body/guard write), and the preamble template and
+its RMS come from the shared :class:`~repro.modem.context.SignalPlane`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -19,8 +24,8 @@ from ..errors import ModemError
 from ..dsp.energy import rms
 from ..dsp.windows import fade_edges
 from .constellation import Constellation
-from .frame import assemble_frame, frame_layout, FrameLayout, modulate_symbol
-from .preamble import build_preamble
+from .context import SignalPlane, signal_plane
+from .frame import assemble_frame, frame_layout, FrameLayout, modulate_symbols
 from .subchannels import ChannelPlan
 
 
@@ -48,20 +53,33 @@ class OfdmTransmitter:
     hermitian:
         Ablation: use conjugate-symmetric OFDM instead of the paper's
         ``Re(IFFT(X))`` construction.
+    plane:
+        Pre-built :class:`SignalPlane` to share; when given it supplies
+        config/plan/constellation and the other arguments are ignored.
+        Without it, the plane for ``(config, plan, constellation)`` is
+        fetched from the global cache.
     """
 
     def __init__(
         self,
-        config: ModemConfig,
-        constellation: Constellation,
-        plan: ChannelPlan = None,
+        config: Optional[ModemConfig] = None,
+        constellation: Optional[Constellation] = None,
+        plan: Optional[ChannelPlan] = None,
         hermitian: bool = False,
+        plane: Optional[SignalPlane] = None,
     ):
-        self._config = config
-        self._plan = plan if plan is not None else ChannelPlan.from_config(config)
-        self._constellation = constellation
+        if plane is None:
+            if config is None or constellation is None:
+                raise ModemError(
+                    "config and constellation are required without a plane"
+                )
+            plane = signal_plane(config, plan, constellation)
+        self._plane = plane
+        self._config = plane.config
+        self._plan = plane.plan
+        self._constellation = plane.constellation
         self._hermitian = hermitian
-        self._preamble = build_preamble(config)
+        self._preamble = plane.preamble
 
     @property
     def config(self) -> ModemConfig:
@@ -87,6 +105,15 @@ class OfdmTransmitter:
         per = self.bits_per_symbol
         return (n_bits + per - 1) // per
 
+    def _finish_frame(self, train: np.ndarray) -> np.ndarray:
+        """RMS-match the train to the preamble, frame it, fade it."""
+        train_rms = rms(train)
+        target = self._plane.preamble_rms
+        if train_rms > 0:
+            train = train * (target / train_rms)
+        waveform = assemble_frame(self._config, self._preamble, train)
+        return fade_edges(waveform, fade_samples=32)
+
     def modulate(self, bits: np.ndarray) -> TransmitResult:
         """Modulate ``bits`` into a complete frame.
 
@@ -98,31 +125,15 @@ class OfdmTransmitter:
             raise ModemError("bits must be a non-empty 1-D array")
         n_symbols = self.symbols_for_bits(b.size)
         per = self.bits_per_symbol
-        padded = np.concatenate(
-            [b, np.zeros(n_symbols * per - b.size, dtype=np.uint8)]
-        )
+        padded = np.zeros(n_symbols * per, dtype=np.uint8)
+        padded[: b.size] = b
 
-        blocks = []
-        for i in range(n_symbols):
-            chunk = padded[i * per: (i + 1) * per]
-            data_symbols = self._constellation.map(chunk)
-            blocks.append(
-                modulate_symbol(
-                    self._config, self._plan, data_symbols,
-                    hermitian=self._hermitian,
-                )
-            )
-        train = np.concatenate(blocks)
+        data_symbols = self._constellation.map(padded).reshape(n_symbols, -1)
+        train = modulate_symbols(
+            self._config, self._plan, data_symbols, hermitian=self._hermitian
+        ).reshape(-1)
 
-        # Match the symbol train's RMS to the preamble's so volume
-        # normalization downstream treats both parts alike.
-        train_rms = rms(train)
-        target = rms(self._preamble)
-        if train_rms > 0:
-            train = train * (target / train_rms)
-
-        waveform = assemble_frame(self._config, self._preamble, train)
-        waveform = fade_edges(waveform, fade_samples=32)
+        waveform = self._finish_frame(train)
         layout = frame_layout(self._config, n_symbols)
         return TransmitResult(
             waveform=waveform,
@@ -142,18 +153,11 @@ class OfdmTransmitter:
         """
         if n_pilot_symbols < 1:
             raise ModemError("probe needs at least one pilot symbol")
-        ones = np.ones(len(self._plan.data), dtype=np.complex128)
-        blocks = [
-            modulate_symbol(
-                self._config, self._plan, ones, hermitian=self._hermitian
-            )
-            for _ in range(n_pilot_symbols)
-        ]
-        train = np.concatenate(blocks)
-        train_rms = rms(train)
-        target = rms(self._preamble)
-        if train_rms > 0:
-            train = train * (target / train_rms)
-        waveform = assemble_frame(self._config, self._preamble, train)
-        waveform = fade_edges(waveform, fade_samples=32)
+        ones = np.ones(
+            (n_pilot_symbols, len(self._plan.data)), dtype=np.complex128
+        )
+        train = modulate_symbols(
+            self._config, self._plan, ones, hermitian=self._hermitian
+        ).reshape(-1)
+        waveform = self._finish_frame(train)
         return waveform, frame_layout(self._config, n_pilot_symbols)

@@ -21,6 +21,7 @@ from ..errors import ProtocolError
 from ..modem.adaptive import AdaptiveModulator, ModeDecision
 from ..modem.coding import Code, RepetitionCode
 from ..modem.constellation import get_constellation
+from ..modem.context import signal_plane
 from ..modem.probe import ChannelProber, ProbeReport
 from ..modem.receiver import OfdmReceiver
 from ..modem.subchannels import ChannelPlan
@@ -182,9 +183,8 @@ class PhoneController:
         token = self.otp.generate()
         bits = token_to_bits(token, self.otp.token_bits)
         coded = self.code.encode(bits)
-        tx = OfdmTransmitter(
-            self.config.modem, constellation, plan=use_plan
-        )
+        plane = signal_plane(self.config.modem, use_plan, constellation)
+        tx = OfdmTransmitter(plane=plane)
         result = tx.modulate(coded)
         return TokenTransmission(
             result=result,
@@ -275,10 +275,9 @@ class WatchController:
             data=tuple(config_msg.data_channels),
             pilots=tuple(config_msg.pilot_channels),
         )
-        receiver = OfdmReceiver(
-            self.config.modem,
-            get_constellation(config_msg.mode),
-            plan=plan,
+        plane = signal_plane(
+            self.config.modem, plan, get_constellation(config_msg.mode)
         )
+        receiver = OfdmReceiver(plane=plane)
         result = receiver.receive(recording, expected_bits=config_msg.n_bits)
         return result.bits

@@ -37,6 +37,7 @@ from ..devices.compute import (
     probe_processing_workload,
 )
 from ..errors import PreambleNotFoundError
+from ..modem.context import plane_cache_stats
 from ..sensors.motion_filter import MotionDecision
 from ..sensors.traces import co_located_pair, different_devices_pair
 
@@ -158,8 +159,18 @@ class ProbeProcessStage:
             compute_s = ctx.watch_meter.record_compute(work.mops)
             ctx.timeline.record("p1_processing_watch", compute_s, "compute_p1")
 
+        cache_before = plane_cache_stats()
         with ctx.trace_span("modem.analyze_probe"):
             ctx.report = ctx.watch.analyze_probe(ctx.probe_recording)
+            cache_after = plane_cache_stats()
+            ctx.tracer.counter(
+                "plane_cache_hits",
+                float(cache_after.hits - cache_before.hits),
+            )
+            ctx.tracer.counter(
+                "plane_cache_misses",
+                float(cache_after.misses - cache_before.misses),
+            )
         cts = ctx.watch.cts_message(ctx.report)
         cts_xfer = ctx.wireless.send_message(cts.size_bytes())
         ctx.timeline.record("msg_cts", cts_xfer.seconds, "comm")
@@ -330,9 +341,19 @@ class VerifyStage:
             )
 
         try:
+            cache_before = plane_cache_stats()
             with ctx.trace_span("modem.demodulate"):
                 ctx.received_bits = ctx.watch.demodulate(
                     ctx.data_recording, ctx.config_msg
+                )
+                cache_after = plane_cache_stats()
+                ctx.tracer.counter(
+                    "plane_cache_hits",
+                    float(cache_after.hits - cache_before.hits),
+                )
+                ctx.tracer.counter(
+                    "plane_cache_misses",
+                    float(cache_after.misses - cache_before.misses),
                 )
         except PreambleNotFoundError:
             ctx.phone.keyguard.trusted_failure()
