@@ -1,0 +1,141 @@
+"""CI guard: chaos runs are deterministic, serial or fanned out.
+
+Runs a fixed seed × fault-spec matrix of faulted unlock sessions
+**twice** — once serially, once on a 4-worker pool — plus a second
+back-to-back serial pass, and exits non-zero if any outcome or
+simulated-time trace timeline differs bit-for-bit.  This is the
+regression the CI ``chaos`` job guards against: a fault or retry code
+path that consumes entropy it shouldn't, or depends on execution
+order, shows up here before it corrupts an experiment sweep.
+
+Usage::
+
+    python benchmarks/chaos_determinism.py            # full matrix
+    python benchmarks/chaos_determinism.py --quick    # CI smoke subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.trace import Tracer  # noqa: E402
+from repro.eval.batch import BatchRunner, BatchTask, cell_seed  # noqa: E402
+from repro.protocol.session import (  # noqa: E402
+    RetryPolicy,
+    SessionConfig,
+    UnlockSession,
+)
+
+SPECS = (
+    "burst_noise@otp-tx:severity=2",
+    "frame_truncation@otp-tx",
+    "snr_collapse@otp-tx:severity=4,hits=none",
+    "jammer_onset@probe-tx:severity=2",
+    "mic_dropout@otp-tx:severity=2",
+    "msg_drop@otp-tx:p=0.5,hits=none",
+    "msg_late@probe-process:severity=2,hits=none",
+    "latency_spike@verify;energy_spike@probe-process",
+)
+SWEEP_SEED = 424242
+
+
+def chaos_cell(spec: str, seed: int):
+    """One faulted session, reduced to its deterministic fingerprint."""
+    tracer = Tracer()
+    config = SessionConfig(
+        seed=seed, faults=spec, retry=RetryPolicy()
+    )
+    outcome = UnlockSession(config).run(tracer=tracer)
+    spans = tuple(
+        (
+            s.name,
+            s.parent,
+            s.status,
+            round(s.sim_start_s, 12),
+            round(s.sim_end_s, 12),
+            tuple(sorted(s.tags.items())),
+            tuple(
+                sorted(
+                    (k, round(v, 12))
+                    for k, v in s.counters.items()
+                    # The signal-plane cache is process-global; its
+                    # hit pattern depends on concurrency, not the run.
+                    if not k.startswith("plane_cache")
+                )
+            ),
+        )
+        for s in outcome.trace.spans
+    )
+    return (
+        outcome.unlocked,
+        outcome.abort_reason.value,
+        outcome.mode,
+        outcome.raw_ber,
+        round(outcome.total_delay_s, 12),
+        outcome.stages_run,
+        outcome.attempts,
+        outcome.reprobes,
+        outcome.faults_injected,
+        spans,
+    )
+
+
+def build_tasks(n_seeds: int):
+    return [
+        BatchTask(
+            key=(spec, trial),
+            params=dict(spec=spec, seed=cell_seed(SWEEP_SEED, spec, trial)),
+        )
+        for spec in SPECS
+        for trial in range(n_seeds)
+    ]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="2 seeds per spec (CI smoke)"
+    )
+    args = parser.parse_args()
+    n_seeds = 2 if args.quick else 5
+    tasks = build_tasks(n_seeds)
+
+    serial_a = BatchRunner(chaos_cell, workers=None).run(tasks)
+    serial_b = BatchRunner(chaos_cell, workers=None).run(tasks)
+    fanned = BatchRunner(chaos_cell, workers=4).run(tasks)
+
+    mismatches = []
+    for a, b in zip(serial_a, serial_b):
+        if a.value != b.value:
+            mismatches.append(("serial-vs-serial", a.key))
+    for a, f in zip(serial_a, fanned):
+        if a.value != f.value:
+            mismatches.append(("serial-vs-workers", a.key))
+
+    recovered = sum(
+        1 for r in serial_a if r.value[0] and r.value[6] > 1
+    )
+    summary = {
+        "cells": len(tasks),
+        "unlocked": sum(1 for r in serial_a if r.value[0]),
+        "recovered_via_retry": recovered,
+        "mismatches": [f"{kind}: {key}" for kind, key in mismatches],
+    }
+    print(json.dumps(summary, indent=2))
+    if mismatches:
+        print(
+            f"FAIL: {len(mismatches)} nondeterministic cell(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: {len(tasks)} chaos cells byte-identical across 3 runs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -102,6 +102,13 @@ class AcousticLink:
     trailing_silence: float = 0.03
     nlos_blocking_db: float = 18.0
     seed: Optional[int] = None
+    #: Optional :class:`repro.faults.FaultInjector`; when set (and a
+    #: fault in its plan is armed for the executing stage) transmit()
+    #: corrupts the signal/recording accordingly.
+    injector: Optional[object] = field(default=None, repr=False)
+    _own_rng: Optional[np.random.Generator] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.distance_m <= 0:
@@ -114,7 +121,13 @@ class AcousticLink:
             return rng
         if rng is not None:
             return np.random.default_rng(rng)
-        return np.random.default_rng(self.seed)
+        # One persistent stream per link: repeated no-``rng`` calls in a
+        # session must draw *successive* noise, not re-derive the same
+        # samples from ``seed`` every time (a retransmitted frame would
+        # otherwise meet bit-identical ambient noise).
+        if self._own_rng is None:
+            self._own_rng = np.random.default_rng(self.seed)
+        return self._own_rng
 
     def budget(self, tx_spl: float) -> LinkBudget:
         """Compute the SPL/SNR budget for a given transmit level."""
@@ -177,6 +190,11 @@ class AcousticLink:
         if self.clock_skew_ppm:
             propagated = apply_clock_skew(propagated, self.clock_skew_ppm)
 
+        if self.injector is not None:
+            # Signal-only faults (SNR collapse) apply before the noise
+            # is mixed in, so the collapse genuinely degrades SNR.
+            propagated = self.injector.apply_signal(propagated)
+
         lead = int(self.leading_silence * self.sample_rate)
         trail = int(self.trailing_silence * self.sample_rate)
         at_mic = np.concatenate(
@@ -187,6 +205,14 @@ class AcousticLink:
             at_mic = at_mic + self.noise.sample(at_mic.size, rng=generator)
 
         recorded = self.microphone.record(at_mic, rng=generator)
+        if self.injector is not None:
+            # Recording-level faults (bursts, truncation, jamming,
+            # dropouts) corrupt what the receiver actually sees; they
+            # draw from the injector's own derived streams so enabling
+            # one never perturbs the channel's noise sequence.
+            recorded = self.injector.apply_recording(
+                recorded, self.sample_rate
+            )
         return recorded, budget
 
     def record_ambient(self, duration_s: float, rng=None) -> np.ndarray:

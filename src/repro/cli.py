@@ -21,8 +21,28 @@ import numpy as np
 def _cmd_unlock(args: argparse.Namespace) -> int:
     from .core.system import WearLock
     from .core.trace import Tracer
+    from .errors import WearLockError
 
     tracer = Tracer() if args.trace else None
+    retry = None
+    if args.retries is not None:
+        from .protocol.session import RetryPolicy
+
+        retry = RetryPolicy(max_attempts=max(1, args.retries))
+    faults = None
+    if args.faults:
+        from .faults import FaultPlan
+
+        try:
+            faults = FaultPlan.parse(args.faults)
+        except WearLockError as exc:
+            print(f"bad --faults spec: {exc}", file=sys.stderr)
+            return 2
+        # Fault runs want recovery on unless explicitly disabled.
+        if retry is None and not args.no_retry:
+            from .protocol.session import RetryPolicy
+
+            retry = RetryPolicy()
     wearlock = WearLock.pair(secret=args.secret.encode())
     outcome = wearlock.unlock_attempt(
         environment=args.environment,
@@ -32,6 +52,8 @@ def _cmd_unlock(args: argparse.Namespace) -> int:
         band=args.band,
         seed=args.seed,
         tracer=tracer,
+        faults=faults,
+        retry=retry,
     )
     print(f"unlocked:  {outcome.unlocked}")
     print(f"reason:    {outcome.abort_reason.value}")
@@ -41,6 +63,12 @@ def _cmd_unlock(args: argparse.Namespace) -> int:
     if outcome.psnr_db is not None:
         print(f"pilot SNR: {outcome.psnr_db:.1f} dB")
     print(f"delay:     {outcome.total_delay_s:.2f} s")
+    if retry is not None or faults is not None:
+        print(f"attempts:  {outcome.attempts} (reprobes {outcome.reprobes})")
+        if outcome.recovered:
+            print("recovered: True")
+    if outcome.faults_injected:
+        print(f"faults:    {', '.join(outcome.faults_injected)}")
     if tracer is not None:
         tracer.export_json(args.trace)
         stages = ", ".join(outcome.stages_run)
@@ -65,6 +93,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         "table1": "table1_field_test",
         "table2": "table2_dtw",
         "case-study": "case_study",
+        "recovery": "recovery_rate",
     }
     name = aliases.get(args.name, args.name)
     if name != "all" and name not in EXPERIMENT_REGISTRY:
@@ -187,6 +216,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     unlock.add_argument("--secret", default="cli-demo-secret")
     unlock.add_argument("--seed", type=int, default=None)
+    unlock.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="inject faults, e.g. 'burst_noise@otp-tx:severity=2;"
+        "msg_drop@*:p=0.3' (kind@stage[:k=v,...], ';'-separated)",
+    )
+    unlock.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="enable the NACK/downgrade recovery loop with N attempts",
+    )
+    unlock.add_argument(
+        "--no-retry",
+        action="store_true",
+        help="keep recovery off even when --faults is given",
+    )
     unlock.add_argument(
         "--trace",
         default=None,

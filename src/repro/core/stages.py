@@ -51,11 +51,18 @@ __all__ = [
 
 @dataclass(frozen=True)
 class StageResult:
-    """What one stage tells the engine: continue, or abort with why."""
+    """What one stage tells the engine: continue, abort, or jump back.
+
+    ``retry_to`` names an earlier stage to re-enter — the recovery
+    loop's backward edge (NACK → retransmit, re-probe escalation).  The
+    engine bounds total jumps so a pathological stage can never loop
+    forever.
+    """
 
     ok: bool = True
     abort_reason: Optional[str] = None
     detail: Optional[float] = None
+    retry_to: Optional[str] = None
 
     @staticmethod
     def proceed() -> "StageResult":
@@ -66,6 +73,19 @@ class StageResult:
         if not reason:
             raise WearLockError("abort reason must be non-empty")
         return StageResult(ok=False, abort_reason=reason, detail=detail)
+
+    @staticmethod
+    def retry(
+        to: str, reason: str, detail: Optional[float] = None
+    ) -> "StageResult":
+        """Jump back to stage ``to`` and re-run the graph from there."""
+        if not to:
+            raise WearLockError("retry target must be non-empty")
+        if not reason:
+            raise WearLockError("retry reason must be non-empty")
+        return StageResult(
+            ok=False, abort_reason=reason, detail=detail, retry_to=to
+        )
 
 
 @runtime_checkable
@@ -182,6 +202,11 @@ class SessionContext:
     planner: Any = None
     sample_rate: float = 0.0
 
+    # chaos + recovery machinery (None = both disabled)
+    faults: Any = None  # repro.faults.FaultInjector, duck-typed
+    retry: Any = None  # repro.protocol.session.RetryPolicy
+    retry_state: Any = None  # repro.protocol.session.RetryState
+
     # attempt working set (filled in by successive stages)
     phone_ambient: Any = None
     noise_spl_estimate: Optional[float] = None
@@ -218,12 +243,18 @@ class SessionContext:
 
 @dataclass(frozen=True)
 class EngineResult:
-    """How one engine pass ended (FilterChain-style reporting)."""
+    """How one engine pass ended (FilterChain-style reporting).
+
+    ``stages_run`` lists every stage *execution* in order — with
+    backward retry edges a stage name can appear more than once.
+    ``jumps`` counts how many retry edges were taken.
+    """
 
     stages_run: Tuple[str, ...]
     stopped_by: Optional[str]
     abort_reason: Optional[str]
     detail: Optional[float] = None
+    jumps: int = 0
 
     @property
     def completed(self) -> bool:
@@ -233,23 +264,45 @@ class EngineResult:
 class StageEngine:
     """Executes an ordered list of stages with abort short-circuit.
 
-    One trace span is emitted per stage, carrying the stage's simulated
-    duration (via the tracer's bound sim clock) and the watch/phone
-    energy it charged.  Aborting stages get ``status="abort"`` plus an
-    ``abort_reason`` tag so a trace alone tells the whole story.
+    One trace span is emitted per stage *execution*, carrying the
+    stage's simulated duration (via the tracer's bound sim clock) and
+    the watch/phone energy it charged.  Aborting stages get
+    ``status="abort"`` plus an ``abort_reason`` tag; retrying stages
+    get ``status="retry"`` plus a ``retry_to`` tag, so a trace alone
+    tells the whole story.
+
+    Recovery edges: a stage may return ``StageResult.retry(to, ...)``
+    naming an **earlier** (or the same) stage; execution re-enters the
+    graph there.  Total backward jumps are bounded by ``max_jumps`` —
+    when exhausted the attempt aborts with ``retries_exhausted`` — so
+    no retry policy bug can hang an attempt.
+
+    Fault hooks: when ``ctx.faults`` is bound (a :class:`repro.faults.
+    FaultInjector`, duck-typed to keep ``repro.core`` dependency-free),
+    the engine scopes it to each stage before running it and charges
+    any scheduled latency/energy spikes to the stage's timeline span
+    and energy meters.
     """
+
+    #: Engine-level backstop on backward jumps per attempt.
+    DEFAULT_MAX_JUMPS = 16
 
     def __init__(
         self,
         stages: Sequence[Stage],
         tracer: Optional[Tracer] = None,
+        max_jumps: int = DEFAULT_MAX_JUMPS,
     ):
         names = [s.name for s in stages]
         if len(names) != len(set(names)):
             raise WearLockError(f"duplicate stage names in {names}")
         if not stages:
             raise WearLockError("engine needs at least one stage")
+        if max_jumps < 0:
+            raise WearLockError("max_jumps must be non-negative")
         self._stages: List[Stage] = list(stages)
+        self._index = {s.name: i for i, s in enumerate(self._stages)}
+        self._max_jumps = max_jumps
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
 
     @property
@@ -260,28 +313,87 @@ class StageEngine:
     def _joules(meter: Any) -> float:
         return float(meter.total_joules) if meter is not None else 0.0
 
+    def _apply_stage_faults(self, ctx: SessionContext, stage_name: str) -> None:
+        """Charge scheduled latency/energy spikes to the current stage."""
+        for kind, magnitude in ctx.faults.stage_spikes():
+            if kind == "latency_spike":
+                if ctx.timeline is not None:
+                    ctx.timeline.record(
+                        f"fault_{kind}", magnitude, "fault"
+                    )
+            else:  # energy_spike: idle-power drain on both devices
+                if ctx.watch_meter is not None:
+                    ctx.watch_meter.record_idle(magnitude)
+                if ctx.phone_meter is not None:
+                    ctx.phone_meter.record_idle(magnitude)
+
     def execute(self, ctx: SessionContext) -> EngineResult:
-        """Run stages in order; stop at the first abort."""
+        """Run stages in order; stop at the first abort.
+
+        Backward retry edges re-enter the graph at the named stage,
+        bounded by ``max_jumps``.
+        """
         ctx.tracer = self.tracer
         run: List[str] = []
-        for stage in self._stages:
+        i = 0
+        jumps = 0
+        while i < len(self._stages):
+            stage = self._stages[i]
+            if ctx.faults is not None:
+                ctx.faults.enter_stage(stage.name)
             watch0 = self._joules(ctx.watch_meter)
             phone0 = self._joules(ctx.phone_meter)
             with self.tracer.span(stage.name, kind="stage") as span:
                 result = stage.run(ctx)
+                if ctx.faults is not None:
+                    self._apply_stage_faults(ctx, stage.name)
                 span.watch_energy_j = self._joules(ctx.watch_meter) - watch0
                 span.phone_energy_j = self._joules(ctx.phone_meter) - phone0
                 if not result.ok:
-                    span.status = "abort"
-                    span.tags["abort_reason"] = result.abort_reason or ""
+                    if result.retry_to is not None:
+                        span.status = "retry"
+                        span.tags["retry_to"] = result.retry_to
+                        span.tags["retry_reason"] = result.abort_reason or ""
+                    else:
+                        span.status = "abort"
+                        span.tags["abort_reason"] = result.abort_reason or ""
             run.append(stage.name)
-            if not result.ok:
-                return EngineResult(
-                    stages_run=tuple(run),
-                    stopped_by=stage.name,
-                    abort_reason=result.abort_reason,
-                    detail=result.detail,
-                )
+            if result.ok:
+                i += 1
+                continue
+            if result.retry_to is not None:
+                target = self._index.get(result.retry_to)
+                if target is None:
+                    raise WearLockError(
+                        f"retry target {result.retry_to!r} is not a stage "
+                        f"of this engine ({self.stage_names})"
+                    )
+                if target > i:
+                    raise WearLockError(
+                        f"retry target {result.retry_to!r} is ahead of "
+                        f"{stage.name!r}; only backward edges are allowed"
+                    )
+                jumps += 1
+                if jumps > self._max_jumps:
+                    return EngineResult(
+                        stages_run=tuple(run),
+                        stopped_by=stage.name,
+                        abort_reason="retries_exhausted",
+                        detail=result.detail,
+                        jumps=jumps,
+                    )
+                i = target
+                continue
+            return EngineResult(
+                stages_run=tuple(run),
+                stopped_by=stage.name,
+                abort_reason=result.abort_reason,
+                detail=result.detail,
+                jumps=jumps,
+            )
         return EngineResult(
-            stages_run=tuple(run), stopped_by=None, abort_reason=None
+            stages_run=tuple(run),
+            stopped_by=None,
+            abort_reason=None,
+            jumps=jumps,
         )

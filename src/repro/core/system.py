@@ -125,13 +125,19 @@ class WearLock:
         rng=None,
         seed: Optional[int] = None,
         tracer=None,
+        faults=None,
+        retry=None,
     ) -> UnlockOutcome:
         """Run one unlock attempt in the described situation.
 
         Security state (OTP counter, failures, keyguard lockout)
         persists across calls on the same pairing.  Pass a
         :class:`repro.core.trace.Tracer` to get a per-stage span
-        timeline on ``outcome.trace``.
+        timeline on ``outcome.trace``.  ``faults`` takes a
+        :class:`repro.faults.FaultPlan` (or its spec-string form, e.g.
+        ``"burst_noise@otp-tx:severity=2"``); ``retry`` takes a
+        :class:`repro.protocol.session.RetryPolicy` to enable the
+        NACK → downgrade → retransmit recovery loop.
         """
         session_config = SessionConfig(
             system=self._system,
@@ -146,6 +152,8 @@ class WearLock:
             offload=offload,
             max_ber=max_ber,
             seed=seed,
+            faults=faults,
+            retry=retry,
         )
         session = UnlockSession(
             session_config, otp=self._otp, phone=self._phone

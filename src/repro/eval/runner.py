@@ -21,6 +21,7 @@ import numpy as np
 
 from ..errors import WearLockError
 from . import experiments
+from .recovery import recovery_rate_table
 
 PathLike = Union[str, Path]
 
@@ -41,6 +42,7 @@ EXPERIMENT_REGISTRY: Dict[str, Callable[[], dict]] = {
     "ablation_sync_and_equalizer": experiments.ablation_sync_and_equalizer,
     "security_matrix": experiments.security_matrix,
     "throughput_by_mode": experiments.throughput_by_mode,
+    "recovery_rate": recovery_rate_table,
 }
 
 

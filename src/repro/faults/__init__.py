@@ -1,0 +1,29 @@
+"""Deterministic fault injection for chaos-testing the unlock protocol.
+
+See :mod:`repro.faults.plan` for the declarative schedule language and
+:mod:`repro.faults.injector` for the runtime hooks the channel,
+wireless and stage-engine layers call.
+"""
+
+from .injector import FaultInjector, InjectedFault
+from .plan import (
+    ACOUSTIC_FAULTS,
+    FAULT_KINDS,
+    STAGE_FAULTS,
+    WIRELESS_FAULTS,
+    FaultError,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = [
+    "ACOUSTIC_FAULTS",
+    "FAULT_KINDS",
+    "STAGE_FAULTS",
+    "WIRELESS_FAULTS",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+]

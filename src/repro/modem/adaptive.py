@@ -198,6 +198,18 @@ class AdaptiveModulator:
     def modes(self) -> Tuple[str, ...]:
         return self._modes
 
+    def next_lower(self, mode: str) -> Optional[str]:
+        """The next lower-order candidate after ``mode``.
+
+        Returns ``None`` at the bottom of the ladder — the retry loop's
+        signal that modulation downgrades are exhausted and the only
+        remaining escalation is a re-probe.
+        """
+        if mode not in self._modes:
+            raise ModemError(f"{mode!r} is not a candidate mode")
+        idx = self._modes.index(mode)
+        return self._modes[idx + 1] if idx + 1 < len(self._modes) else None
+
     def select(self, ebn0_db: float, max_ber: float) -> ModeDecision:
         """Pick the highest-order mode whose min Eb/N0 is satisfied."""
         required = {

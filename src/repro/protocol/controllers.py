@@ -144,23 +144,39 @@ class PhoneController:
         )
 
     def select_mode(
-        self, report: ProbeReport, max_ber: float
+        self,
+        report: ProbeReport,
+        max_ber: float,
+        allowed_modes: Optional[Tuple[str, ...]] = None,
     ) -> ModeDecision:
-        """Adaptive modulation decision from the probe's pilot SNR."""
+        """Adaptive modulation decision from the probe's pilot SNR.
+
+        ``allowed_modes`` restricts the candidates (highest order
+        first) — the retry loop uses it to keep downgrades monotone: a
+        re-probe may never re-select a higher-order constellation than
+        the attempt that just failed.
+        """
         plan = report.recommended_plan or self._plan
+        candidates = (
+            tuple(allowed_modes)
+            if allowed_modes is not None
+            else self.modulator.modes
+        )
+        if not candidates:
+            raise ProtocolError("allowed_modes must name at least one mode")
         # Eb/N0 depends on the candidate mode's rate; evaluate each mode
         # at its own rate and let the modulator pick.
         decisions = {}
-        for mode in self.modulator.modes:
+        for mode in candidates:
             ebn0 = report.ebn0_db(self.config.modem, plan, mode)
             decisions[mode] = ebn0
         # Use the highest-order feasible mode, honouring per-mode Eb/N0.
         required = {
             m: self.modulator.model.min_ebn0_db(m, max_ber)
-            for m in self.modulator.modes
+            for m in candidates
         }
         chosen = None
-        for m in self.modulator.modes:
+        for m in candidates:
             if decisions[m] >= required[m]:
                 chosen = m
                 break
@@ -207,6 +223,43 @@ class PhoneController:
             n_bits=tt.coded_bits,
         )
 
+    def check_token_bits(
+        self, tt: TokenTransmission, received_bits: np.ndarray
+    ) -> Tuple[bool, float]:
+        """Non-committal decode check; returns (ok, raw BER).
+
+        The retry loop peeks at the decode *before* deciding whether to
+        NACK and retransmit: a corrupted frame the phone itself chose
+        to re-send must not burn one of the three OTP failures that
+        lock the scheme out (§IV).  Only :meth:`verify_token_bits`
+        advances the OTP/keyguard state machines.
+        """
+        decoded = self.code.decode(
+            np.asarray(received_bits, dtype=np.uint8),
+            self.otp.token_bits,
+        )
+        return (
+            bits_to_token(decoded) == tt.token,
+            self._raw_ber(tt, received_bits),
+        )
+
+    def _raw_ber(
+        self, tt: TokenTransmission, received_bits: np.ndarray
+    ) -> float:
+        """Pre-decode BER of the received coded stream."""
+        raw_sent = self.code.encode(
+            token_to_bits(tt.token, self.otp.token_bits)
+        )
+        usable = min(raw_sent.size, np.asarray(received_bits).size)
+        if usable == 0:
+            return 1.0
+        return float(
+            np.mean(
+                raw_sent[:usable]
+                != np.asarray(received_bits, dtype=np.uint8)[:usable]
+            )
+        )
+
     def verify_token_bits(
         self, tt: TokenTransmission, received_bits: np.ndarray
     ) -> Tuple[bool, float]:
@@ -215,19 +268,7 @@ class PhoneController:
             np.asarray(received_bits, dtype=np.uint8),
             self.otp.token_bits,
         )
-        raw_sent = self.code.encode(
-            token_to_bits(tt.token, self.otp.token_bits)
-        )
-        usable = min(raw_sent.size, np.asarray(received_bits).size)
-        if usable == 0:
-            ber = 1.0
-        else:
-            ber = float(
-                np.mean(
-                    raw_sent[:usable]
-                    != np.asarray(received_bits, dtype=np.uint8)[:usable]
-                )
-            )
+        ber = self._raw_ber(tt, received_bits)
         verification = self.otp.verify(bits_to_token(decoded))
         if verification.ok:
             self.keyguard.trusted_unlock()

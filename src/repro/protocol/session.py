@@ -57,6 +57,8 @@ from .stages import (
 
 __all__ = [
     "AbortReason",
+    "RetryPolicy",
+    "RetryState",
     "SessionConfig",
     "UnlockOutcome",
     "UnlockSession",
@@ -86,6 +88,57 @@ class AbortReason(str, Enum):
     TOKEN_REJECTED = "token_rejected"
     DATA_NOT_DETECTED = "data_not_detected"
     LOCKED_OUT = "locked_out"
+    RETRIES_EXHAUSTED = "retries_exhausted"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounds on the NACK → downgrade → retransmit recovery loop.
+
+    The paper's protocol is adaptive *because* the acoustic channel
+    fails often: a corrupt OTP frame is NACKed over the wireless
+    channel and retransmitted at a lower-order modulation, and when the
+    modulation ladder is exhausted the phone re-probes the channel
+    (Phase 1 again) before giving up.  This policy bounds that loop so
+    an attempt can never hang: at most ``max_attempts`` Phase-2
+    transmissions, at most ``max_reprobes`` Phase-1 escalations, and no
+    retry once the simulated clock passes ``latency_budget_s``.
+    """
+
+    max_attempts: int = 3
+    max_reprobes: int = 1
+    latency_budget_s: float = 8.0
+    nack_bytes: int = 16
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise WearLockError("max_attempts must be >= 1")
+        if self.max_reprobes < 0:
+            raise WearLockError("max_reprobes must be >= 0")
+        if self.latency_budget_s <= 0:
+            raise WearLockError("latency_budget_s must be positive")
+        if self.nack_bytes < 0:
+            raise WearLockError("nack_bytes must be non-negative")
+
+
+@dataclass
+class RetryState:
+    """Mutable recovery-loop bookkeeping for one attempt.
+
+    ``mode_ceiling`` is the highest-order modulation the next
+    (re)selection may pick — it only ever moves *down* the ladder, so
+    the downgrade sequence is monotone even across a re-probe.
+    """
+
+    attempt: int = 1
+    reprobes: int = 0
+    nacks: int = 0
+    mode_ceiling: Optional[str] = None
+    modes_tried: Tuple[str, ...] = ()
+
+    def note_mode(self, mode: Optional[str]) -> None:
+        if mode is not None:
+            self.modes_tried = self.modes_tried + (mode,)
 
 
 @dataclass
@@ -111,8 +164,18 @@ class SessionConfig:
     use_nlos_check: bool = True
     repetition: int = 5
     seed: Optional[int] = None
+    #: Optional :class:`repro.faults.FaultPlan` (or a spec string) —
+    #: deterministic fault injection for this attempt.
+    faults: Optional[object] = None
+    #: Optional :class:`RetryPolicy`; ``None`` keeps the legacy
+    #: run-each-stage-once, abort-on-first-failure behaviour.
+    retry: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.faults, str):
+            from ..faults import FaultPlan
+
+            self.faults = FaultPlan.parse(self.faults)
         if self.wireless not in ("ble", "wifi"):
             raise WearLockError("wireless must be 'ble' or 'wifi'")
         if self.band not in ("audible", "ultrasound"):
@@ -138,10 +201,21 @@ class UnlockOutcome:
     stages_run: Tuple[str, ...] = ()
     stopped_by: Optional[str] = None
     trace: Optional[TraceReport] = None
+    #: Phase-2 transmissions performed (1 = no retransmission needed).
+    attempts: int = 1
+    #: Phase-1 re-probe escalations taken by the retry loop.
+    reprobes: int = 0
+    #: Labels of every injected fault that fired, in order.
+    faults_injected: Tuple[str, ...] = ()
 
     @property
     def succeeded(self) -> bool:
         return self.unlocked
+
+    @property
+    def recovered(self) -> bool:
+        """Unlocked despite needing at least one retransmission."""
+        return self.unlocked and self.attempts > 1
 
 
 def ambient_similarity(
@@ -232,7 +306,20 @@ class UnlockSession:
             connected=self.config.wireless_connected,
             seed=stage_rng.seed_for("wireless"),
         )
-        return SessionContext(
+        link = self._acoustic_link(stage_rng.seed_for("acoustic-link"))
+        injector = None
+        if self.config.faults:
+            from ..faults import FaultInjector
+
+            # Derived only when faults are enabled, *after* the legacy
+            # streams, so fault-free sessions replay bit-identically.
+            injector = FaultInjector(
+                self.config.faults,
+                seed=stage_rng.seed_for("fault-injector"),
+            )
+            link.injector = injector
+            wireless.injector = injector
+        ctx = SessionContext(
             config=self.config,
             system=self._system,
             rng=stage_rng,
@@ -242,7 +329,7 @@ class UnlockSession:
             phone=self.phone,
             watch=self.watch,
             wireless=wireless,
-            link=self._acoustic_link(stage_rng.seed_for("acoustic-link")),
+            link=link,
             planner=OffloadPlanner(
                 self.config.watch_device,
                 self.config.phone_device,
@@ -251,7 +338,20 @@ class UnlockSession:
             ),
             sample_rate=self._system.modem.sample_rate,
             noise_spl_estimate=float(self._env.noise.effective_spl()),
+            faults=injector,
+            retry=self.config.retry,
+            retry_state=RetryState(),
         )
+        if injector is not None:
+            # Late-bound: ctx.tracer is attached by the engine at
+            # execute() time; every fired fault lands as a counter on
+            # whichever span is innermost when it fires.
+            def _observe(fault, _ctx=ctx):
+                if _ctx.tracer is not None:
+                    _ctx.tracer.counter("fault.injected", 1.0)
+
+            injector.observer = _observe
+        return ctx
 
     # ------------------------------------------------------------------
     # the protocol
@@ -290,4 +390,9 @@ class UnlockSession:
             stages_run=result.stages_run,
             stopped_by=result.stopped_by,
             trace=engine.tracer.report() if engine.tracer.enabled else None,
+            attempts=ctx.retry_state.attempt,
+            reprobes=ctx.retry_state.reprobes,
+            faults_injected=tuple(
+                f.label() for f in (ctx.faults.events if ctx.faults else ())
+            ),
         )

@@ -29,6 +29,8 @@ from __future__ import annotations
 
 from typing import List
 
+from typing import Optional
+
 from ..core.pipeline import FilterChain
 from ..core.stages import SessionContext, Stage, StageResult
 from ..devices.compute import (
@@ -36,7 +38,8 @@ from ..devices.compute import (
     dtw_workload,
     probe_processing_workload,
 )
-from ..errors import PreambleNotFoundError
+from ..errors import ModemError
+from ..modem.adaptive import ModeDecision
 from ..modem.context import plane_cache_stats
 from ..sensors.motion_filter import MotionDecision
 from ..sensors.traces import co_located_pair, different_devices_pair
@@ -51,7 +54,10 @@ __all__ = [
     "OtpTxStage",
     "VerifyStage",
     "build_unlock_stages",
+    "deliver_message",
+    "deliver_file",
     "UNLOCK_STAGE_NAMES",
+    "MSG_RESEND_LIMIT",
 ]
 
 # Android-stack latency constants (seconds), calibrated to the paper's
@@ -64,6 +70,44 @@ SENSOR_WINDOW_SECONDS = 2.0  # 100 samples at 50 Hz
 #: Sound-Proof-style gate parameters (paper §V / DESIGN.md §5).
 NOISE_FILTER_MIN_SPL = 35.0
 NOISE_FILTER_MIN_SIMILARITY = 0.25
+
+#: Bounded resends for control-plane traffic when a message is dropped
+#: (fault injection); the wireless layer reports the loss via
+#: ``TransferStats.delivered`` after a timeout.
+MSG_RESEND_LIMIT = 2
+
+
+def _deliver(ctx, send, label: str, category: str, meter=None):
+    """Send with bounded resends; returns the delivered stats or None.
+
+    Every attempt — including a dropped one, which costs a timeout —
+    lands on the timeline (``label``, then ``label_resendN``).  Callers
+    treat ``None`` (all attempts dropped) as a dead wireless link.
+    """
+    for attempt in range(MSG_RESEND_LIMIT + 1):
+        stats = send()
+        suffix = "" if attempt == 0 else f"_resend{attempt}"
+        ctx.timeline.record(label + suffix, stats.seconds, category)
+        if meter is not None:
+            meter.record_radio(stats.seconds)
+        if getattr(stats, "delivered", True):
+            return stats
+        ctx.tracer.counter("wireless.resend", 1.0)
+    return None
+
+
+def deliver_message(ctx, n_bytes: int, label: str, category: str = "comm"):
+    """Control message with drop-recovery (see :func:`_deliver`)."""
+    return _deliver(ctx, lambda: ctx.wireless.send_message(n_bytes), label, category)
+
+
+def deliver_file(
+    ctx, n_bytes: int, label: str, category: str = "comm", meter=None
+):
+    """Bulk transfer with drop-recovery (see :func:`_deliver`)."""
+    return _deliver(
+        ctx, lambda: ctx.wireless.send_file(n_bytes), label, category, meter
+    )
 
 
 class WirelessCheckStage:
@@ -90,10 +134,12 @@ class SensorCaptureStage:
     name = "sensor-capture"
 
     def run(self, ctx: SessionContext) -> StageResult:
-        rts = ctx.wireless.send_message(24)
-        ctx.timeline.record("msg_rts", rts.seconds, "comm")
-        ack = ctx.wireless.send_message(16)
-        ctx.timeline.record("msg_rts_ack", ack.seconds, "comm")
+        rts = deliver_message(ctx, 24, "msg_rts")
+        if rts is None:
+            return StageResult.abort("no_wireless_link")
+        ack = deliver_message(ctx, 16, "msg_rts_ack")
+        if ack is None:
+            return StageResult.abort("no_wireless_link")
 
         if ctx.config.use_motion_filter:
             rng = ctx.rng_for(self.name)
@@ -150,9 +196,11 @@ class ProbeProcessStage:
         ctx.tracer.counter("offloaded", float(plan.offloaded))
         ctx.tracer.counter("transfer_bytes", plan.transfer_bytes)
         if plan.offloaded:
-            xfer = ctx.wireless.send_file(clip_bytes)
-            ctx.timeline.record("p1_audio_transfer", xfer.seconds, "comm")
-            ctx.watch_meter.record_radio(xfer.seconds)
+            xfer = deliver_file(
+                ctx, clip_bytes, "p1_audio_transfer", meter=ctx.watch_meter
+            )
+            if xfer is None:
+                return StageResult.abort("no_wireless_link")
             compute_s = ctx.phone_meter.record_compute(work.mops)
             ctx.timeline.record("p1_processing_phone", compute_s, "compute_p1")
         else:
@@ -161,7 +209,12 @@ class ProbeProcessStage:
 
         cache_before = plane_cache_stats()
         with ctx.trace_span("modem.analyze_probe"):
-            ctx.report = ctx.watch.analyze_probe(ctx.probe_recording)
+            try:
+                ctx.report = ctx.watch.analyze_probe(ctx.probe_recording)
+            except ModemError:
+                # A probe mangled beyond synchronization reads as "no
+                # probe heard" — same outcome as a failed preamble.
+                return StageResult.abort("probe_not_detected")
             cache_after = plane_cache_stats()
             ctx.tracer.counter(
                 "plane_cache_hits",
@@ -172,8 +225,9 @@ class ProbeProcessStage:
                 float(cache_after.misses - cache_before.misses),
             )
         cts = ctx.watch.cts_message(ctx.report)
-        cts_xfer = ctx.wireless.send_message(cts.size_bytes())
-        ctx.timeline.record("msg_cts", cts_xfer.seconds, "comm")
+        cts_xfer = deliver_message(ctx, cts.size_bytes(), "msg_cts")
+        if cts_xfer is None:
+            return StageResult.abort("no_wireless_link")
 
         if not ctx.report.detected:
             return StageResult.abort("probe_not_detected")
@@ -219,8 +273,12 @@ class PrefilterStage:
         if not ctx.config.use_motion_filter:
             return True, None
         phone_xyz, watch_xyz = ctx.sensor_pair
-        sensor_msg_s = ctx.wireless.send_message(24 + 400).seconds
-        ctx.timeline.record("msg_sensor", sensor_msg_s, "comm")
+        sensor_msg = deliver_message(ctx, 24 + 400, "msg_sensor")
+        if sensor_msg is None:
+            # Fail closed: without the watch's sensor window the motion
+            # gate cannot vouch for co-location.
+            self._link_failed = True
+            return False, None
         dtw_s = ctx.phone_meter.record_compute(dtw_workload(100, 100).mops)
         ctx.timeline.record("dtw_on_phone", dtw_s, "compute_p1")
         motion = ctx.phone.evaluate_motion(phone_xyz, watch_xyz)
@@ -230,12 +288,15 @@ class PrefilterStage:
         return passed, ctx.motion_score
 
     def run(self, ctx: SessionContext) -> StageResult:
+        self._link_failed = False
         chain = (
             FilterChain()
             .add("noise_mismatch", lambda c: self._noise_gate(c))
             .add("motion_mismatch", lambda c: self._motion_gate(c))
         )
         result = chain.evaluate(ctx)
+        if self._link_failed:
+            return StageResult.abort("no_wireless_link")
         if not result.passed:
             detail = dict(result.scores).get(result.stopped_by)
             return StageResult.abort(result.stopped_by, detail=detail)
@@ -264,7 +325,16 @@ class ModeSelectStage:
             # tighter packet (reduce MaxBER, per Alg. 1's comment).
             max_ber = min(max_ber, security.max_ber)
 
-        ctx.mode_decision = ctx.phone.select_mode(ctx.report, max_ber)
+        allowed = None
+        st = ctx.retry_state
+        if st is not None and st.mode_ceiling is not None:
+            # Monotone downgrade: a re-probe may never climb back above
+            # the modulation that just failed.
+            modes = ctx.phone.modulator.modes
+            allowed = modes[modes.index(st.mode_ceiling):]
+        ctx.mode_decision = ctx.phone.select_mode(
+            ctx.report, max_ber, allowed_modes=allowed
+        )
         if not ctx.mode_decision.feasible:
             return StageResult.abort("no_feasible_mode")
         return StageResult.proceed()
@@ -279,9 +349,14 @@ class OtpTxStage:
         ctx.token_tx = ctx.phone.prepare_token(
             ctx.mode_decision, ctx.report.recommended_plan, ctx.tx_spl
         )
+        if ctx.retry_state is not None:
+            ctx.retry_state.note_mode(ctx.token_tx.mode)
         ctx.config_msg = ctx.phone.channel_config_message(ctx.token_tx)
-        cfg_xfer = ctx.wireless.send_message(ctx.config_msg.size_bytes())
-        ctx.timeline.record("msg_channel_config", cfg_xfer.seconds, "comm")
+        cfg_xfer = deliver_message(
+            ctx, ctx.config_msg.size_bytes(), "msg_channel_config"
+        )
+        if cfg_xfer is None:
+            return StageResult.abort("no_wireless_link")
 
         ctx.timeline.record("audio_start_p2", AUDIO_PATH_START_DELAY, "stack")
         ctx.data_recording, _ = ctx.link.transmit(
@@ -294,8 +369,9 @@ class OtpTxStage:
         ctx.watch_meter.record_audio(data_air_s)
         ctx.phone_meter.record_audio(data_air_s)
 
-        stop_xfer = ctx.wireless.send_message(16)
-        ctx.timeline.record("msg_stop_recording", stop_xfer.seconds, "comm")
+        stop_xfer = deliver_message(ctx, 16, "msg_stop_recording")
+        if stop_xfer is None:
+            return StageResult.abort("no_wireless_link")
         return StageResult.proceed()
 
 
@@ -323,9 +399,11 @@ class VerifyStage:
         ctx.tracer.counter("offloaded", float(plan.offloaded))
         ctx.tracer.counter("transfer_bytes", plan.transfer_bytes)
         if plan.offloaded:
-            xfer = ctx.wireless.send_file(data_bytes)
-            ctx.timeline.record("p2_audio_transfer", xfer.seconds, "comm")
-            ctx.watch_meter.record_radio(xfer.seconds)
+            xfer = deliver_file(
+                ctx, data_bytes, "p2_audio_transfer", meter=ctx.watch_meter
+            )
+            if xfer is None:
+                return StageResult.abort("no_wireless_link")
             pre_s = ctx.phone_meter.record_compute(pre_work.mops)
             ctx.timeline.record("p2_preprocessing_phone", pre_s, "compute_p2pre")
             demod_s = ctx.phone_meter.record_compute(demod_work.mops)
@@ -355,16 +433,101 @@ class VerifyStage:
                     "plane_cache_misses",
                     float(cache_after.misses - cache_before.misses),
                 )
-        except PreambleNotFoundError:
-            ctx.phone.keyguard.trusted_failure()
-            return StageResult.abort("data_not_detected")
+        except ModemError:
+            # PreambleNotFoundError, SynchronizationError, Demodulation-
+            # Error: a corrupt frame the receiver cannot lock onto is
+            # one protocol event — the Phase-2 data never arrived.
+            return self._resolve_failure(ctx, "data_not_detected", None)
 
-        ok, ctx.raw_ber = ctx.phone.verify_token_bits(tt, ctx.received_bits)
-        ctx.timeline.record("keyguard", KEYGUARD_DISMISS_DELAY, "stack")
-        ctx.unlocked = ok
-        if not ok:
-            return StageResult.abort("token_rejected", detail=ctx.raw_ber)
-        return StageResult.proceed()
+        if ctx.retry is None:
+            # Legacy single-shot path: verification commits immediately.
+            ok, ctx.raw_ber = ctx.phone.verify_token_bits(
+                tt, ctx.received_bits
+            )
+            ctx.timeline.record("keyguard", KEYGUARD_DISMISS_DELAY, "stack")
+            ctx.unlocked = ok
+            if not ok:
+                return StageResult.abort("token_rejected", detail=ctx.raw_ber)
+            return StageResult.proceed()
+
+        # Recovery-enabled path: peek at the decode first so a frame the
+        # phone itself chooses to retransmit never burns an OTP failure.
+        ok, ctx.raw_ber = ctx.phone.check_token_bits(tt, ctx.received_bits)
+        if ok:
+            unlocked, _ = ctx.phone.verify_token_bits(tt, ctx.received_bits)
+            ctx.timeline.record("keyguard", KEYGUARD_DISMISS_DELAY, "stack")
+            ctx.unlocked = unlocked
+            if not unlocked:
+                return StageResult.abort("token_rejected", detail=ctx.raw_ber)
+            return StageResult.proceed()
+        return self._resolve_failure(ctx, "token_rejected", ctx.raw_ber)
+
+    def _resolve_failure(
+        self, ctx: SessionContext, reason: str, ber: Optional[float]
+    ) -> StageResult:
+        """Retry if the policy allows it; otherwise commit the failure."""
+        policy = ctx.retry
+        st = ctx.retry_state
+        if policy is not None and st is not None:
+            planned = self._plan_retry(ctx, policy, st, reason, ber)
+            if planned is not None:
+                return planned
+        # Terminal: now the failure hits the security state machines.
+        if reason == "data_not_detected":
+            ctx.phone.keyguard.trusted_failure()
+        else:
+            ctx.phone.verify_token_bits(ctx.token_tx, ctx.received_bits)
+            ctx.timeline.record("keyguard", KEYGUARD_DISMISS_DELAY, "stack")
+        final = "retries_exhausted" if policy is not None else reason
+        return StageResult.abort(final, detail=ber)
+
+    def _plan_retry(
+        self,
+        ctx: SessionContext,
+        policy,
+        st,
+        reason: str,
+        ber: Optional[float],
+    ) -> Optional[StageResult]:
+        """NACK → modulation downgrade → retransmit, else re-probe.
+
+        Returns ``None`` when the policy's bounds (attempts, re-probes,
+        latency budget) leave no recovery move.
+        """
+        if ctx.timeline.total >= policy.latency_budget_s:
+            return None
+        if st.attempt >= policy.max_attempts:
+            return None
+        mode = ctx.token_tx.mode
+        downgrade = ctx.phone.modulator.next_lower(mode)
+        if downgrade is None and st.reprobes >= policy.max_reprobes:
+            return None
+        with ctx.trace_span(
+            "retry.attempt",
+            attempt=str(st.attempt),
+            reason=reason,
+            failed_mode=mode,
+        ) as span:
+            nack = deliver_message(ctx, policy.nack_bytes, "msg_nack")
+            if nack is None:
+                return StageResult.abort("no_wireless_link")
+            ctx.tracer.counter("retry.attempt", 1.0)
+            st.nacks += 1
+            st.attempt += 1
+            if downgrade is not None:
+                st.mode_ceiling = downgrade
+                ctx.mode_decision = ModeDecision(
+                    mode=downgrade,
+                    ebn0_db=ctx.mode_decision.ebn0_db,
+                    max_ber=ctx.mode_decision.max_ber,
+                    required_ebn0_db=ctx.mode_decision.required_ebn0_db,
+                )
+                span.tags["action"] = f"downgrade:{downgrade}"
+                return StageResult.retry("otp-tx", reason, detail=ber)
+            st.reprobes += 1
+            st.mode_ceiling = mode
+            span.tags["action"] = "reprobe"
+            return StageResult.retry("probe-tx", reason, detail=ber)
 
 
 def build_unlock_stages() -> List[Stage]:

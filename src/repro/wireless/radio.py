@@ -23,11 +23,19 @@ from ..errors import WearLockError
 
 @dataclass(frozen=True)
 class TransferStats:
-    """Outcome of one simulated transfer."""
+    """Outcome of one simulated transfer.
+
+    ``seconds`` is always the time the *sender* spent on the operation:
+    for a delivered transfer that is the transport latency, for a
+    dropped one (``delivered=False``, fault injection only) it is the
+    acknowledgement timeout the sender waited before concluding the
+    loss.
+    """
 
     seconds: float
     n_bytes: int
     kind: str
+    delivered: bool = True
 
 
 class WirelessLink:
@@ -70,6 +78,17 @@ class WirelessLink:
         self._sigma = jitter_sigma
         self.connected = connected
         self._rng = rng if rng is not None else np.random.default_rng(seed)
+        #: Optional :class:`repro.faults.FaultInjector`; when set, each
+        #: send consults it and may come back dropped or late.
+        self.injector: Optional[object] = None
+
+    #: Ack-timeout multiple of the median latency charged for a drop.
+    DROP_TIMEOUT_FACTOR = 4.0
+
+    def _fault_verdict(self):
+        if self.injector is None:
+            return None, 1.0
+        return self.injector.wireless_verdict()
 
     @property
     def message_latency(self) -> float:
@@ -95,7 +114,15 @@ class WirelessLink:
         self._require_connected()
         if n_bytes < 0:
             raise WearLockError("n_bytes must be non-negative")
-        seconds = self._latency * self._jitter()
+        fate, factor = self._fault_verdict()
+        if fate == "drop":
+            return TransferStats(
+                seconds=self._latency * self.DROP_TIMEOUT_FACTOR,
+                n_bytes=n_bytes,
+                kind="message",
+                delivered=False,
+            )
+        seconds = self._latency * self._jitter() * factor
         seconds += 8.0 * n_bytes / self._throughput
         return TransferStats(seconds=seconds, n_bytes=n_bytes, kind="message")
 
@@ -114,7 +141,15 @@ class WirelessLink:
         self._require_connected()
         if n_bytes <= 0:
             raise WearLockError("file transfers need n_bytes > 0")
-        seconds = self._latency * self._jitter()
+        fate, factor = self._fault_verdict()
+        if fate == "drop":
+            return TransferStats(
+                seconds=self._latency * self.DROP_TIMEOUT_FACTOR,
+                n_bytes=n_bytes,
+                kind="file",
+                delivered=False,
+            )
+        seconds = self._latency * self._jitter() * factor
         seconds += 8.0 * n_bytes / (self._throughput * self._jitter())
         return TransferStats(seconds=seconds, n_bytes=n_bytes, kind="file")
 

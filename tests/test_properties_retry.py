@@ -1,0 +1,173 @@
+"""Property-based tests on the coding and retry invariants.
+
+Two families:
+
+* the repetition/majority code corrects any pattern of up to
+  ``(factor - 1) // 2`` flips *per coded group* — the error-correction
+  headroom the retry loop leans on before it ever NACKs;
+* the retry loop's modulation downgrades are monotone: across NACKs
+  and even across a re-probe, the attempted constellation order never
+  increases (``mode_ceiling`` only moves down the ladder).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.trace import Tracer
+from repro.eval.batch import cell_seed
+from repro.modem.adaptive import TRANSMISSION_MODES, AdaptiveModulator
+from repro.modem.coding import RepetitionCode
+from repro.modem.constellation import get_constellation
+from repro.protocol.session import (
+    RetryPolicy,
+    SessionConfig,
+    UnlockSession,
+)
+
+odd_factors = st.sampled_from([1, 3, 5, 7, 9])
+
+
+@st.composite
+def coded_words_with_flips(draw):
+    """A coded repetition word plus a correctable flip pattern."""
+    factor = draw(odd_factors)
+    n_bits = draw(st.integers(min_value=1, max_value=48))
+    bits = np.array(
+        draw(
+            st.lists(
+                st.integers(0, 1), min_size=n_bits, max_size=n_bits
+            )
+        ),
+        dtype=np.uint8,
+    )
+    bound = (factor - 1) // 2
+    flips = []
+    for group in range(n_bits):
+        k = draw(st.integers(min_value=0, max_value=bound))
+        positions = draw(
+            st.lists(
+                st.integers(0, factor - 1),
+                min_size=k,
+                max_size=k,
+                unique=True,
+            )
+        )
+        flips.extend(group * factor + p for p in positions)
+    return factor, bits, flips
+
+
+class TestRepetitionRoundTrip:
+    @given(coded_words_with_flips())
+    @settings(max_examples=60, deadline=None)
+    def test_decodes_exactly_under_correctable_flips(self, case):
+        factor, bits, flips = case
+        code = RepetitionCode(factor)
+        coded = code.encode(bits)
+        corrupted = coded.copy()
+        for pos in flips:
+            corrupted[pos] ^= 1
+        decoded = code.decode(corrupted, bits.size)
+        assert np.array_equal(decoded, bits)
+
+    @given(odd_factors, st.integers(min_value=1, max_value=32))
+    @settings(max_examples=30, deadline=None)
+    def test_majority_breaks_only_past_the_bound(self, factor, n_bits):
+        """Flipping a full majority of one group must flip that bit."""
+        code = RepetitionCode(factor)
+        bits = np.zeros(n_bits, dtype=np.uint8)
+        coded = code.encode(bits)
+        majority = (factor - 1) // 2 + 1
+        coded[:majority] ^= 1
+        decoded = code.decode(coded, n_bits)
+        assert decoded[0] == 1
+        assert not decoded[1:].any()
+
+
+class TestDowngradeMonotone:
+    def test_next_lower_walks_down_and_terminates(self):
+        modulator = AdaptiveModulator()
+        seen = []
+        mode = modulator.modes[0]
+        while mode is not None:
+            seen.append(mode)
+            mode = modulator.next_lower(mode)
+        assert tuple(seen) == modulator.modes
+
+    @given(st.sampled_from(TRANSMISSION_MODES))
+    @settings(max_examples=10, deadline=None)
+    def test_next_lower_reduces_constellation_order(self, mode):
+        modulator = AdaptiveModulator()
+        lower = modulator.next_lower(mode)
+        if lower is not None:
+            assert (
+                get_constellation(lower).order
+                <= get_constellation(mode).order
+            )
+
+    @staticmethod
+    def _order(mode: str) -> int:
+        return get_constellation(mode).order
+
+    @given(st.integers(min_value=0, max_value=30))
+    @settings(max_examples=12, deadline=None)
+    def test_retry_sequence_never_climbs(self, trial):
+        """End-to-end: the modes actually attempted are non-increasing.
+
+        Sessions run under a persistent OTP-frame fault so the loop
+        downgrades and (at the ladder's bottom) re-probes; even the
+        re-probe's fresh mode selection must respect the ceiling.
+        """
+        tracer = Tracer()
+        config = SessionConfig(
+            seed=cell_seed(77, trial),
+            faults="snr_collapse@otp-tx:severity=3,hits=none",
+            retry=RetryPolicy(max_attempts=3, max_reprobes=1),
+        )
+        outcome = UnlockSession(config).run(tracer=tracer)
+        modes = [m for m in (outcome.mode,) if m]
+        retry_spans = [
+            s for s in outcome.trace.spans if s.name == "retry.attempt"
+        ]
+        attempted = [
+            s.tags["failed_mode"] for s in retry_spans if "failed_mode" in s.tags
+        ] + modes
+        orders = [self._order(m) for m in attempted if m]
+        assert orders == sorted(orders, reverse=True)
+        # And the loop respected its bounds.
+        assert outcome.attempts <= 3
+        assert outcome.reprobes <= 1
+
+    def test_reprobe_cannot_reselect_higher_mode(self):
+        """Directly: a ceiling keeps select_mode off higher orders.
+
+        A channel report good enough for the top-of-ladder mode must
+        still yield the ceiling's mode when ``allowed_modes`` is
+        restricted — this is what keeps a re-probe monotone.
+        """
+        from repro.config import SystemConfig
+        from repro.protocol.controllers import PhoneController
+        from repro.security.otp import OtpManager
+
+        class _Report:
+            recommended_plan = None
+
+            @staticmethod
+            def ebn0_db(config, plan, mode):
+                return 60.0  # enough Eb/N0 for any deployed mode
+
+        phone = PhoneController(
+            SystemConfig(), OtpManager(b"secret-for-test")
+        )
+        modes = phone.modulator.modes
+        unrestricted = phone.select_mode(_Report(), 0.1)
+        assert unrestricted.mode == modes[0]
+        for start in range(1, len(modes)):
+            allowed = modes[start:]
+            decision = phone.select_mode(
+                _Report(), 0.1, allowed_modes=allowed
+            )
+            assert decision.mode in allowed
+            assert self._order(decision.mode) <= self._order(modes[start])
