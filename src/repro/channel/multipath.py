@@ -14,6 +14,7 @@ impulse responses with a controllable direct-path-to-reverb ratio:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -58,6 +59,15 @@ def rms_delay_spread(profile: np.ndarray, sample_rate: float) -> float:
     if sample_rate <= 0:
         raise ChannelError("sample_rate must be positive")
     a = np.maximum(a, 0.0)
+    peak = float(np.max(a))
+    if peak <= 0.0:
+        return 0.0
+    # Rescale by a power of two so the peak sits in [0.5, 1).  Exact
+    # for normal-range profiles (power-of-two scaling commutes with
+    # every operation below), but rescues subnormal profiles, whose
+    # ``t * a`` products would otherwise lose mantissa bits and break
+    # the statistic's scale invariance.
+    a = np.ldexp(a, -math.frexp(peak)[1])
     total = float(np.sum(a))
     if total <= 0.0:
         return 0.0

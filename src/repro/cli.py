@@ -4,9 +4,16 @@ Commands
 --------
 ``unlock``       run one unlock attempt and print the outcome
 ``experiment``   regenerate one of the paper's figures/tables
+``fleet``        population-scale simulation (``run``) and report
+                 rendering (``report``)
 ``encode``       modulate a payload (hex) into a WAV file
 ``decode``       demodulate a WAV recording back to a payload
 ``info``         print the modem configuration and environments
+
+``fleet run`` writes a deterministic aggregate document: for a fixed
+``--users/--hours/--seed/--faults`` it is byte-identical for any
+``--workers`` value (runtime telemetry goes to stderr, never into the
+document) — CI diffs the files to hold the line.
 """
 
 from __future__ import annotations
@@ -118,6 +125,95 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         import json
 
         print(json.dumps(results, indent=2))
+    return 0
+
+
+def _fleet_document(config, aggregate) -> str:
+    """The canonical fleet JSON document (the byte-identity artifact)."""
+    import dataclasses
+    import json
+
+    return (
+        json.dumps(
+            {
+                "config": dataclasses.asdict(config),
+                "aggregate": aggregate.to_dict(hours=config.hours),
+            },
+            sort_keys=True,
+            indent=2,
+        )
+        + "\n"
+    )
+
+
+def _cmd_fleet_run(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from .core.trace import Tracer
+    from .errors import WearLockError
+    from .fleet import FleetConfig, FleetScheduler, render_fleet_report
+
+    try:
+        config = FleetConfig(
+            n_users=args.users,
+            hours=args.hours,
+            seed=args.seed,
+            sessions_per_day=args.sessions_per_day,
+            faults=args.faults or "",
+            retry=not args.no_retry,
+        )
+    except WearLockError as exc:
+        print(f"bad fleet config: {exc}", file=sys.stderr)
+        return 2
+    tracer = Tracer()
+    result = FleetScheduler(
+        config,
+        workers=args.workers,
+        shard_users=args.shard_users,
+        tracer=tracer,
+        batched=not args.no_batch,
+    ).run()
+    payload = _fleet_document(config, result.aggregate)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(payload)
+    if args.report:
+        markdown = render_fleet_report(
+            result.aggregate.to_dict(hours=config.hours),
+            dataclasses.asdict(config),
+        )
+        with open(args.report, "w") as fh:
+            fh.write(markdown)
+        print(f"wrote {args.report}", file=sys.stderr)
+    totals = tracer.report().counter_totals()
+    print(
+        f"{result.sessions} sessions / {config.n_users} users / "
+        f"{result.shards} shards in {result.wall_s:.2f} s "
+        f"({result.sessions_per_sec:.1f} sessions/s, "
+        f"workers={result.workers}, "
+        f"pin_fallbacks={totals.get('pin_fallbacks', 0):.0f})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_fleet_report(args: argparse.Namespace) -> int:
+    import json
+
+    from .fleet import render_fleet_report
+
+    with open(getattr(args, "from")) as fh:
+        doc = json.load(fh)
+    markdown = render_fleet_report(doc["aggregate"], doc.get("config"))
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(markdown)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(markdown)
     return 0
 
 
@@ -258,6 +354,77 @@ def build_parser() -> argparse.ArgumentParser:
         "(results are bit-identical to a serial run)",
     )
     experiment.set_defaults(func=_cmd_experiment)
+
+    fleet = sub.add_parser(
+        "fleet", help="population-scale simulation and reporting"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_run = fleet_sub.add_parser(
+        "run", help="simulate a user population; emit the aggregate JSON"
+    )
+    fleet_run.add_argument("--users", type=int, default=200)
+    fleet_run.add_argument("--hours", type=float, default=24.0)
+    fleet_run.add_argument("--seed", type=int, default=0)
+    fleet_run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool width; the aggregate document is "
+        "byte-identical for any value",
+    )
+    fleet_run.add_argument(
+        "--shard-users",
+        type=int,
+        default=25,
+        help="users per shard (batched-DTW amortization unit)",
+    )
+    fleet_run.add_argument(
+        "--sessions-per-day",
+        type=float,
+        default=4.0,
+        help="mean unlock attempts per user per 24 h",
+    )
+    fleet_run.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="fault plan applied to every session (same grammar as "
+        "'unlock --faults')",
+    )
+    fleet_run.add_argument(
+        "--no-retry",
+        action="store_true",
+        help="disable the NACK/downgrade recovery loop",
+    )
+    fleet_run.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="force the scalar per-session prefilter (benchmark baseline)",
+    )
+    fleet_run.add_argument(
+        "--out", default=None, help="write the aggregate JSON here"
+    )
+    fleet_run.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="also render the markdown report (e.g. docs/FLEET_REPORT.md)",
+    )
+    fleet_run.set_defaults(func=_cmd_fleet_run)
+
+    fleet_report = fleet_sub.add_parser(
+        "report", help="render a saved aggregate JSON as markdown"
+    )
+    fleet_report.add_argument(
+        "from",
+        metavar="AGGREGATE_JSON",
+        help="document produced by 'fleet run --out'",
+    )
+    fleet_report.add_argument(
+        "--out", default=None, help="write markdown here (default stdout)"
+    )
+    fleet_report.set_defaults(func=_cmd_fleet_report)
 
     encode = sub.add_parser("encode", help="modulate hex payload to WAV")
     encode.add_argument("payload", help="payload as hex, e.g. deadbeef")

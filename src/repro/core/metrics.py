@@ -76,6 +76,67 @@ class SuccessStats:
         return self.successes / self.attempts
 
 
+@dataclass(frozen=True)
+class TailStats:
+    """Tail-latency summary (P50/P95/P99) over a value stream.
+
+    :meth:`from_values` takes the exact sample quantiles; the fleet's
+    streaming path instead builds these from fixed-bin histogram counts
+    via :meth:`from_counts` — deterministic, mergeable, and accurate to
+    half a bin width (see :class:`repro.fleet.aggregate.Histogram`).
+    """
+
+    p50: float
+    p95: float
+    p99: float
+    n: int
+
+    @staticmethod
+    def from_values(values: Sequence[float]) -> "TailStats":
+        if not values:
+            raise WearLockError("no values to aggregate")
+        arr = np.asarray(values, dtype=np.float64)
+        return TailStats(
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            p99=float(np.percentile(arr, 99)),
+            n=arr.size,
+        )
+
+    @staticmethod
+    def from_counts(
+        counts: Sequence[int], lo: float, hi: float
+    ) -> "TailStats":
+        """Nearest-rank quantiles from equal-width histogram counts.
+
+        Each quantile maps to the midpoint of the bin containing its
+        rank, so the result is a pure function of the integer counts —
+        the property the fleet's byte-identity contract needs.
+        """
+        arr = np.asarray(counts, dtype=np.int64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise WearLockError("counts must be a non-empty 1-D sequence")
+        if not hi > lo:
+            raise WearLockError("need hi > lo")
+        total = int(arr.sum())
+        if total == 0:
+            raise WearLockError("no values to aggregate")
+        cum = np.cumsum(arr)
+        width = (hi - lo) / arr.size
+
+        def rank_value(q: float) -> float:
+            rank = max(1, int(np.ceil(q * total)))
+            idx = int(np.searchsorted(cum, rank))
+            return lo + (min(idx, arr.size - 1) + 0.5) * width
+
+        return TailStats(
+            p50=rank_value(0.50),
+            p95=rank_value(0.95),
+            p99=rank_value(0.99),
+            n=total,
+        )
+
+
 def summarize_outcomes(outcomes: Iterable[UnlockOutcome]) -> dict:
     """Roll a batch of outcomes into the headline numbers."""
     outcome_list: List[UnlockOutcome] = list(outcomes)

@@ -207,6 +207,13 @@ class SessionContext:
     retry: Any = None  # repro.protocol.session.RetryPolicy
     retry_state: Any = None  # repro.protocol.session.RetryState
 
+    # shard-level precomputed inputs (None = compute in-stage).  The
+    # fleet executor batches expensive per-attempt computations across a
+    # shard (e.g. the motion DTW wavefront) and stages the results here;
+    # stages that honour it must produce bit-identical outcomes either
+    # way.  Duck-typed to keep ``repro.core`` free of upward imports.
+    precomputed: Any = None
+
     # attempt working set (filled in by successive stages)
     phone_ambient: Any = None
     noise_spl_estimate: Optional[float] = None

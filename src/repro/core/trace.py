@@ -113,6 +113,23 @@ class TraceReport:
                 return s
         return None
 
+    def counter_totals(self, prefix: str = "") -> dict:
+        """Sum every span's counters by name, optionally filtered.
+
+        Fleet runs hang run-level counters (``sessions``, ``shards``,
+        ``pin_fallbacks``…) off the ``fleet.run`` span; this rolls them
+        up — across nested spans too — into one ``{name: total}`` map
+        for reporting.  ``prefix`` keeps only counters whose name
+        starts with it.
+        """
+        totals: dict = {}
+        for span in self.spans:
+            for name, value in span.counters.items():
+                if prefix and not name.startswith(prefix):
+                    continue
+                totals[name] = totals.get(name, 0.0) + float(value)
+        return totals
+
     def sim_total_s(self) -> float:
         """Simulated time covered by the top-level spans."""
         tops = [s for s in self.spans if s.parent is None]

@@ -11,7 +11,13 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import DspError
+from .plane import KeyedCache
 from .windows import hamming_window
+
+#: Windowed-sinc designs are pure functions of (cutoffs, rate, taps) and
+#: every noise-scene sample re-designed them from scratch — ~20 designs
+#: per unlock session.  Cached entries are returned read-only.
+_FIR_DESIGNS = KeyedCache("dsp.fir_designs", maxsize=64)
 
 
 def design_lowpass_fir(
@@ -28,6 +34,9 @@ def design_lowpass_fir(
     num_taps:
         Filter length; odd values give an integer group delay of
         ``(num_taps - 1) / 2`` samples.
+
+    Designs are memoized in a :class:`~repro.dsp.plane.KeyedCache`; the
+    returned array is shared and read-only (``.copy()`` to mutate).
     """
     if num_taps < 3:
         raise DspError("num_taps must be >= 3")
@@ -37,24 +46,51 @@ def design_lowpass_fir(
         raise DspError("sample_rate must be positive")
     if not 0 < cutoff_hz < sample_rate / 2:
         raise DspError("cutoff must lie strictly inside (0, Nyquist)")
+    key = ("lowpass", float(cutoff_hz), float(sample_rate), int(num_taps))
+    return _FIR_DESIGNS.get(
+        key, lambda: _design_lowpass(cutoff_hz, sample_rate, num_taps)
+    )
+
+
+def _design_lowpass(
+    cutoff_hz: float, sample_rate: float, num_taps: int
+) -> np.ndarray:
     fc = cutoff_hz / sample_rate
     mid = (num_taps - 1) / 2.0
     n = np.arange(num_taps) - mid
     taps = 2.0 * fc * np.sinc(2.0 * fc * n)
     taps *= hamming_window(num_taps)
     taps /= np.sum(taps)
+    taps.setflags(write=False)
     return taps
 
 
 def design_bandpass_fir(
     low_hz: float, high_hz: float, sample_rate: float, num_taps: int = 129
 ) -> np.ndarray:
-    """Design a linear-phase band-pass FIR (difference of two low-passes)."""
+    """Design a linear-phase band-pass FIR (difference of two low-passes).
+
+    Memoized like :func:`design_lowpass_fir`; the returned array is
+    shared and read-only.
+    """
     if not 0 < low_hz < high_hz < sample_rate / 2:
         raise DspError("need 0 < low < high < Nyquist")
-    hi = design_lowpass_fir(high_hz, sample_rate, num_taps)
-    lo = design_lowpass_fir(low_hz, sample_rate, num_taps)
-    return hi - lo
+
+    def build() -> np.ndarray:
+        hi = design_lowpass_fir(high_hz, sample_rate, num_taps)
+        lo = design_lowpass_fir(low_hz, sample_rate, num_taps)
+        taps = hi - lo
+        taps.setflags(write=False)
+        return taps
+
+    key = (
+        "bandpass",
+        float(low_hz),
+        float(high_hz),
+        float(sample_rate),
+        int(num_taps),
+    )
+    return _FIR_DESIGNS.get(key, build)
 
 
 def fir_filter(signal: np.ndarray, taps: np.ndarray) -> np.ndarray:

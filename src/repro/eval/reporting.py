@@ -58,6 +58,45 @@ def format_series(
     return format_table(title, headers, rows)
 
 
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    align: Sequence[str] = (),
+) -> str:
+    """Render a GitHub-flavoured markdown table.
+
+    ``align`` optionally gives per-column alignment (``"left"`` or
+    ``"right"``); it defaults to left for the first column and right
+    for the rest, which suits the name-then-numbers tables the fleet
+    report emits.  Cells are formatted with the same float rules as
+    :func:`format_table`, so plain-text and markdown output agree.
+    """
+    if not headers:
+        raise WearLockError("headers must be non-empty")
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise WearLockError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    if align:
+        if len(align) != len(headers):
+            raise WearLockError("align must match headers")
+        aligns = list(align)
+    else:
+        aligns = ["left"] + ["right"] * (len(headers) - 1)
+    for a in aligns:
+        if a not in ("left", "right"):
+            raise WearLockError("align entries must be 'left' or 'right'")
+    sep = [":---" if a == "left" else "---:" for a in aligns]
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join(sep) + " |",
+    ]
+    lines.extend("| " + " | ".join(row) + " |" for row in str_rows)
+    return "\n".join(lines)
+
+
 def _fmt(value: object) -> str:
     if isinstance(value, float):
         if value != value:  # NaN

@@ -1,0 +1,384 @@
+"""Constant-memory, mergeable streaming aggregation of fleet runs.
+
+A million-session run must never hold a million outcomes.  The
+executor reduces each :class:`repro.protocol.session.UnlockOutcome` to
+a compact :class:`SessionRecord`; this module folds records into a
+:class:`FleetAggregate` whose memory footprint is fixed (a handful of
+counters, fixed-bin histograms, and small per-group maps) no matter how
+many sessions stream through.
+
+Two properties carry the determinism contract:
+
+* **Exact mergeability** — integer counters and integer histogram bins
+  merge associatively, so ``fold(shard_1) ⊕ fold(shard_2)`` equals
+  folding the concatenated stream.  Float sums (energy, delay) are
+  folded in the canonical ``(user, session)`` order by the scheduler,
+  which fixes their rounding behaviour across worker counts.
+* **No runtime telemetry** — wall-clock time, cache hit rates and
+  worker counts are deliberately *excluded* from :meth:`FleetAggregate.
+  to_dict`; they belong to :class:`repro.fleet.scheduler.FleetResult`.
+  The aggregate document is a pure function of the
+  :class:`~repro.fleet.population.FleetConfig`.
+
+Quantiles come from the histograms (bin midpoints), so P50/P95/P99 are
+deterministic and mergeable at the cost of bin-width resolution (10 ms
+for latency, 0.002 for BER) — the streaming-percentile trade every
+production metrics pipeline makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["Histogram", "SessionRecord", "FleetAggregate"]
+
+
+class Histogram:
+    """Fixed-bin counting histogram with exact merge and quantiles.
+
+    Values below ``lo`` land in ``underflow``, at or above ``hi`` in
+    ``overflow``.  All state is integral, so two histograms built from
+    disjoint streams merge into exactly the histogram of the combined
+    stream — the property the fleet's any-worker-count byte-identity
+    rests on.
+    """
+
+    __slots__ = ("lo", "hi", "n_bins", "counts", "underflow", "overflow")
+
+    def __init__(self, lo: float, hi: float, n_bins: int):
+        if not hi > lo:
+            raise ConfigurationError("histogram needs hi > lo")
+        if n_bins <= 0:
+            raise ConfigurationError("histogram needs n_bins > 0")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.n_bins = int(n_bins)
+        self.counts = np.zeros(self.n_bins, dtype=np.int64)
+        self.underflow = 0
+        self.overflow = 0
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum()) + self.underflow + self.overflow
+
+    def add(self, value: float) -> None:
+        v = float(value)
+        if v < self.lo:
+            self.underflow += 1
+            return
+        if v >= self.hi:
+            self.overflow += 1
+            return
+        idx = int((v - self.lo) / (self.hi - self.lo) * self.n_bins)
+        # Guard the right edge against float rounding.
+        self.counts[min(idx, self.n_bins - 1)] += 1
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        if (other.lo, other.hi, other.n_bins) != (self.lo, self.hi, self.n_bins):
+            raise ConfigurationError("cannot merge histograms with different bins")
+        self.counts += other.counts
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+        return self
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Midpoint of the bin containing the ``q``-quantile sample.
+
+        Uses the nearest-rank definition over the discretized stream;
+        underflow counts sort below every bin, overflow above.  Returns
+        ``None`` on an empty histogram, ``lo`` / ``hi`` when the rank
+        falls in the under/overflow mass.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError("quantile must be in [0, 1]")
+        n = self.total
+        if n == 0:
+            return None
+        rank = max(1, int(np.ceil(q * n)))
+        if rank <= self.underflow:
+            return self.lo
+        rank -= self.underflow
+        cum = np.cumsum(self.counts)
+        idx = int(np.searchsorted(cum, rank))
+        if idx >= self.n_bins:
+            return self.hi
+        width = (self.hi - self.lo) / self.n_bins
+        return self.lo + (idx + 0.5) * width
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Sparse, canonically ordered JSON form (zero bins omitted)."""
+        nz = np.nonzero(self.counts)[0]
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "n_bins": self.n_bins,
+            "counts": {str(int(i)): int(self.counts[i]) for i in nz},
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "Histogram":
+        h = cls(doc["lo"], doc["hi"], doc["n_bins"])
+        for idx, count in doc.get("counts", {}).items():
+            h.counts[int(idx)] = int(count)
+        h.underflow = int(doc.get("underflow", 0))
+        h.overflow = int(doc.get("overflow", 0))
+        return h
+
+
+@dataclass(frozen=True)
+class SessionRecord:
+    """The compact, picklable residue of one unlock attempt.
+
+    Everything the aggregate needs and nothing more: a record is ~20
+    scalars regardless of how many stages, retries or faults the
+    session went through, so shard result lists stay small on the wire.
+    """
+
+    user_id: int
+    session_index: int
+    environment: str
+    phone: str
+    band: str
+    activity: str
+    co_located: bool
+    unlocked: bool
+    abort_reason: str
+    mode: str
+    delay_s: float
+    raw_ber: Optional[float]
+    attempts: int
+    reprobes: int
+    recovered: bool
+    faults_injected: int
+    watch_energy_j: float
+    phone_energy_j: float
+    pin_fallback: bool
+
+
+@dataclass
+class _GroupStats:
+    """Per-group (scenario / device / band) sub-accumulator."""
+
+    sessions: int = 0
+    unlocked: int = 0
+    delay_sum: float = 0.0
+    ber_sum: float = 0.0
+    ber_n: int = 0
+
+    def observe(self, rec: SessionRecord) -> None:
+        self.sessions += 1
+        self.unlocked += int(rec.unlocked)
+        self.delay_sum += rec.delay_s
+        if rec.raw_ber is not None:
+            self.ber_sum += rec.raw_ber
+            self.ber_n += 1
+
+    def merge(self, other: "_GroupStats") -> None:
+        self.sessions += other.sessions
+        self.unlocked += other.unlocked
+        self.delay_sum += other.delay_sum
+        self.ber_sum += other.ber_sum
+        self.ber_n += other.ber_n
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sessions": self.sessions,
+            "unlocked": self.unlocked,
+            "success_rate": (
+                self.unlocked / self.sessions if self.sessions else None
+            ),
+            "mean_delay_s": (
+                self.delay_sum / self.sessions if self.sessions else None
+            ),
+            "mean_ber": (self.ber_sum / self.ber_n if self.ber_n else None),
+        }
+
+
+@dataclass
+class _DeviceStats:
+    """Per-phone-model energy accumulator (battery drain reporting)."""
+
+    sessions: int = 0
+    phone_energy_j: float = 0.0
+    watch_energy_j: float = 0.0
+
+    def observe(self, rec: SessionRecord) -> None:
+        self.sessions += 1
+        self.phone_energy_j += rec.phone_energy_j
+        self.watch_energy_j += rec.watch_energy_j
+
+    def merge(self, other: "_DeviceStats") -> None:
+        self.sessions += other.sessions
+        self.phone_energy_j += other.phone_energy_j
+        self.watch_energy_j += other.watch_energy_j
+
+
+class FleetAggregate:
+    """Streaming fold of :class:`SessionRecord`\\ s.
+
+    Usage::
+
+        agg = FleetAggregate()
+        for rec in records:          # any canonical-order stream
+            agg.observe(rec)
+        agg.merge(other_agg)         # exact for counters/histograms
+        doc = agg.to_dict()          # deterministic document
+    """
+
+    #: Latency histogram: 0-12 s in 10 ms bins (sessions beyond 12 s
+    #: are retry pathologies; they land in overflow and still count).
+    LATENCY_BINS = (0.0, 12.0, 1200)
+    #: BER histogram: 0-0.5 in 0.002 bins.
+    BER_BINS = (0.0, 0.5, 250)
+
+    def __init__(self) -> None:
+        self.sessions = 0
+        self.unlocked = 0
+        self.attempts = 0
+        self.reprobes = 0
+        self.recovered = 0
+        self.faults_injected = 0
+        self.pin_fallbacks = 0
+        self.strangers = 0
+        self.stranger_unlocked = 0
+        self.delay_sum = 0.0
+        self.abort_reasons: Dict[str, int] = {}
+        self.modes: Dict[str, int] = {}
+        self.latency = Histogram(*self.LATENCY_BINS)
+        self.ber = Histogram(*self.BER_BINS)
+        self.per_scenario: Dict[str, _GroupStats] = {}
+        self.per_band: Dict[str, _GroupStats] = {}
+        self.per_device: Dict[str, _DeviceStats] = {}
+
+    def observe(self, rec: SessionRecord) -> None:
+        """Fold one record in (O(1) time and memory)."""
+        self.sessions += 1
+        self.unlocked += int(rec.unlocked)
+        self.attempts += rec.attempts
+        self.reprobes += rec.reprobes
+        self.recovered += int(rec.recovered)
+        self.faults_injected += rec.faults_injected
+        self.pin_fallbacks += int(rec.pin_fallback)
+        if not rec.co_located:
+            self.strangers += 1
+            self.stranger_unlocked += int(rec.unlocked)
+        self.delay_sum += rec.delay_s
+        if rec.abort_reason:
+            self.abort_reasons[rec.abort_reason] = (
+                self.abort_reasons.get(rec.abort_reason, 0) + 1
+            )
+        if rec.mode:
+            self.modes[rec.mode] = self.modes.get(rec.mode, 0) + 1
+        self.latency.add(rec.delay_s)
+        if rec.raw_ber is not None:
+            self.ber.add(rec.raw_ber)
+        self.per_scenario.setdefault(rec.environment, _GroupStats()).observe(rec)
+        self.per_band.setdefault(rec.band, _GroupStats()).observe(rec)
+        self.per_device.setdefault(rec.phone, _DeviceStats()).observe(rec)
+
+    def merge_records(self, records: List[SessionRecord]) -> "FleetAggregate":
+        """Fold a shard's record list (in its given order)."""
+        for rec in records:
+            self.observe(rec)
+        return self
+
+    def merge(self, other: "FleetAggregate") -> "FleetAggregate":
+        """Fold another aggregate in (exact for all integral state)."""
+        self.sessions += other.sessions
+        self.unlocked += other.unlocked
+        self.attempts += other.attempts
+        self.reprobes += other.reprobes
+        self.recovered += other.recovered
+        self.faults_injected += other.faults_injected
+        self.pin_fallbacks += other.pin_fallbacks
+        self.strangers += other.strangers
+        self.stranger_unlocked += other.stranger_unlocked
+        self.delay_sum += other.delay_sum
+        for key, count in other.abort_reasons.items():
+            self.abort_reasons[key] = self.abort_reasons.get(key, 0) + count
+        for key, count in other.modes.items():
+            self.modes[key] = self.modes.get(key, 0) + count
+        self.latency.merge(other.latency)
+        self.ber.merge(other.ber)
+        for key, group in other.per_scenario.items():
+            self.per_scenario.setdefault(key, _GroupStats()).merge(group)
+        for key, group in other.per_band.items():
+            self.per_band.setdefault(key, _GroupStats()).merge(group)
+        for key, dev in other.per_device.items():
+            self.per_device.setdefault(key, _DeviceStats()).merge(dev)
+        return self
+
+    def _device_dict(self, hours: Optional[float]) -> Dict[str, Any]:
+        # Imported here so the aggregate stays usable without the
+        # device registry (e.g. when re-hydrated from JSON elsewhere).
+        from ..devices.profiles import DEVICES, MOTO360
+
+        out: Dict[str, Any] = {}
+        for name in sorted(self.per_device):
+            dev = self.per_device[name]
+            doc: Dict[str, Any] = {
+                "sessions": dev.sessions,
+                "phone_energy_j": dev.phone_energy_j,
+                "watch_energy_j": dev.watch_energy_j,
+            }
+            profile = DEVICES.get(name)
+            if profile is not None and hours:
+                scale = 24.0 / hours
+                doc["phone_drain_pct_per_day"] = 100.0 * scale * (
+                    profile.battery_fraction(dev.phone_energy_j)
+                )
+                doc["watch_drain_pct_per_day"] = 100.0 * scale * (
+                    MOTO360.battery_fraction(dev.watch_energy_j)
+                )
+            out[name] = doc
+        return out
+
+    def to_dict(self, hours: Optional[float] = None) -> Dict[str, Any]:
+        """Canonical document: sorted keys, derived rates and quantiles.
+
+        ``hours`` (the simulated duration) turns summed energies into
+        battery-%-per-day figures.  The document contains **no**
+        wall-clock or runtime information, by design — see the module
+        docstring's determinism note.
+        """
+        return {
+            "sessions": self.sessions,
+            "unlocked": self.unlocked,
+            "success_rate": (
+                self.unlocked / self.sessions if self.sessions else None
+            ),
+            "attempts": self.attempts,
+            "reprobes": self.reprobes,
+            "recovered": self.recovered,
+            "faults_injected": self.faults_injected,
+            "pin_fallbacks": self.pin_fallbacks,
+            "strangers": self.strangers,
+            "stranger_unlocked": self.stranger_unlocked,
+            "mean_delay_s": (
+                self.delay_sum / self.sessions if self.sessions else None
+            ),
+            "latency_p50_s": self.latency.quantile(0.50),
+            "latency_p95_s": self.latency.quantile(0.95),
+            "latency_p99_s": self.latency.quantile(0.99),
+            "ber_p50": self.ber.quantile(0.50),
+            "ber_p95": self.ber.quantile(0.95),
+            "abort_reasons": dict(sorted(self.abort_reasons.items())),
+            "modes": dict(sorted(self.modes.items())),
+            "per_scenario": {
+                k: self.per_scenario[k].to_dict()
+                for k in sorted(self.per_scenario)
+            },
+            "per_band": {
+                k: self.per_band[k].to_dict() for k in sorted(self.per_band)
+            },
+            "per_device": self._device_dict(hours),
+            "latency_histogram": self.latency.to_dict(),
+            "ber_histogram": self.ber.to_dict(),
+        }

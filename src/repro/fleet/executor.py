@@ -1,0 +1,231 @@
+"""Shard execution: per-user security state + batched prefilter.
+
+A shard is a contiguous range of users.  :func:`run_shard` is the
+module-level (picklable) unit of work the scheduler hands to worker
+processes; it owns everything that must *not* cross shard boundaries:
+
+* **Per-user pairing state.**  Each user gets one
+  :class:`~repro.security.otp.OtpManager` + :class:`~repro.protocol.
+  controllers.PhoneController` whose OTP counters, failure counts and
+  keyguard lockout persist across that user's sessions — which is why
+  the scheduler never splits a user across shards.  When a user is
+  locked out at the start of an attempt, the attempt is modelled as a
+  manual PIN fallback (the paper's three-strike rule): lockout clears,
+  the attempt counts as ``pin_fallback`` and not as a trusted unlock.
+
+* **The batched prefilter fast path.**  Phase A replays each session's
+  ``sensor-capture`` stream (the exact :class:`~repro.core.stages.
+  StageRng` construction the session itself would use), draws the
+  accelerometer pair, and scores the *whole shard's* motion DTW in one
+  anti-diagonal wavefront (:func:`repro.sensors.dtw.
+  normalized_dtw_batch` — bit-identical to the scalar recurrence, see
+  ``tests/test_fleet.py``).  Phase B runs the sessions with those
+  results staged on :class:`~repro.protocol.session.
+  PrecomputedPrefilter`, so the per-session DTW (the single hottest
+  scalar loop in a session) is amortized across the shard.
+
+The output is a list of compact :class:`~repro.fleet.aggregate.
+SessionRecord`\\ s in canonical ``(user_id, session_index)`` order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..core.stages import StageRng
+from ..devices.profiles import DEVICES
+from ..protocol.controllers import PhoneController
+from ..protocol.session import (
+    AbortReason,
+    PrecomputedPrefilter,
+    RetryPolicy,
+    SessionConfig,
+    UnlockSession,
+)
+from ..security.otp import OtpManager
+from ..sensors.dtw import normalized_dtw_batch
+from ..sensors.traces import (
+    ActivityKind,
+    co_located_pair,
+    different_devices_pair,
+    magnitude,
+)
+from .aggregate import SessionRecord
+from .population import FleetConfig, SessionSpec, synthesize_user, user_sessions
+
+__all__ = ["run_shard", "PIN_FALLBACK_DELAY_S"]
+
+#: Nominal wall time a manual PIN entry costs the user (recorded as the
+#: attempt's delay when a lockout forces the fallback).
+PIN_FALLBACK_DELAY_S = 2.5
+
+#: The stage whose rng stream feeds the sensor pair (must match
+#: ``SensorCaptureStage.name``).
+_SENSOR_STAGE = "sensor-capture"
+
+
+def _user_secret(fleet_seed: int, user_id: int) -> bytes:
+    """Stable per-user pairing secret (independent of rng streams)."""
+    return hashlib.sha256(
+        b"fleet-pairing:"
+        + fleet_seed.to_bytes(8, "big", signed=True)
+        + user_id.to_bytes(8, "big")
+    ).digest()
+
+
+def _draw_pair(spec: SessionSpec) -> Tuple[np.ndarray, np.ndarray]:
+    """Replay the session's own sensor-capture draw, out of band."""
+    rng = StageRng(seed=spec.seed).for_stage(_SENSOR_STAGE)
+    kind = ActivityKind(spec.activity)
+    if spec.co_located:
+        return co_located_pair(kind, rng=rng)
+    return different_devices_pair(kind, rng=rng)
+
+
+def precompute_prefilter(
+    specs: Sequence[SessionSpec],
+) -> List[PrecomputedPrefilter]:
+    """Phase A: sensor pairs + one batched DTW wavefront per shard.
+
+    Sensor windows are fixed-length (100 samples at 50 Hz), so every
+    session in the shard stacks into a single ``(batch, n) × (batch,
+    m)`` wavefront.  Scores are grouped by window shape anyway, as a
+    guard against future variable-length windows.
+    """
+    pairs = [_draw_pair(spec) for spec in specs]
+    mags = [(magnitude(p), magnitude(w)) for p, w in pairs]
+    scores: List[float] = [0.0] * len(specs)
+    by_shape: Dict[Tuple[int, int], List[int]] = {}
+    for i, (pm, wm) in enumerate(mags):
+        by_shape.setdefault((pm.size, wm.size), []).append(i)
+    for indices in by_shape.values():
+        xs = np.stack([mags[i][0] for i in indices])
+        ys = np.stack([mags[i][1] for i in indices])
+        batch = normalized_dtw_batch(xs, ys)
+        for j, i in enumerate(indices):
+            scores[i] = float(batch[j])
+    return [
+        PrecomputedPrefilter(sensor_pair=pairs[i], motion_score=scores[i])
+        for i in range(len(specs))
+    ]
+
+
+def _record(
+    spec: SessionSpec, outcome, pin_fallback: bool
+) -> SessionRecord:
+    return SessionRecord(
+        user_id=spec.user_id,
+        session_index=spec.session_index,
+        environment=spec.environment,
+        phone=spec.phone,
+        band=spec.band,
+        activity=spec.activity,
+        co_located=spec.co_located,
+        unlocked=outcome.unlocked,
+        abort_reason=(
+            outcome.abort_reason.value
+            if outcome.abort_reason is not AbortReason.NONE
+            else ""
+        ),
+        mode=outcome.mode or "",
+        delay_s=outcome.total_delay_s,
+        raw_ber=outcome.raw_ber,
+        attempts=outcome.attempts,
+        reprobes=outcome.reprobes,
+        recovered=outcome.recovered,
+        faults_injected=len(outcome.faults_injected),
+        watch_energy_j=outcome.watch_energy_j,
+        phone_energy_j=outcome.phone_energy_j,
+        pin_fallback=pin_fallback,
+    )
+
+
+def _pin_fallback_record(spec: SessionSpec) -> SessionRecord:
+    """A lockout turned this attempt into a manual PIN entry."""
+    return SessionRecord(
+        user_id=spec.user_id,
+        session_index=spec.session_index,
+        environment=spec.environment,
+        phone=spec.phone,
+        band=spec.band,
+        activity=spec.activity,
+        co_located=spec.co_located,
+        unlocked=False,
+        abort_reason=AbortReason.LOCKED_OUT.value,
+        mode="",
+        delay_s=PIN_FALLBACK_DELAY_S,
+        raw_ber=None,
+        attempts=0,
+        reprobes=0,
+        recovered=False,
+        faults_injected=0,
+        watch_energy_j=0.0,
+        phone_energy_j=0.0,
+        pin_fallback=True,
+    )
+
+
+def run_shard(
+    config: FleetConfig,
+    user_lo: int,
+    user_hi: int,
+    batched: bool = True,
+) -> List[SessionRecord]:
+    """Simulate users ``[user_lo, user_hi)`` and return their records.
+
+    Specs are synthesized in-worker (population synthesis is cheap and
+    order-free), so only the :class:`~repro.fleet.population.
+    FleetConfig` and the range cross the process boundary.  ``batched=
+    False`` disables the Phase-A prefilter — the benchmark's serial
+    baseline, bit-identical by construction.
+    """
+    system = SystemConfig()
+    retry = RetryPolicy() if config.retry else None
+    faults = config.faults or None
+    records: List[SessionRecord] = []
+    for user_id in range(user_lo, user_hi):
+        user = synthesize_user(config, user_id)
+        specs = user_sessions(config, user)
+        if not specs:
+            continue
+        pre = precompute_prefilter(specs) if batched else [None] * len(specs)
+        otp = OtpManager(
+            _user_secret(config.seed, user_id), config=system.security
+        )
+        phone_system = system
+        if user.band == "ultrasound":
+            phone_system = replace(
+                system, modem=system.modem.near_ultrasound()
+            )
+        phone = PhoneController(phone_system, otp)
+        for spec, staged in zip(specs, pre):
+            if otp.locked_out or phone.keyguard.pin_required:
+                phone.keyguard.pin_unlock()
+                otp.unlock_with_pin()
+                records.append(_pin_fallback_record(spec))
+                continue
+            phone.keyguard.lock()
+            session_config = SessionConfig(
+                system=system,
+                environment=spec.environment,
+                distance_m=spec.distance_m,
+                los=spec.los,
+                wireless=spec.wireless,
+                phone_device=DEVICES[spec.phone],
+                watch_device=DEVICES[spec.watch],
+                activity=ActivityKind(spec.activity),
+                co_located=spec.co_located,
+                band=spec.band,
+                seed=spec.seed,
+                faults=faults,
+                retry=retry,
+            )
+            session = UnlockSession(session_config, otp=otp, phone=phone)
+            outcome = session.run(precomputed=staged)
+            records.append(_record(spec, outcome, pin_fallback=False))
+    return records

@@ -1,0 +1,253 @@
+"""Synthesized user populations: who unlocks, where, when, how often.
+
+A fleet run needs a population whose *distribution* looks like the
+paper's field study (Table I environments, three device configs,
+sitting/walking/jogging motion) but whose every individual draw is
+reproducible.  This module turns ``(seed, user_id)`` into a
+:class:`UserProfile` and ``(seed, user_id, session_index)`` into a
+:class:`SessionSpec` using the same SHA-256 seed-folding construction
+as :func:`repro.eval.batch.cell_seed`, so:
+
+* any worker can synthesize any user without coordination;
+* adding users never perturbs existing users' streams;
+* the whole population is a pure function of the :class:`FleetConfig`.
+
+Users belong to one of four archetypes (office worker, student,
+barista, shopper) that set their daytime environment mix and motion
+habits.  Session arrival is an inhomogeneous Poisson process shaped by
+:data:`DIURNAL_WEIGHTS` (morning/lunch/evening peaks).  A small
+``stranger_rate`` mixes in non-co-located attempts — the false-accept
+pressure the motion pre-filter exists to reject.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..eval.batch import cell_seed
+from ..sensors.traces import ActivityKind
+
+__all__ = [
+    "DIURNAL_WEIGHTS",
+    "ARCHETYPES",
+    "FleetConfig",
+    "UserProfile",
+    "SessionSpec",
+    "synthesize_user",
+    "user_sessions",
+    "build_population",
+]
+
+
+#: Relative unlock propensity per hour of day (index = hour, 0-23).
+#: Shaped like published screen-unlock telemetry: near-silent overnight,
+#: a morning-commute ramp, lunch and evening peaks, tapering after 22h.
+DIURNAL_WEIGHTS: Tuple[float, ...] = (
+    0.05, 0.03, 0.02, 0.02, 0.03, 0.10,  # 00-05: overnight trough
+    0.35, 0.70, 1.00, 0.90, 0.80, 0.95,  # 06-11: commute + morning
+    1.10, 0.95, 0.85, 0.80, 0.90, 1.05,  # 12-17: lunch peak, afternoon
+    1.15, 1.00, 0.85, 0.70, 0.45, 0.20,  # 18-23: evening peak, wind-down
+)
+
+#: Archetype name → (weight, daytime environment mix, activity mix).
+#: Environment mixes apply during "out" hours (8-19); everyone defaults
+#: to ``quiet_room`` at home.  Activity mixes weight
+#: (SITTING, WALKING, JOGGING).
+ARCHETYPES: Tuple[Tuple[str, float, Dict[str, float], Tuple[float, float, float]], ...] = (
+    ("office_worker", 0.40, {"office": 0.75, "cafe": 0.15, "grocery_store": 0.10}, (0.80, 0.18, 0.02)),
+    ("student", 0.30, {"classroom": 0.60, "cafe": 0.25, "office": 0.15}, (0.65, 0.30, 0.05)),
+    ("barista", 0.15, {"cafe": 0.80, "grocery_store": 0.20}, (0.30, 0.65, 0.05)),
+    ("shopper", 0.15, {"grocery_store": 0.60, "cafe": 0.25, "office": 0.15}, (0.45, 0.45, 0.10)),
+)
+
+_ACTIVITIES = (ActivityKind.SITTING, ActivityKind.WALKING, ActivityKind.JOGGING)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Parameters of one fleet run — the *only* input to the population.
+
+    Everything downstream (profiles, session specs, aggregates) is a
+    pure function of this config, which is what makes the determinism
+    contract checkable: serialize the aggregate, vary ``workers``, and
+    the bytes must not move.
+    """
+
+    n_users: int = 100
+    hours: float = 24.0
+    seed: int = 0
+    #: Mean unlock attempts per user per 24 h.  Kept well below real
+    #: phone-unlock telemetry (~50/day) so a 1 000-user day stays
+    #: simulable in seconds; rates scale linearly if you want realism
+    #: over speed.
+    sessions_per_day: float = 4.0
+    #: Fraction of users paired with the low-end Galaxy Nexus phone.
+    low_end_phone_rate: float = 0.4
+    #: Fraction of users who opt into the near-ultrasound band.
+    ultrasound_rate: float = 0.1
+    #: Probability that a given attempt is a *stranger's* phone (not
+    #: co-located with the watch) — exercises the motion pre-filter.
+    stranger_rate: float = 0.02
+    #: Optional fault-plan spec string applied to every session (see
+    #: ``repro.faults.parse_fault_spec``), e.g.
+    #: ``"burst_noise@otp-tx:p=0.1,severity=2"``.
+    faults: str = ""
+    #: Enable the NACK → downgrade → retransmit recovery loop.
+    retry: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_users <= 0:
+            raise ConfigurationError("n_users must be positive")
+        if self.hours <= 0:
+            raise ConfigurationError("hours must be positive")
+        if self.sessions_per_day < 0:
+            raise ConfigurationError("sessions_per_day must be >= 0")
+        for name in ("low_end_phone_rate", "ultrasound_rate", "stranger_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """One synthetic user: devices, habits, and environment mix."""
+
+    user_id: int
+    archetype: str
+    phone: str
+    watch: str
+    band: str
+    wireless: str
+    #: Environment name → weight during out-of-home hours (8-19).
+    day_mix: Tuple[Tuple[str, float], ...]
+    #: Weights over (SITTING, WALKING, JOGGING).
+    activity_mix: Tuple[float, float, float]
+    #: This user's personal mean attempts per 24 h.
+    sessions_per_day: float
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """One scheduled unlock attempt, fully determined and picklable.
+
+    Device fields are profile *names* (keys of
+    :data:`repro.devices.profiles.DEVICES`), not profile objects, so a
+    spec serializes compactly across process boundaries.
+    """
+
+    user_id: int
+    session_index: int
+    hour: float
+    environment: str
+    distance_m: float
+    los: bool
+    activity: str
+    co_located: bool
+    band: str
+    wireless: str
+    phone: str
+    watch: str
+    seed: int
+
+
+def _user_rng(config: FleetConfig, user_id: int) -> np.random.Generator:
+    """Per-user generator, independent of every other user's stream."""
+    return np.random.default_rng(cell_seed(config.seed, "user", user_id))
+
+
+def synthesize_user(config: FleetConfig, user_id: int) -> UserProfile:
+    """Materialize user ``user_id`` of the population (order-free)."""
+    rng = _user_rng(config, user_id)
+    weights = np.array([w for _, w, _, _ in ARCHETYPES])
+    idx = int(rng.choice(len(ARCHETYPES), p=weights / weights.sum()))
+    name, _, day_mix, activity_mix = ARCHETYPES[idx]
+    phone = (
+        "Galaxy Nexus"
+        if rng.random() < config.low_end_phone_rate
+        else "Nexus 6"
+    )
+    band = "ultrasound" if rng.random() < config.ultrasound_rate else "audible"
+    # Personal rate: lognormal spread around the configured mean, so a
+    # few heavy users dominate volume the way real telemetry does.
+    personal_rate = float(
+        config.sessions_per_day * rng.lognormal(mean=-0.125, sigma=0.5)
+    )
+    return UserProfile(
+        user_id=user_id,
+        archetype=name,
+        phone=phone,
+        watch="Moto 360",
+        band=band,
+        wireless="ble",
+        day_mix=tuple(sorted(day_mix.items())),
+        activity_mix=activity_mix,
+        sessions_per_day=personal_rate,
+    )
+
+
+def _environment_for(
+    user: UserProfile, hour_of_day: int, rng: np.random.Generator
+) -> str:
+    if hour_of_day < 8 or hour_of_day >= 19:
+        return "quiet_room"
+    names = [n for n, _ in user.day_mix]
+    weights = np.array([w for _, w in user.day_mix])
+    return str(names[int(rng.choice(len(names), p=weights / weights.sum()))])
+
+
+def user_sessions(config: FleetConfig, user: UserProfile) -> List[SessionSpec]:
+    """Schedule one user's attempts over ``config.hours``.
+
+    Arrival is an inhomogeneous Poisson process: each wall-clock hour
+    ``h`` contributes ``Poisson(rate * DIURNAL_WEIGHTS[h % 24])``
+    attempts.  The schedule rng is a dedicated per-user stream; each
+    *session's* simulation seed is folded separately via
+    :func:`~repro.eval.batch.cell_seed` so reordering the schedule
+    logic never perturbs session outcomes.
+    """
+    rng = np.random.default_rng(
+        cell_seed(config.seed, "schedule", user.user_id)
+    )
+    mean_weight = sum(DIURNAL_WEIGHTS) / len(DIURNAL_WEIGHTS)
+    per_hour = user.sessions_per_day / 24.0
+    specs: List[SessionSpec] = []
+    n_hours = math.ceil(config.hours)
+    activity_w = np.array(user.activity_mix)
+    activity_p = activity_w / activity_w.sum()
+    for h in range(n_hours):
+        frac = min(1.0, config.hours - h)
+        rate = per_hour * (DIURNAL_WEIGHTS[h % 24] / mean_weight) * frac
+        count = int(rng.poisson(rate))
+        for _ in range(count):
+            idx = len(specs)
+            offset = float(rng.random())
+            activity = _ACTIVITIES[int(rng.choice(3, p=activity_p))]
+            specs.append(
+                SessionSpec(
+                    user_id=user.user_id,
+                    session_index=idx,
+                    hour=h + offset * frac,
+                    environment=_environment_for(user, h % 24, rng),
+                    distance_m=float(rng.uniform(0.15, 0.6)),
+                    los=bool(rng.random() < 0.9),
+                    activity=activity.value,
+                    co_located=bool(rng.random() >= config.stranger_rate),
+                    band=user.band,
+                    wireless=user.wireless,
+                    phone=user.phone,
+                    watch=user.watch,
+                    seed=cell_seed(config.seed, "session", user.user_id, idx),
+                )
+            )
+    return specs
+
+
+def build_population(config: FleetConfig) -> Iterator[UserProfile]:
+    """Yield every user profile, in user-id order, lazily."""
+    for user_id in range(config.n_users):
+        yield synthesize_user(config, user_id)

@@ -1,0 +1,187 @@
+"""Render a fleet aggregate document as a markdown report.
+
+``python -m repro fleet report`` (and ``fleet run --report``) feed the
+deterministic aggregate document — either fresh from a run or re-read
+from the JSON the CLI wrote — through :func:`render_fleet_report` to
+produce ``docs/FLEET_REPORT.md``.  Rendering is a pure function of the
+document plus the run metadata passed in, so the committed report
+regenerates byte-identically from the same config.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from ..eval.reporting import format_markdown_table
+
+__all__ = ["render_fleet_report"]
+
+
+def _pct(value: Optional[float]) -> str:
+    return "—" if value is None else f"{100.0 * value:.1f}%"
+
+
+def _num(value: Optional[float], unit: str = "", digits: int = 3) -> str:
+    if value is None:
+        return "—"
+    return f"{value:.{digits}f}{unit}"
+
+
+def render_fleet_report(
+    doc: Mapping[str, Any],
+    config: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """Markdown report from ``FleetAggregate.to_dict()`` output.
+
+    ``config`` (the :class:`~repro.fleet.population.FleetConfig` as a
+    mapping) is echoed in the header so a report is self-describing —
+    rerunning the printed command regenerates the identical file.
+    """
+    lines = ["# Fleet simulation report", ""]
+    if config:
+        lines += [
+            "Deterministic population run — regenerate with:",
+            "",
+            "```",
+            "python -m repro fleet run --users {n_users} --hours {hours}"
+            " --seed {seed} --report docs/FLEET_REPORT.md".format(**config),
+            "```",
+            "",
+            format_markdown_table(
+                ["parameter", "value"],
+                sorted((k, v) for k, v in config.items()),
+            ),
+            "",
+        ]
+
+    lines += [
+        "## Headline",
+        "",
+        format_markdown_table(
+            ["metric", "value"],
+            [
+                ["sessions", doc["sessions"]],
+                ["trusted-unlock success rate", _pct(doc["success_rate"])],
+                ["mean delay", _num(doc["mean_delay_s"], " s")],
+                ["latency P50", _num(doc["latency_p50_s"], " s")],
+                ["latency P95", _num(doc["latency_p95_s"], " s")],
+                ["latency P99", _num(doc["latency_p99_s"], " s")],
+                ["BER P50", _num(doc["ber_p50"], "", 4)],
+                ["BER P95", _num(doc["ber_p95"], "", 4)],
+                ["Phase-2 transmissions", doc["attempts"]],
+                ["re-probes", doc["reprobes"]],
+                ["recovered unlocks", doc["recovered"]],
+                ["faults injected", doc["faults_injected"]],
+                ["PIN fallbacks (lockouts)", doc["pin_fallbacks"]],
+                ["stranger attempts", doc["strangers"]],
+                ["stranger unlocks (false accepts)", doc["stranger_unlocked"]],
+            ],
+        ),
+        "",
+    ]
+
+    scenarios: Dict[str, Any] = doc.get("per_scenario", {})
+    if scenarios:
+        lines += [
+            "## Per-scenario breakdown",
+            "",
+            format_markdown_table(
+                ["scenario", "sessions", "success", "mean delay", "mean BER"],
+                [
+                    [
+                        name,
+                        g["sessions"],
+                        _pct(g["success_rate"]),
+                        _num(g["mean_delay_s"], " s"),
+                        _num(g["mean_ber"], "", 4),
+                    ]
+                    for name, g in scenarios.items()
+                ],
+            ),
+            "",
+        ]
+
+    bands: Dict[str, Any] = doc.get("per_band", {})
+    if bands:
+        lines += [
+            "## Per-band breakdown",
+            "",
+            format_markdown_table(
+                ["band", "sessions", "success", "mean delay", "mean BER"],
+                [
+                    [
+                        name,
+                        g["sessions"],
+                        _pct(g["success_rate"]),
+                        _num(g["mean_delay_s"], " s"),
+                        _num(g["mean_ber"], "", 4),
+                    ]
+                    for name, g in bands.items()
+                ],
+            ),
+            "",
+        ]
+
+    devices: Dict[str, Any] = doc.get("per_device", {})
+    if devices:
+        rows = []
+        for name, d in devices.items():
+            rows.append(
+                [
+                    name,
+                    d["sessions"],
+                    _num(d["phone_energy_j"], " J"),
+                    _num(d.get("phone_drain_pct_per_day"), "%"),
+                    _num(d["watch_energy_j"], " J"),
+                    _num(d.get("watch_drain_pct_per_day"), "%"),
+                ]
+            )
+        lines += [
+            "## Battery drain by phone model",
+            "",
+            "Watch columns attribute the paired Moto 360's energy to "
+            "sessions grouped by the phone model they ran against.",
+            "",
+            format_markdown_table(
+                [
+                    "phone",
+                    "sessions",
+                    "phone energy",
+                    "phone %/day",
+                    "watch energy",
+                    "watch %/day",
+                ],
+                rows,
+            ),
+            "",
+        ]
+
+    reasons: Dict[str, int] = doc.get("abort_reasons", {})
+    if reasons:
+        lines += [
+            "## Abort reasons",
+            "",
+            format_markdown_table(
+                ["reason", "count"], sorted(reasons.items())
+            ),
+            "",
+        ]
+
+    modes: Dict[str, int] = doc.get("modes", {})
+    if modes:
+        lines += [
+            "## Modulation modes used",
+            "",
+            format_markdown_table(["mode", "count"], sorted(modes.items())),
+            "",
+        ]
+
+    lines += [
+        "---",
+        "",
+        "Generated by `python -m repro fleet report`.  The aggregate "
+        "document this file renders is byte-identical for any worker "
+        "count (see DESIGN.md §10 for the determinism contract).",
+        "",
+    ]
+    return "\n".join(lines)

@@ -57,6 +57,7 @@ from .stages import (
 
 __all__ = [
     "AbortReason",
+    "PrecomputedPrefilter",
     "RetryPolicy",
     "RetryState",
     "SessionConfig",
@@ -139,6 +140,23 @@ class RetryState:
     def note_mode(self, mode: Optional[str]) -> None:
         if mode is not None:
             self.modes_tried = self.modes_tried + (mode,)
+
+
+@dataclass(frozen=True)
+class PrecomputedPrefilter:
+    """Shard-level precomputed sensor/motion inputs for one attempt.
+
+    Built by :mod:`repro.fleet.executor`, which derives each session's
+    ``sensor-capture`` stream itself (same :class:`~repro.core.stages.
+    StageRng` construction), draws the sensor pair once, and computes
+    all motion scores for the shard in one batched DTW wavefront.  The
+    stages that consume it (:class:`~repro.protocol.stages.
+    SensorCaptureStage`, :class:`~repro.protocol.stages.PrefilterStage`)
+    produce bit-identical outcomes with or without it.
+    """
+
+    sensor_pair: Optional[Tuple[np.ndarray, np.ndarray]] = None
+    motion_score: Optional[float] = None
 
 
 @dataclass
@@ -357,9 +375,20 @@ class UnlockSession:
     # the protocol
     # ------------------------------------------------------------------
 
-    def run(self, rng=None, tracer: Optional[Tracer] = None) -> UnlockOutcome:
-        """Execute the full protocol once via the stage engine."""
+    def run(
+        self,
+        rng=None,
+        tracer: Optional[Tracer] = None,
+        precomputed: Optional[PrecomputedPrefilter] = None,
+    ) -> UnlockOutcome:
+        """Execute the full protocol once via the stage engine.
+
+        ``precomputed`` (see :class:`PrecomputedPrefilter`) lets the
+        fleet executor supply shard-batched sensor/motion results; the
+        outcome is bit-identical to computing them in-stage.
+        """
         ctx = self._build_context(rng)
+        ctx.precomputed = precomputed
         engine = StageEngine(build_unlock_stages(), tracer=tracer)
         engine.tracer.bind_sim_clock(lambda: ctx.timeline.clock.now)
         result = engine.execute(ctx)

@@ -142,15 +142,22 @@ class SensorCaptureStage:
             return StageResult.abort("no_wireless_link")
 
         if ctx.config.use_motion_filter:
-            rng = ctx.rng_for(self.name)
-            if ctx.config.co_located:
-                ctx.sensor_pair = co_located_pair(
-                    ctx.config.activity, rng=rng
-                )
+            pre = ctx.precomputed
+            if pre is not None and getattr(pre, "sensor_pair", None) is not None:
+                # The fleet executor already drew this pair from the
+                # stage's own stream (same seed, same draw order), so
+                # regenerating it here would only repeat the work.
+                ctx.sensor_pair = pre.sensor_pair
             else:
-                ctx.sensor_pair = different_devices_pair(
-                    ctx.config.activity, rng=rng
-                )
+                rng = ctx.rng_for(self.name)
+                if ctx.config.co_located:
+                    ctx.sensor_pair = co_located_pair(
+                        ctx.config.activity, rng=rng
+                    )
+                else:
+                    ctx.sensor_pair = different_devices_pair(
+                        ctx.config.activity, rng=rng
+                    )
         return StageResult.proceed()
 
 
@@ -281,7 +288,13 @@ class PrefilterStage:
             return False, None
         dtw_s = ctx.phone_meter.record_compute(dtw_workload(100, 100).mops)
         ctx.timeline.record("dtw_on_phone", dtw_s, "compute_p1")
-        motion = ctx.phone.evaluate_motion(phone_xyz, watch_xyz)
+        pre = ctx.precomputed
+        if pre is not None and getattr(pre, "motion_score", None) is not None:
+            # Batched-wavefront score, bit-identical to evaluating the
+            # pair here; only the thresholds still run in-stage.
+            motion = ctx.phone.motion_filter.classify(float(pre.motion_score))
+        else:
+            motion = ctx.phone.evaluate_motion(phone_xyz, watch_xyz)
         ctx.motion_score = motion.score
         ctx.fast_path = motion.decision is MotionDecision.FAST_PATH
         passed = motion.decision is not MotionDecision.ABORT

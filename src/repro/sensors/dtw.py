@@ -67,6 +67,54 @@ def dtw_distance(
     return result
 
 
+def dtw_distance_batch(
+    xs: np.ndarray,
+    ys: np.ndarray,
+) -> np.ndarray:
+    """Raw DTW distances for a whole batch of same-length pairs at once.
+
+    ``xs`` and ``ys`` have shape ``(batch, n)`` and ``(batch, m)``;
+    pair ``k`` is ``(xs[k], ys[k])``.  The dynamic program is evaluated
+    as an anti-diagonal wavefront: every cell ``(i, j)`` depends only on
+    ``(i-1, j)``, ``(i, j-1)`` and ``(i-1, j-1)``, so all cells on one
+    anti-diagonal — across the whole batch — are independent and can be
+    filled by vectorized ``minimum``/``add`` steps.  Each cell computes
+    ``|x_i - y_j| + min(...)`` over exactly the same three operands as
+    the scalar loop in :func:`dtw_distance`, so the result is
+    **bit-identical** to calling it once per pair (the fleet executor's
+    determinism contract rests on this; see
+    ``tests/test_fleet.py::test_batched_dtw_matches_scalar``).
+
+    Unconstrained warping only (no Sakoe-Chiba band): the band makes the
+    wavefront ragged, and the motion pre-filter — the batch user — runs
+    unbanded.
+    """
+    X = np.asarray(xs, dtype=np.float64)
+    Y = np.asarray(ys, dtype=np.float64)
+    if X.ndim != 2 or Y.ndim != 2:
+        raise WearLockError("batched DTW inputs must be 2-D (batch, n)")
+    if X.shape[0] != Y.shape[0]:
+        raise WearLockError("batched DTW inputs must have equal batch size")
+    if X.shape[1] == 0 or Y.shape[1] == 0:
+        raise WearLockError("DTW inputs must be non-empty")
+    batch, n = X.shape
+    m = Y.shape[1]
+    if batch == 0:
+        return np.zeros(0)
+    cost = np.abs(X[:, :, None] - Y[:, None, :])  # (batch, n, m)
+    acc = np.full((batch, n + 1, m + 1), np.inf)
+    acc[:, 0, 0] = 0.0
+    for d in range(2, n + m + 1):
+        i = np.arange(max(1, d - m), min(n, d - 1) + 1)
+        j = d - i
+        best = np.minimum(
+            np.minimum(acc[:, i - 1, j], acc[:, i, j - 1]),
+            acc[:, i - 1, j - 1],
+        )
+        acc[:, i, j] = cost[:, i - 1, j - 1] + best
+    return acc[:, n, m]
+
+
 def normalized_dtw(
     a: np.ndarray,
     b: np.ndarray,
@@ -84,3 +132,21 @@ def normalized_dtw(
     x = normalize_trace(np.asarray(a, dtype=np.float64))
     y = normalize_trace(np.asarray(b, dtype=np.float64))
     return dtw_distance(x, y, band=band) / (x.size + y.size)
+
+
+def normalized_dtw_batch(xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+    """Batched :func:`normalized_dtw` over same-length pairs.
+
+    Equivalent to ``[normalized_dtw(x, y) for x, y in zip(xs, ys)]`` but
+    evaluated through :func:`dtw_distance_batch`'s shared wavefront —
+    bit-identical per pair, one vectorized pass for the lot.
+    """
+    from .traces import normalize_trace  # late import avoids cycle
+
+    X = np.asarray(xs, dtype=np.float64)
+    Y = np.asarray(ys, dtype=np.float64)
+    if X.ndim != 2 or Y.ndim != 2:
+        raise WearLockError("batched DTW inputs must be 2-D (batch, n)")
+    Xn = np.stack([normalize_trace(row) for row in X]) if X.shape[0] else X
+    Yn = np.stack([normalize_trace(row) for row in Y]) if Y.shape[0] else Y
+    return dtw_distance_batch(Xn, Yn) / (X.shape[1] + Y.shape[1])

@@ -60,11 +60,14 @@ class MotionFilter:
             magnitude(np.asarray(watch_xyz)),
         )
 
-    def evaluate(
-        self, phone_xyz: np.ndarray, watch_xyz: np.ndarray
-    ) -> MotionReport:
-        """Run Alg. 1 on one pair of sensor windows."""
-        score = self.score(phone_xyz, watch_xyz)
+    def classify(self, score: float) -> MotionReport:
+        """Apply Alg. 1's dual thresholds to an already-computed score.
+
+        The fleet executor precomputes DTW scores for a whole shard in
+        one batched wavefront (:func:`repro.sensors.dtw.
+        normalized_dtw_batch`) and feeds them back through this method,
+        so the decision logic lives in exactly one place.
+        """
         if score > self._config.dtw_high:
             decision = MotionDecision.ABORT
         elif score < self._config.dtw_low:
@@ -72,3 +75,9 @@ class MotionFilter:
         else:
             decision = MotionDecision.CONTINUE
         return MotionReport(decision=decision, score=score)
+
+    def evaluate(
+        self, phone_xyz: np.ndarray, watch_xyz: np.ndarray
+    ) -> MotionReport:
+        """Run Alg. 1 on one pair of sensor windows."""
+        return self.classify(self.score(phone_xyz, watch_xyz))

@@ -1,0 +1,8 @@
+"""Developer tooling that keeps the repo's documentation honest.
+
+``python -m repro.tools.gendocs`` regenerates ``docs/API.md`` from the
+live package (and ``--check`` fails CI when the committed file is
+stale); ``--lint`` enforces module-docstring coverage.  Tooling lives
+under the package so it can introspect ``repro`` by import rather than
+by parsing source text.
+"""

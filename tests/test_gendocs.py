@@ -1,0 +1,66 @@
+"""gendocs: API reference generation, staleness check, docstring lint."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.tools.gendocs import (
+    default_output_path,
+    iter_module_names,
+    lint_module_docstrings,
+    main,
+    module_entries,
+    render_api_markdown,
+)
+
+
+class TestModuleDiscovery:
+    def test_covers_known_modules(self):
+        names = list(iter_module_names())
+        assert "repro" in names
+        assert "repro.fleet.scheduler" in names
+        assert "repro.sensors.dtw" in names
+        assert names == sorted(names)
+
+    def test_excludes_entry_points(self):
+        # Importing repro.__main__ would sys.exit(); it must be skipped.
+        assert all(
+            not n.endswith("__main__") for n in iter_module_names()
+        )
+
+
+class TestRendering:
+    def test_entries_use_all_when_declared(self):
+        doc_line, entries = module_entries("repro.fleet")
+        assert doc_line
+        names = [n for n, _, _ in entries]
+        assert "FleetScheduler" in names
+        assert "FleetConfig" in names
+
+    def test_render_is_deterministic(self):
+        assert render_api_markdown() == render_api_markdown()
+
+    def test_render_mentions_every_module(self):
+        text = render_api_markdown()
+        for name in iter_module_names():
+            assert f"## `{name}`" in text
+
+
+class TestCliModes:
+    def test_lint_passes_on_this_repo(self):
+        assert lint_module_docstrings() == []
+        assert main(["--lint"]) == 0
+
+    def test_committed_api_md_is_fresh(self):
+        """CI's gendocs --check, as a unit test: the committed file
+        must match a regeneration exactly."""
+        committed = default_output_path()
+        assert committed.exists(), "docs/API.md missing — run gendocs"
+        assert committed.read_text() == render_api_markdown()
+
+    def test_check_detects_staleness(self, tmp_path: Path):
+        stale = tmp_path / "API.md"
+        stale.write_text("# stale\n")
+        assert main(["--check", "--out", str(stale)]) == 1
+        assert main(["--out", str(stale)]) == 0
+        assert main(["--check", "--out", str(stale)]) == 0
