@@ -38,6 +38,12 @@ SPECS = (
     "jammer_onset@probe-tx:severity=2",
     "mic_dropout@otp-tx:severity=2",
     "msg_drop@otp-tx:p=0.5,hits=none",
+    # The offload file-transfer paths: Phase-1 clip upload in
+    # probe-process, Phase-2 data upload (and the NACK loop) in
+    # verify.  Drops here exercise the bounded-resend + local-fallback
+    # delivery semantics end to end.
+    "msg_drop@probe-process:p=0.7,hits=none",
+    "msg_drop@verify:hits=2",
     "msg_late@probe-process:severity=2,hits=none",
     "latency_spike@verify;energy_spike@probe-process",
 )

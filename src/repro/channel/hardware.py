@@ -22,7 +22,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import ChannelError
-from ..dsp.filters import design_lowpass_fir, fir_filter
+from ..dsp.filters import design_lowpass_fir, fir_filter, fir_filter_batch
 from ..dsp.windows import raised_cosine_ramp
 
 
@@ -206,6 +206,53 @@ class MicrophoneModel:
             level = spl_to_amplitude(self.noise_floor_spl)
             floor *= level / max(np.sqrt(np.mean(floor ** 2)), 1e-300)
             out = out + floor
+        return np.clip(out, -self.clip_level, self.clip_level)
+
+    def record_batch(
+        self,
+        signals: np.ndarray,
+        rngs,
+        values: bool = True,
+    ) -> np.ndarray:
+        """Record each row of ``signals`` with its own generator.
+
+        Row ``i`` equals ``record(signals[i], rng=rngs[i])``
+        bit-for-bit: the low-pass/knee FIRs run as stacked row
+        transforms (same plan as the 1-D calls), while the noise floor
+        is drawn per row from that row's generator in the scalar draw
+        order.  Used by the fleet staging path to run a whole shard's
+        microphone captures in one pass.
+
+        ``values=False`` draws each row's noise floor (so the
+        generators advance exactly as a real capture would) but skips
+        the filtering; the returned samples must not be read.
+        """
+        from ..dsp.energy import spl_to_amplitude  # local to avoid cycle
+
+        x = np.asarray(signals, dtype=np.float64)
+        if x.ndim != 2:
+            raise ChannelError("signals must be 2-D")
+        generators = list(rngs)
+        if len(generators) != x.shape[0]:
+            raise ChannelError("need one generator per signal row")
+        if not values:
+            if self.noise_floor_spl > -np.inf and x.shape[1]:
+                for generator in generators:
+                    generator.standard_normal(x.shape[1])
+            return np.zeros_like(x)
+        out = x.copy()
+        if self.lowpass_hz is not None and out.shape[1]:
+            self._ensure_filters()
+            sharp = fir_filter_batch(out, self._taps)
+            soft = fir_filter_batch(out, self._knee_taps)
+            blend = 10.0 ** (-self.knee_loss_db / 20.0)
+            out = blend * sharp + (1.0 - blend) * soft
+        if self.noise_floor_spl > -np.inf and out.shape[1]:
+            level = spl_to_amplitude(self.noise_floor_spl)
+            for i, generator in enumerate(generators):
+                floor = generator.standard_normal(out.shape[1])
+                floor *= level / max(np.sqrt(np.mean(floor ** 2)), 1e-300)
+                out[i] = out[i] + floor
         return np.clip(out, -self.clip_level, self.clip_level)
 
     @staticmethod

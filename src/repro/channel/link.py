@@ -144,6 +144,38 @@ class AcousticLink:
             distance_m=self.distance_m,
         )
 
+    def emitted_waveform(
+        self, waveform: np.ndarray, tx_spl: float
+    ) -> np.ndarray:
+        """The deterministic speaker-side half of :meth:`transmit`.
+
+        Renormalizes ``waveform`` so its RMS at the speaker face
+        corresponds to ``tx_spl`` dB SPL and renders it through the
+        speaker model.  No randomness is consumed, so a staged caller
+        can compute this once per (waveform, level) and share it
+        across every session in a shard.
+        """
+        x = np.asarray(waveform, dtype=np.float64)
+        if x.ndim != 1 or x.size == 0:
+            raise ChannelError("waveform must be a non-empty 1-D array")
+        level = rms(x)
+        if level <= 0.0:
+            raise ChannelError("waveform has zero energy")
+        driven = x * (spl_to_amplitude(tx_spl) / level)
+        return self.speaker.play(driven)
+
+    def effective_room(self) -> Optional[RoomImpulseResponse]:
+        """The room IR generator transmissions actually draw from.
+
+        The configured room under LOS, its cached NLOS variant when
+        body blocking is active, or ``None`` when multipath is off.
+        """
+        if self.room is None:
+            return None
+        return self.room if self.los else _nlos_variant(
+            self.room, self.nlos_blocking_db
+        )
+
     def transmit(
         self,
         waveform: np.ndarray,
@@ -156,23 +188,12 @@ class AcousticLink:
         RMS at the speaker face corresponds to ``tx_spl`` dB SPL, then
         every impairment in the chain is applied.
         """
-        x = np.asarray(waveform, dtype=np.float64)
-        if x.ndim != 1 or x.size == 0:
-            raise ChannelError("waveform must be a non-empty 1-D array")
+        emitted = self.emitted_waveform(waveform, tx_spl)
         generator = self._generator(rng)
         budget = self.budget(tx_spl)
 
-        level = rms(x)
-        if level <= 0.0:
-            raise ChannelError("waveform has zero energy")
-        driven = x * (spl_to_amplitude(tx_spl) / level)
-
-        emitted = self.speaker.play(driven)
-
-        if self.room is not None:
-            room = self.room if self.los else _nlos_variant(
-                self.room, self.nlos_blocking_db
-            )
+        room = self.effective_room()
+        if room is not None:
             # The IR's direct tap is unit gain; NLOS attenuation of the
             # direct path is inside the IR, so only spreading loss is
             # applied separately below.

@@ -77,6 +77,36 @@ def rms_delay_spread(profile: np.ndarray, sample_rate: float) -> float:
     return float(np.sqrt(max(var, 0.0)))
 
 
+def convolve_ir_rows(signal: np.ndarray, irs: np.ndarray) -> np.ndarray:
+    """Convolve one signal against each row of a stack of IR draws.
+
+    Row ``i`` equals ``irfft(rfft(signal, nfft) * rfft(irs[i], nfft),
+    nfft)[:n]`` — the convolution inside
+    :meth:`RoomImpulseResponse.apply` — bit-for-bit: the signal
+    spectrum is computed once and broadcast over the per-row IR
+    spectra, and the stacked transforms share the 1-D plans.  This is
+    the fleet staging path's way of applying a whole shard's channel
+    realizations to the one shared probe waveform in a single pass.
+    """
+    x = np.asarray(signal, dtype=np.float64)
+    h = np.asarray(irs, dtype=np.float64)
+    if x.ndim != 1:
+        raise ChannelError("signal must be 1-D")
+    if h.ndim != 2 or h.shape[1] == 0:
+        raise ChannelError("irs must be 2-D with non-empty rows")
+    if x.size == 0:
+        return np.zeros((h.shape[0], 0))
+    n = x.size + h.shape[1] - 1
+    nfft = 1
+    while nfft < n:
+        nfft <<= 1
+    return np.fft.irfft(
+        np.fft.rfft(x, nfft) * np.fft.rfft(h, nfft, axis=1),
+        nfft,
+        axis=1,
+    )[:, :n]
+
+
 @dataclass
 class RoomImpulseResponse:
     """Synthetic room impulse response generator.

@@ -16,7 +16,12 @@ import numpy as np
 
 from ..errors import ChannelError
 from ..dsp.energy import rms, spl_to_amplitude
-from ..dsp.filters import design_bandpass_fir, design_lowpass_fir, fir_filter
+from ..dsp.filters import (
+    design_bandpass_fir,
+    design_lowpass_fir,
+    fir_filter,
+    fir_filter_batch,
+)
 
 
 def _rng(seed_or_rng) -> np.random.Generator:
@@ -104,6 +109,70 @@ def shaped_noise(
     return _scale_to_spl(total, spl_db)
 
 
+def shaped_noise_batch(
+    n_samples: int,
+    spl_db: float,
+    sample_rate: float,
+    bands: Sequence[Tuple[float, float, float]],
+    rngs: Sequence[np.random.Generator],
+    values: bool = True,
+) -> np.ndarray:
+    """One :func:`shaped_noise` realization per generator, in one pass.
+
+    Row ``i`` equals ``shaped_noise(n_samples, spl_db, sample_rate,
+    bands, rng=rngs[i])`` bit-for-bit *and* consumes generator ``i``'s
+    stream in the scalar draw order: the band loop stays outermost, so
+    each generator still draws its bands in sequence, while the FIR
+    shaping runs as stacked row transforms.
+
+    ``values=False`` consumes exactly the same draws but skips the FIR
+    shaping and returns zeros — for callers that must advance the
+    generators' streams past a bed whose samples they will never read
+    (e.g. staging a group whose noise gate cannot fire).
+    """
+    if not bands:
+        raise ChannelError("bands must be non-empty")
+    generators = list(rngs)
+    total = np.zeros((len(generators), n_samples))
+    for low, high, weight in bands:
+        if weight < 0:
+            raise ChannelError("band weights must be non-negative")
+        if weight == 0.0 or n_samples == 0:
+            continue
+        # Each generator fills its own row (out= skips the stack copy);
+        # the reductions below run along the last axis, which applies
+        # the same pairwise summation to each row as the scalar
+        # :func:`rms` does to a 1-D signal.
+        raw = np.empty((len(generators), n_samples))
+        for i, generator in enumerate(generators):
+            generator.standard_normal(out=raw[i])
+        if not values:
+            continue
+        if low <= 0.0:
+            taps = design_lowpass_fir(high, sample_rate, num_taps=257)
+        else:
+            taps = design_bandpass_fir(low, high, sample_rate, num_taps=257)
+        component = fir_filter_batch(raw, taps)
+        levels = np.sqrt(np.mean(component * component, axis=1))
+        safe = np.where(levels > 0.0, levels, 1.0)[:, None]
+        # Scalar path: ``row / level * weight`` (divide, then scale) —
+        # keep the exact op order so rows stay bit-identical.
+        total += np.where(
+            levels[:, None] > 0.0, component / safe * weight, component
+        )
+    if n_samples == 0 or not values:
+        return total
+    levels = np.sqrt(np.mean(total * total, axis=1))
+    # Scalar ``_scale_to_spl``: ``signal * (amplitude / level)`` — the
+    # quotient is formed first, per row, then broadcast-multiplied.
+    factors = np.where(
+        levels > 0.0,
+        spl_to_amplitude(spl_db) / np.where(levels > 0.0, levels, 1.0),
+        1.0,
+    )
+    return total * factors[:, None]
+
+
 def tone_jammer(
     n_samples: int,
     sample_rate: float,
@@ -175,6 +244,46 @@ class NoiseScene:
                 n_samples, self.sample_rate, self.jam_tones_hz,
                 self.jam_spl_db, rng=generator,
             )
+        return bed
+
+    def sample_batch(
+        self,
+        n_samples: int,
+        rngs: Sequence[np.random.Generator],
+        values: bool = True,
+    ) -> np.ndarray:
+        """Generate one scene realization per generator, in one pass.
+
+        Row ``i`` equals ``sample(n_samples, rng=rngs[i])`` bit-for-bit
+        and consumes each generator's stream in the scalar draw order
+        (band beds first, jam-tone phases last), so a staged caller can
+        hand the generators back to live code afterwards.  Used by the
+        fleet executor to synthesize a whole shard's ambient noise at
+        once.
+
+        ``values=False`` advances every generator through the identical
+        draw sequence but skips the expensive spectral shaping; the
+        returned samples are then meaningless and must not be read.
+        """
+        generators = [_rng(r) for r in rngs]
+        if self.bands:
+            bed = shaped_noise_batch(
+                n_samples, self.spl_db, self.sample_rate,
+                self.bands, generators, values=values,
+            )
+        else:
+            bed = np.stack(
+                [
+                    white_noise(n_samples, self.spl_db, rng=generator)
+                    for generator in generators
+                ]
+            ) if generators else np.zeros((0, n_samples))
+        if self.jam_tones_hz and np.isfinite(self.jam_spl_db):
+            for i, generator in enumerate(generators):
+                bed[i] = bed[i] + tone_jammer(
+                    n_samples, self.sample_rate, self.jam_tones_hz,
+                    self.jam_spl_db, rng=generator,
+                )
         return bed
 
     def with_jammer(

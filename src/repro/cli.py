@@ -166,12 +166,13 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
         print(f"bad fleet config: {exc}", file=sys.stderr)
         return 2
     tracer = Tracer()
+    staging = "none" if args.no_batch else args.staging
     result = FleetScheduler(
         config,
         workers=args.workers,
         shard_users=args.shard_users,
         tracer=tracer,
-        batched=not args.no_batch,
+        staging=staging,
     ).run()
     payload = _fleet_document(config, result.aggregate)
     if args.out:
@@ -400,7 +401,15 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_run.add_argument(
         "--no-batch",
         action="store_true",
-        help="force the scalar per-session prefilter (benchmark baseline)",
+        help="run every stage live (shorthand for --staging none)",
+    )
+    fleet_run.add_argument(
+        "--staging",
+        choices=("none", "dtw", "probe"),
+        default="probe",
+        help="shard staging level: none = all-live baseline, dtw = "
+        "batched motion DTW, probe = also batch the Phase-1 probe DSP; "
+        "the aggregate is byte-identical across levels",
     )
     fleet_run.add_argument(
         "--out", default=None, help="write the aggregate JSON here"

@@ -20,7 +20,7 @@ from typing import Tuple
 
 import numpy as np
 
-from ..dsp.spectrum import welch_psd
+from ..dsp.spectrum import welch_psd, welch_psd_batch
 from ..errors import WearLockError
 
 
@@ -74,6 +74,53 @@ class AmbientComparator:
         if len(profile) < 3:
             raise WearLockError("too few usable bands — recording too short")
         return np.asarray(profile)
+
+    def band_profile_batch(self, recordings: np.ndarray) -> np.ndarray:
+        """Band-power fingerprints of many equal-length recordings.
+
+        Row ``i`` equals ``band_profile(recordings[i])`` bit-for-bit:
+        the Welch PSDs run as one stacked pass and the per-band log
+        means reuse the scalar reduction on each row.
+        """
+        x = np.asarray(recordings, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] < 64:
+            raise WearLockError(
+                "recordings must be 2-D with at least 64 samples per row"
+            )
+        freqs, psds = welch_psd_batch(x, self.sample_rate, segment_size=512)
+        edges = np.geomspace(self.low_hz, self.high_hz, self.n_bands + 1)
+        masks = [
+            mask
+            for lo, hi in zip(edges[:-1], edges[1:])
+            if np.any(mask := (freqs >= lo) & (freqs < hi))
+        ]
+        if len(masks) < 3:
+            raise WearLockError("too few usable bands — recording too short")
+        profiles = np.empty((x.shape[0], len(masks)))
+        for i in range(x.shape[0]):
+            psd = psds[i]
+            for j, mask in enumerate(masks):
+                profiles[i, j] = np.log10(float(np.mean(psd[mask])) + 1e-20)
+        return profiles
+
+    def similarity_batch(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`similarity` over two stacks of recordings.
+
+        Entry ``i`` equals ``similarity(a[i], b[i])`` bit-for-bit; the
+        fingerprints are batched, the (cheap, 18-point) correlation
+        tail stays scalar per pair.
+        """
+        pa = self.band_profile_batch(a)
+        pb = self.band_profile_batch(b)
+        n = min(pa.shape[1], pb.shape[1])
+        out = np.empty(pa.shape[0])
+        for i in range(pa.shape[0]):
+            ra, rb = pa[i, :n], pb[i, :n]
+            if np.std(ra) < 1e-12 or np.std(rb) < 1e-12:
+                out[i] = 0.0
+            else:
+                out[i] = float(np.corrcoef(ra, rb)[0, 1])
+        return out
 
     def similarity(self, a: np.ndarray, b: np.ndarray) -> float:
         """Pearson correlation of the two band profiles, in [-1, 1]."""

@@ -80,10 +80,16 @@ class SuccessStats:
 class TailStats:
     """Tail-latency summary (P50/P95/P99) over a value stream.
 
-    :meth:`from_values` takes the exact sample quantiles; the fleet's
-    streaming path instead builds these from fixed-bin histogram counts
-    via :meth:`from_counts` — deterministic, mergeable, and accurate to
-    half a bin width (see :class:`repro.fleet.aggregate.Histogram`).
+    Both constructors estimate the *nearest-rank* sample quantile (the
+    value at rank ``ceil(q * n)``): :meth:`from_values` reads it off
+    the sorted samples exactly, while the fleet's streaming path builds
+    it from fixed-bin histogram counts via :meth:`from_counts` —
+    deterministic, mergeable, and within half a bin width of the
+    :meth:`from_values` answer (see
+    :class:`repro.fleet.aggregate.Histogram`).  Sharing the quantile
+    convention is what makes that error bound hold; an interpolated
+    percentile can sit arbitrarily far from any bin midpoint when two
+    adjacent order statistics straddle many bins.
     """
 
     p50: float
@@ -93,13 +99,19 @@ class TailStats:
 
     @staticmethod
     def from_values(values: Sequence[float]) -> "TailStats":
+        """Nearest-rank quantiles of the raw samples."""
         if not values:
             raise WearLockError("no values to aggregate")
-        arr = np.asarray(values, dtype=np.float64)
+        arr = np.sort(np.asarray(values, dtype=np.float64))
+
+        def rank_value(q: float) -> float:
+            rank = max(1, int(np.ceil(q * arr.size)))
+            return float(arr[rank - 1])
+
         return TailStats(
-            p50=float(np.percentile(arr, 50)),
-            p95=float(np.percentile(arr, 95)),
-            p99=float(np.percentile(arr, 99)),
+            p50=rank_value(0.50),
+            p95=rank_value(0.95),
+            p99=rank_value(0.99),
             n=arr.size,
         )
 

@@ -220,6 +220,7 @@ class SessionContext:
     tx_spl: Optional[float] = None
     sensor_pair: Any = None
     probe_recording: Any = None
+    probe_samples: int = 0
     report: Any = None
     noise_similarity: Optional[float] = None
     motion_score: Optional[float] = None

@@ -78,6 +78,50 @@ def sliding_normalized_correlation(
     return np.clip(out, -1.0, 1.0)
 
 
+def sliding_normalized_correlation_batch(
+    signals: np.ndarray, template: np.ndarray
+) -> np.ndarray:
+    """Sliding NCC of ``template`` against every row of ``signals``.
+
+    Row ``i`` equals ``sliding_normalized_correlation(signals[i],
+    template)`` bit-for-bit: stacked rFFT/irFFT rows share the 1-D
+    plan, the template spectrum broadcasts unchanged, and the energy
+    cumulative sum runs sequentially along each row exactly as the 1-D
+    ``np.cumsum`` does.
+    """
+    x = np.asarray(signals, dtype=np.float64)
+    t = np.asarray(template, dtype=np.float64)
+    if x.ndim != 2 or t.ndim != 1:
+        raise DspError("signals must be 2-D and template 1-D")
+    if t.size == 0:
+        raise DspError("template must be non-empty")
+    if x.shape[1] < t.size:
+        raise DspError(
+            f"signals shorter ({x.shape[1]}) than template ({t.size})"
+        )
+    te = float(np.dot(t, t))
+    if te <= 0.0:
+        raise DspError("template has zero energy")
+
+    n = x.shape[1]
+    m = t.size
+    nfft = 1
+    while nfft < n + m:
+        nfft <<= 1
+    spec = np.fft.rfft(x, nfft, axis=1) * np.conj(np.fft.rfft(t, nfft))
+    raw = np.fft.irfft(spec, nfft, axis=1)[:, : n - m + 1]
+
+    csum = np.concatenate(
+        (np.zeros((x.shape[0], 1)), np.cumsum(x * x, axis=1)), axis=1
+    )
+    local = csum[:, m:] - csum[:, : n - m + 1]
+    denom = np.sqrt(np.maximum(local * te, 0.0))
+    out = np.zeros_like(raw)
+    nonzero = denom > 1e-300
+    out[nonzero] = raw[nonzero] / denom[nonzero]
+    return np.clip(out, -1.0, 1.0)
+
+
 def best_alignment(
     signal: np.ndarray, template: np.ndarray
 ) -> Tuple[int, float]:

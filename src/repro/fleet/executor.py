@@ -13,16 +13,31 @@ processes; it owns everything that must *not* cross shard boundaries:
   manual PIN fallback (the paper's three-strike rule): lockout clears,
   the attempt counts as ``pin_fallback`` and not as a trusted unlock.
 
-* **The batched prefilter fast path.**  Phase A replays each session's
-  ``sensor-capture`` stream (the exact :class:`~repro.core.stages.
-  StageRng` construction the session itself would use), draws the
-  accelerometer pair, and scores the *whole shard's* motion DTW in one
-  anti-diagonal wavefront (:func:`repro.sensors.dtw.
-  normalized_dtw_batch` — bit-identical to the scalar recurrence, see
-  ``tests/test_fleet.py``).  Phase B runs the sessions with those
-  results staged on :class:`~repro.protocol.session.
-  PrecomputedPrefilter`, so the per-session DTW (the single hottest
-  scalar loop in a session) is amortized across the shard.
+* **The batched staging fast path.**  Phase A replays each session's
+  stage rng streams (the exact :class:`~repro.core.stages.StageRng`
+  construction the session itself would use) and computes the shard's
+  expensive DSP as stacked batches, staged onto
+  :class:`~repro.protocol.session.PrecomputedStages`:
+
+  - ``staging="dtw"`` draws the accelerometer pairs and scores the
+    whole shard's motion DTW in one anti-diagonal wavefront
+    (:func:`repro.sensors.dtw.normalized_dtw_batch` — bit-identical to
+    the scalar recurrence, see ``tests/test_fleet.py``);
+  - ``staging="probe"`` (the default) additionally replays each
+    session's ``probe-tx`` stream: the shard's ambient captures, room
+    IRs, probe propagation, synchronizer cross-correlations, pilot
+    receive FFTs and ambient-similarity fingerprints all run as
+    stacked batches through the vectorized signal plane
+    (:func:`precompute_probe`), with each generator's bit state
+    captured so a re-probe retry continues the stream exactly where
+    the live stage would have.
+
+  Phase B runs the sessions with those results staged; every staged
+  value is bit-identical to what the live stage would compute, so the
+  aggregate document is byte-identical across staging levels (CI
+  ``cmp``-checks this).  Probe staging turns itself off when fault
+  injection is configured — injector state depends on cross-stage
+  sequencing that out-of-band replay cannot reproduce.
 
 The output is a list of compact :class:`~repro.fleet.aggregate.
 SessionRecord`\\ s in canonical ``(user_id, session_index)`` order.
@@ -36,17 +51,27 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..channel.acoustics import D0_METERS, spreading_loss_db
+from ..channel.hardware import MicrophoneModel, SpeakerModel
+from ..channel.link import AcousticLink
+from ..channel.multipath import convolve_ir_rows
+from ..channel.scenarios import get_environment
 from ..config import SystemConfig
+from ..core.colocation import AmbientComparator
 from ..core.stages import StageRng
 from ..devices.profiles import DEVICES
-from ..protocol.controllers import PhoneController
+from ..errors import ConfigurationError, WearLockError
+from ..modem.probe import ChannelProber
+from ..protocol.controllers import PhoneController, choose_volume_spl
 from ..protocol.session import (
     AbortReason,
     PrecomputedPrefilter,
+    PrecomputedProbe,
     RetryPolicy,
     SessionConfig,
     UnlockSession,
 )
+from ..protocol.stages import NOISE_FILTER_MIN_SPL, ProbeTxStage
 from ..security.otp import OtpManager
 from ..sensors.dtw import normalized_dtw_batch
 from ..sensors.traces import (
@@ -58,15 +83,28 @@ from ..sensors.traces import (
 from .aggregate import SessionRecord
 from .population import FleetConfig, SessionSpec, synthesize_user, user_sessions
 
-__all__ = ["run_shard", "PIN_FALLBACK_DELAY_S"]
+__all__ = [
+    "run_shard",
+    "precompute_prefilter",
+    "precompute_probe",
+    "PIN_FALLBACK_DELAY_S",
+    "STAGING_LEVELS",
+]
 
 #: Nominal wall time a manual PIN entry costs the user (recorded as the
 #: attempt's delay when a lockout forces the fallback).
 PIN_FALLBACK_DELAY_S = 2.5
 
+#: Valid shard staging levels, least to most batched.
+STAGING_LEVELS = ("none", "dtw", "probe")
+
 #: The stage whose rng stream feeds the sensor pair (must match
 #: ``SensorCaptureStage.name``).
 _SENSOR_STAGE = "sensor-capture"
+
+#: The stage whose rng stream feeds the Phase-1 probe (must match
+#: ``ProbeTxStage.name``).
+_PROBE_STAGE = "probe-tx"
 
 
 def _user_secret(fleet_seed: int, user_id: int) -> bytes:
@@ -111,6 +149,197 @@ def precompute_prefilter(
             scores[i] = float(batch[j])
     return [
         PrecomputedPrefilter(sensor_pair=pairs[i], motion_score=scores[i])
+        for i in range(len(specs))
+    ]
+
+
+def _stage_probe_group(
+    system: SystemConfig,
+    band: str,
+    env_name: str,
+    group: Sequence[SessionSpec],
+) -> Tuple[List[PrecomputedProbe], List[Optional[float]]]:
+    """Replay one (band, environment) group's probe-tx stages batched.
+
+    Every session in the group shares the emitted probe waveform (same
+    modem band, same environment-driven volume rule), so the channel
+    synthesis stacks: ambient noise beds and microphone captures via
+    the batched noise/hardware paths, the per-session room IR draws
+    against the one shared waveform via :func:`~repro.channel.
+    multipath.convolve_ir_rows`, and the probe analysis via
+    :meth:`~repro.modem.probe.ChannelProber.analyze_batch`.  Per-row
+    scalar factors (spreading loss, no-room NLOS blocking) reuse the
+    exact scalar expressions, so each row is bit-identical to the live
+    :meth:`~repro.channel.link.AcousticLink.transmit`.
+    """
+    env = get_environment(env_name)
+    modem_system = system
+    if band == "ultrasound":
+        modem_system = replace(system, modem=system.modem.near_ultrasound())
+    modem = modem_system.modem
+    fs = modem.sample_rate
+    mic = (
+        MicrophoneModel(sample_rate=fs)
+        if band == "audible"
+        else MicrophoneModel.wide_band(fs)
+    )
+    template = AcousticLink(
+        sample_rate=fs,
+        speaker=SpeakerModel(sample_rate=fs),
+        microphone=mic,
+        room=env.room,
+        noise=env.noise,
+        distance_m=group[0].distance_m,
+        los=True,
+    )
+    prober = ChannelProber(modem)
+    noise_spl_est = float(env.noise.effective_spl())
+    _, tx_spl = choose_volume_spl(modem_system, noise_spl_est)
+    emitted = template.emitted_waveform(prober.build_probe(), tx_spl)
+
+    gens = [
+        StageRng(seed=spec.seed).for_stage(_PROBE_STAGE) for spec in group
+    ]
+
+    # Draw 1 — the phone's ambient self-recording.  Its samples feed
+    # only the noise-similarity gate; when the scene is too quiet for
+    # the gate to fire, advance the streams without the shaping DSP.
+    need_sims = noise_spl_est >= NOISE_FILTER_MIN_SPL
+    n_ambient = int(ProbeTxStage.AMBIENT_SECONDS * fs)
+    ambient_beds = (
+        env.noise.sample_batch(n_ambient, gens, values=need_sims)
+        if env.noise is not None
+        else np.zeros((len(gens), n_ambient))
+    )
+    ambients = mic.record_batch(ambient_beds, gens, values=need_sims)
+
+    # Draw 2 — per-session channel IR, applied to the shared waveform
+    # as one stacked convolution.  ``los`` picks the room variant per
+    # session; variants share the tail length, so rows stay equal.
+    rooms = {}
+    if env.room is not None:
+        for los in (True, False):
+            template.los = los
+            rooms[los] = template.effective_room()
+        irs = np.stack(
+            [rooms[spec.los].sample(gen) for spec, gen in zip(group, gens)]
+        )
+        propagated = convolve_ir_rows(emitted, irs)
+
+    rows = []
+    for i, spec in enumerate(group):
+        if env.room is not None:
+            row = propagated[i]
+        else:
+            row = emitted
+            if not spec.los:
+                row = row * 10.0 ** (-template.nlos_blocking_db / 20.0)
+        loss_db = spreading_loss_db(spec.distance_m, d0=D0_METERS)
+        rows.append(row * 10.0 ** (-loss_db / 20.0))
+
+    # Draws 3 + 4 — receiver-side noise bed, then the microphone.  The
+    # propagated rows are added into the bed in place (``bed + row`` is
+    # commutative bit-for-bit, and the silence padding contributes
+    # nothing), which avoids a second shard-sized matrix.
+    lead = int(template.leading_silence * fs)
+    trail = int(template.trailing_silence * fs)
+    width = lead + rows[0].size + trail
+    if env.noise is not None:
+        at_mic = env.noise.sample_batch(width, gens)
+    else:
+        at_mic = np.zeros((len(rows), width))
+    for i, row in enumerate(rows):
+        at_mic[i, lead:lead + row.size] += row
+    recorded = mic.record_batch(at_mic, gens)
+    states = [gen.bit_generator.state for gen in gens]
+
+    reports = prober.analyze_batch(recorded)
+
+    sims: List[Optional[float]] = [None] * len(group)
+    if need_sims:
+        # Sessions whose probe analysis failed abort before the noise
+        # gate ever reads a similarity score, so only detected rows are
+        # fingerprinted.
+        live = [
+            i for i, r in enumerate(reports) if r is not None and r.detected
+        ]
+        if live:
+            comparator = AmbientComparator(
+                sample_rate=fs, high_hz=min(18_000.0, fs / 2.2)
+            )
+            head_n = max(int(0.1 * fs), modem.fft_size)
+            try:
+                scores = comparator.similarity_batch(
+                    ambients[live], recorded[live, :head_n]
+                )
+            except WearLockError:
+                # Mirrors ambient_similarity(): a comparator that cannot
+                # fingerprint these lengths scores every pair 0.0.
+                scores = np.zeros(len(live))
+            for row, i in enumerate(live):
+                sims[i] = float(scores[row])
+
+    # Only the clip length survives staging: every downstream consumer
+    # of the recording is itself staged (report, similarity) or needs
+    # the sample count alone, so the group synthesis matrices are freed
+    # here instead of being pinned through the whole shard.
+    n_samples = int(recorded.shape[1])
+    probes = [
+        PrecomputedProbe(
+            tx_spl=tx_spl,
+            recording_samples=n_samples,
+            report=reports[i],
+            rng_state=states[i],
+        )
+        for i in range(len(group))
+    ]
+    return probes, sims
+
+
+def precompute_probe(
+    specs: Sequence[SessionSpec],
+) -> Tuple[List[PrecomputedProbe], List[Optional[float]]]:
+    """Phase A: replay every session's probe-tx stage, shard-batched.
+
+    Groups the shard by (band, environment) — the keys that fix the
+    probe waveform, transmit level and recording length — and replays
+    each group's ``probe-tx`` rng streams out of band (see
+    :func:`_stage_probe_group`).  Returns per-spec
+    :class:`~repro.protocol.session.PrecomputedProbe` results plus the
+    ambient-similarity score for the noise gate (``None`` where the
+    live gate would not compute one).
+    """
+    probes: List[Optional[PrecomputedProbe]] = [None] * len(specs)
+    sims: List[Optional[float]] = [None] * len(specs)
+    system = SystemConfig()
+    groups: Dict[Tuple[str, str], List[int]] = {}
+    for i, spec in enumerate(specs):
+        groups.setdefault((spec.band, spec.environment), []).append(i)
+    for (band, env_name), indices in groups.items():
+        group_probes, group_sims = _stage_probe_group(
+            system, band, env_name, [specs[i] for i in indices]
+        )
+        for j, i in enumerate(indices):
+            probes[i] = group_probes[j]
+            sims[i] = group_sims[j]
+    return probes, sims
+
+
+def _stage_shard(
+    config: FleetConfig, specs: Sequence[SessionSpec], staging: str
+) -> List[Optional[PrecomputedPrefilter]]:
+    """Phase A for a whole shard at the requested staging level."""
+    if staging == "none":
+        return [None] * len(specs)
+    staged = precompute_prefilter(specs)
+    if staging != "probe" or config.faults:
+        # Fault injection sequences its draws across stages; the
+        # out-of-band probe replay cannot reproduce that, so probe
+        # staging degrades to DTW-only staging under faults.
+        return staged
+    probes, sims = precompute_probe(specs)
+    return [
+        replace(staged[i], probe=probes[i], noise_similarity=sims[i])
         for i in range(len(specs))
     ]
 
@@ -175,25 +404,48 @@ def run_shard(
     user_lo: int,
     user_hi: int,
     batched: bool = True,
+    staging: Optional[str] = None,
 ) -> List[SessionRecord]:
     """Simulate users ``[user_lo, user_hi)`` and return their records.
 
     Specs are synthesized in-worker (population synthesis is cheap and
     order-free), so only the :class:`~repro.fleet.population.
-    FleetConfig` and the range cross the process boundary.  ``batched=
-    False`` disables the Phase-A prefilter — the benchmark's serial
-    baseline, bit-identical by construction.
+    FleetConfig` and the range cross the process boundary.
+
+    ``staging`` selects the Phase-A fast path (:data:`STAGING_LEVELS`):
+    ``"none"`` runs every stage live (the benchmark's serial baseline),
+    ``"dtw"`` stages the batched motion DTW, ``"probe"`` additionally
+    stages the batched Phase-1 probe DSP.  When ``staging`` is omitted
+    the legacy ``batched`` flag maps ``True`` to ``"probe"`` and
+    ``False`` to ``"none"``.  All levels produce byte-identical
+    aggregates.
     """
+    if staging is None:
+        staging = "probe" if batched else "none"
+    if staging not in STAGING_LEVELS:
+        raise ConfigurationError(
+            f"staging must be one of {STAGING_LEVELS}, got {staging!r}"
+        )
     system = SystemConfig()
     retry = RetryPolicy() if config.retry else None
     faults = config.faults or None
-    records: List[SessionRecord] = []
+
+    # Synthesize the whole shard's specs up front so Phase A batches
+    # across *users*, not just within one user's sessions.
+    shard: List[Tuple[object, List[SessionSpec], int]] = []
+    flat: List[SessionSpec] = []
     for user_id in range(user_lo, user_hi):
         user = synthesize_user(config, user_id)
         specs = user_sessions(config, user)
         if not specs:
             continue
-        pre = precompute_prefilter(specs) if batched else [None] * len(specs)
+        shard.append((user, specs, len(flat)))
+        flat.extend(specs)
+    staged_flat = _stage_shard(config, flat, staging)
+
+    records: List[SessionRecord] = []
+    for user, specs, offset in shard:
+        user_id = user.user_id
         otp = OtpManager(
             _user_secret(config.seed, user_id), config=system.security
         )
@@ -203,7 +455,12 @@ def run_shard(
                 system, modem=system.modem.near_ultrasound()
             )
         phone = PhoneController(phone_system, otp)
-        for spec, staged in zip(specs, pre):
+        for k, spec in enumerate(specs):
+            # Consume the staged entry (drop the reference immediately
+            # so a shard's precomputed recordings are freed as Phase B
+            # walks it, instead of accumulating until the shard ends).
+            staged = staged_flat[offset + k]
+            staged_flat[offset + k] = None
             if otp.locked_out or phone.keyguard.pin_required:
                 phone.keyguard.pin_unlock()
                 otp.unlock_with_pin()

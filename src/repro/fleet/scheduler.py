@@ -25,7 +25,7 @@ from typing import List, Optional, Tuple
 from ..core.trace import NullTracer, Tracer
 from ..errors import ConfigurationError
 from .aggregate import FleetAggregate
-from .executor import run_shard
+from .executor import STAGING_LEVELS, run_shard
 from .population import FleetConfig
 
 __all__ = ["FleetResult", "FleetScheduler"]
@@ -72,8 +72,15 @@ class FleetScheduler:
         Optional :class:`~repro.core.trace.Tracer`; the run is wrapped
         in a ``fleet.run`` span carrying session/shard/user counters.
     batched:
-        Disable to force the scalar per-session prefilter path (the
-        benchmark baseline).
+        Legacy switch: ``False`` forces the all-live path (staging
+        ``"none"``), ``True`` the full fast path (staging ``"probe"``).
+        Ignored when ``staging`` is given explicitly.
+    staging:
+        Shard staging level (see :data:`~repro.fleet.executor.
+        STAGING_LEVELS`): ``"none"`` runs every stage live, ``"dtw"``
+        batches the motion DTW per shard, ``"probe"`` additionally
+        batches the Phase-1 probe DSP.  Every level produces a
+        byte-identical aggregate.
     """
 
     def __init__(
@@ -83,16 +90,24 @@ class FleetScheduler:
         shard_users: int = 25,
         tracer: Optional[Tracer] = None,
         batched: bool = True,
+        staging: Optional[str] = None,
     ):
         if shard_users <= 0:
             raise ConfigurationError("shard_users must be positive")
         if workers < 0:
             raise ConfigurationError("workers must be >= 0")
+        if staging is None:
+            staging = "probe" if batched else "none"
+        if staging not in STAGING_LEVELS:
+            raise ConfigurationError(
+                f"staging must be one of {STAGING_LEVELS}, got {staging!r}"
+            )
         self.config = config
         self.workers = int(workers)
         self.shard_users = int(shard_users)
         self.tracer = tracer if tracer is not None else NullTracer()
-        self.batched = bool(batched)
+        self.staging = staging
+        self.batched = staging != "none"
 
     def shard_bounds(self) -> List[Tuple[int, int]]:
         """Contiguous ``[lo, hi)`` user ranges covering the population."""
@@ -112,7 +127,12 @@ class FleetScheduler:
                 with ProcessPoolExecutor(max_workers=self.workers) as pool:
                     futures = [
                         pool.submit(
-                            run_shard, self.config, lo, hi, self.batched
+                            run_shard,
+                            self.config,
+                            lo,
+                            hi,
+                            self.batched,
+                            self.staging,
                         )
                         for lo, hi in bounds
                     ]
@@ -126,7 +146,9 @@ class FleetScheduler:
             else:
                 for lo, hi in bounds:
                     agg.merge_records(
-                        run_shard(self.config, lo, hi, self.batched)
+                        run_shard(
+                            self.config, lo, hi, self.batched, self.staging
+                        )
                     )
             self.tracer.counter("users", float(self.config.n_users))
             self.tracer.counter("shards", float(len(bounds)))

@@ -25,11 +25,18 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..dsp.plane import KeyedCache
 from ..errors import ModemError
 from .constellation import Constellation, get_constellation
 
 #: The three deployed transmission modes, highest order first (§III-7).
 TRANSMISSION_MODES: Tuple[str, ...] = ("8PSK", "QPSK", "QASK")
+
+#: Memoized 80-iteration bisections: ``min_ebn0_db`` is a pure function
+#: of the model's fitted parameters and its arguments, and mode
+#: selection re-derives the same three thresholds for every session in
+#: a fleet day.
+_MIN_EBN0 = KeyedCache("modem.min_ebn0", maxsize=256)
 
 
 def _q(x: float) -> float:
@@ -132,10 +139,28 @@ class BerModel:
         """Smallest Eb/N0 (dB) at which ``mode`` meets ``max_ber``.
 
         Returns ``inf`` when the mode cannot reach ``max_ber`` at any
-        Eb/N0 in range (e.g. below the model's error floor).
+        Eb/N0 in range (e.g. below the model's error floor).  The
+        bisection is a pure function of the model's parameters, so
+        results are memoized process-wide.
         """
         if not 0 < max_ber < 0.5:
             raise ModemError("max_ber must be in (0, 0.5)")
+        key = (
+            tuple(sorted(self.penalty_db.items())),
+            tuple(sorted(self.floor_by_mode.items())),
+            self.default_floor,
+            mode,
+            max_ber,
+            lo,
+            hi,
+        )
+        return _MIN_EBN0.get(
+            key, lambda: self._min_ebn0_db_bisect(mode, max_ber, lo, hi)
+        )
+
+    def _min_ebn0_db_bisect(
+        self, mode: str, max_ber: float, lo: float, hi: float
+    ) -> float:
         if self.ber(mode, hi) > max_ber:
             return float("inf")
         if self.ber(mode, lo) <= max_ber:

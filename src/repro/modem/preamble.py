@@ -17,7 +17,10 @@ import numpy as np
 from ..config import ModemConfig
 from ..errors import DspError, PreambleNotFoundError
 from ..dsp.chirp import linear_chirp
-from ..dsp.correlation import sliding_normalized_correlation
+from ..dsp.correlation import (
+    sliding_normalized_correlation,
+    sliding_normalized_correlation_batch,
+)
 from ..dsp.plane import KeyedCache
 
 _PREAMBLES = KeyedCache("modem.preamble", maxsize=32)
@@ -115,6 +118,16 @@ class PreambleDetector:
         """NCC score at every lag of ``recording``."""
         return sliding_normalized_correlation(recording, self._template)
 
+    def scores_batch(self, recordings: np.ndarray) -> np.ndarray:
+        """NCC scores for every row of ``recordings`` in one pass.
+
+        Row ``i`` equals ``scores(recordings[i])`` bit-for-bit (stacked
+        row FFTs share the 1-D plan).  Rows must share one length.
+        """
+        return sliding_normalized_correlation_batch(
+            recordings, self._template
+        )
+
     def detect(self, recording: np.ndarray) -> PreambleMatch:
         """Locate the preamble; raise PreambleNotFoundError below threshold.
 
@@ -130,6 +143,17 @@ class PreambleDetector:
             scores = self.scores(x)
         except DspError:
             raise PreambleNotFoundError(0.0, self._threshold) from None
+        return self.match_from_scores(scores)
+
+    def match_from_scores(self, scores: np.ndarray) -> PreambleMatch:
+        """Turn one score trace into a :class:`PreambleMatch`.
+
+        The thresholding/peak/delay-profile tail of :meth:`detect`,
+        split out so batched callers can score many recordings in one
+        stacked correlation and finish each row here.  Raises
+        :class:`PreambleNotFoundError` below the threshold, exactly as
+        :meth:`detect` does.
+        """
         peak = int(np.argmax(scores))
         best = float(scores[peak])
         if best < self._threshold:

@@ -21,8 +21,10 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from typing import List
+
 from ..config import ModemConfig
-from ..errors import PreambleNotFoundError
+from ..errors import DspError, ModemError, PreambleNotFoundError
 from ..dsp.energy import SILENCE_FLOOR_SPL_DB, signal_spl
 from ..dsp.spectrum import noise_power_per_bin
 from ..channel.multipath import rms_delay_spread
@@ -122,6 +124,112 @@ class ChannelProber:
         except PreambleNotFoundError as exc:
             return ProbeReport.failed(exc.score)
 
+        bodies = self._probe_bodies(x, match, layout)
+        spectra = (
+            demodulate_blocks(self._config, bodies)
+            if bodies.shape[0]
+            else None
+        )
+        return self._finish(x, match, layout, spectra)
+
+    def analyze_batch(
+        self, recordings: np.ndarray
+    ) -> "List[Optional[ProbeReport]]":
+        """Analyze many equal-length probe recordings in one pass.
+
+        Entry ``i`` equals ``analyze(recordings[i])`` bit-for-bit: the
+        preamble search runs as one stacked correlation, the pilot
+        receive FFTs as one stacked :func:`demodulate_blocks`, and the
+        per-recording tails (delay spread, ambient noise ranking, SNR
+        rows) reuse the scalar code on identical inputs.  An entry is
+        ``None`` where the scalar ``analyze`` would have *raised* a
+        :class:`~repro.errors.ModemError` (so a staged caller can
+        re-raise or abort exactly where the live path would).
+        """
+        recs = [np.asarray(r, dtype=np.float64) for r in recordings]
+        if not recs:
+            return []
+        layout = frame_layout(self._config, self._n_pilot_symbols)
+        detector = self._sync.detector
+
+        # Coarse sync: one stacked correlation per recording length.
+        matches: List[Optional[PreambleMatch]] = [None] * len(recs)
+        fail_scores = [0.0] * len(recs)
+        by_len: dict = {}
+        for i, rec in enumerate(recs):
+            by_len.setdefault(rec.size, []).append(i)
+        for size, idxs in by_len.items():
+            try:
+                scores = detector.scores_batch(
+                    np.stack([recs[i] for i in idxs])
+                )
+            except DspError:
+                continue  # too short: every row fails with score 0.0
+            for row, i in enumerate(idxs):
+                try:
+                    matches[i] = detector.match_from_scores(scores[row])
+                except PreambleNotFoundError as exc:
+                    fail_scores[i] = exc.score
+
+        # Fine sync + body extraction per recording, one stacked
+        # receive FFT across every detected probe in the batch.
+        bodies_list: List[Optional[np.ndarray]] = [None] * len(recs)
+        stacked: List[np.ndarray] = []
+        offsets: dict = {}
+        offset = 0
+        for i, match in enumerate(matches):
+            if match is None:
+                continue
+            bodies = self._probe_bodies(recs[i], match, layout)
+            bodies_list[i] = bodies
+            if bodies.shape[0]:
+                offsets[i] = offset
+                offset += bodies.shape[0]
+                stacked.append(bodies)
+        spectra_all = (
+            demodulate_blocks(self._config, np.concatenate(stacked))
+            if stacked
+            else None
+        )
+
+        reports: List[Optional[ProbeReport]] = []
+        for i, match in enumerate(matches):
+            if match is None:
+                reports.append(ProbeReport.failed(fail_scores[i]))
+                continue
+            spectra = None
+            if i in offsets:
+                n_rows = bodies_list[i].shape[0]
+                spectra = spectra_all[offsets[i]: offsets[i] + n_rows]
+            try:
+                reports.append(self._finish(recs[i], match, layout, spectra))
+            except ModemError:
+                reports.append(None)
+        return reports
+
+    def _probe_bodies(
+        self, x: np.ndarray, match, layout
+    ) -> np.ndarray:
+        """Fine-synced symbol bodies of one detected probe.
+
+        Mirrors :meth:`analyze`'s tolerance: any extraction failure
+        yields zero bodies (the probe is then reported at ``-inf``
+        pilot SNR rather than crashing the session).
+        """
+        try:
+            bodies, _ = self._sync.extract_bodies(x, match, layout)
+        except Exception:
+            bodies = np.zeros((0, self._config.fft_size))
+        return bodies
+
+    def _finish(
+        self, x: np.ndarray, match, layout, spectra: Optional[np.ndarray]
+    ) -> ProbeReport:
+        """Per-recording report tail shared by scalar and batch paths.
+
+        ``spectra`` is the demodulated pilot spectra (``None`` when no
+        bodies could be extracted — reported as ``-inf`` pilot SNR).
+        """
         tau = rms_delay_spread(
             match.delay_profile, self._config.sample_rate
         )
@@ -148,15 +256,9 @@ class ChannelProber:
         # noise is strongly colored (voice/babble).  Immediate
         # neighbours of occupied bins are skipped (timing-error
         # leakage).
-        try:
-            bodies, _ = self._sync.extract_bodies(x, match, layout)
-        except Exception:
-            bodies = np.zeros((0, self._config.fft_size))
-
-        if bodies.shape[0] == 0:
+        if spectra is None:
             psnr = float("-inf")
         else:
-            spectra = demodulate_blocks(self._config, bodies)
             noise_power = 0.0
             if per_bin is not None:
                 band_bins = list(self._plan.pilots) + list(self._plan.data)

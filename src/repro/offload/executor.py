@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from ..devices.battery import EnergyMeter
 from ..devices.compute import Workload
 from ..devices.profiles import DeviceProfile
+from ..protocol.stages import MSG_RESEND_LIMIT
 from ..wireless.radio import WirelessLink
 from .planner import Placement, ProcessingPlan
 
@@ -30,7 +31,19 @@ class ExecutionReport:
 
 
 class OffloadExecutor:
-    """Executes processing plans and meters both devices."""
+    """Executes processing plans and meters both devices.
+
+    Delivery semantics: an offloaded clip transfer honours
+    :attr:`repro.wireless.radio.TransferStats.delivered`.  A dropped
+    transfer (fault injection) is resent up to
+    :data:`repro.protocol.stages.MSG_RESEND_LIMIT` times — the same
+    bounded-resend discipline the protocol stages use for control
+    messages — with every timeout charged to the watch radio meter.
+    When resends are exhausted the executor falls back to computing
+    Phase 1 locally on the watch instead of pretending the phone saw
+    the clip; the report then carries ``Placement.WATCH_LOCAL`` with
+    the wasted transfer seconds still in ``transfer_s``.
+    """
 
     def __init__(
         self,
@@ -76,18 +89,41 @@ class OffloadExecutor:
                 phone_energy_j=0.0,
             )
 
-        stats = self._link.send_file(plan.transfer_bytes)
-        self.watch_meter.record_radio(stats.seconds)
+        transfer_s = 0.0
+        delivered = False
+        for _attempt in range(MSG_RESEND_LIMIT + 1):
+            stats = self._link.send_file(plan.transfer_bytes)
+            transfer_s += stats.seconds
+            self.watch_meter.record_radio(stats.seconds)
+            if stats.delivered:
+                delivered = True
+                break
+
+        if not delivered:
+            # Resends exhausted: the clip never reached the phone, so
+            # Phase 1 runs on the watch after all.  The timeouts above
+            # stay on the watch radio meter and in ``transfer_s``.
+            compute_s = self.watch_meter.record_compute(work.mops)
+            return ExecutionReport(
+                placement=Placement.WATCH_LOCAL,
+                delay_s=transfer_s + compute_s,
+                transfer_s=transfer_s,
+                compute_s=compute_s,
+                watch_energy_j=self._watch.radio_energy_j(transfer_s)
+                + self._watch.compute_energy_j(work.mops),
+                phone_energy_j=0.0,
+            )
+
         compute_s = self.phone_meter.record_compute(work.mops)
         self.watch_meter.record_idle(compute_s)
         watch_energy = (
-            self._watch.radio_energy_j(stats.seconds)
+            self._watch.radio_energy_j(transfer_s)
             + self._watch.idle_power_w * compute_s
         )
         return ExecutionReport(
             placement=plan.placement,
-            delay_s=stats.seconds + compute_s,
-            transfer_s=stats.seconds,
+            delay_s=transfer_s + compute_s,
+            transfer_s=transfer_s,
             compute_s=compute_s,
             watch_energy_j=watch_energy,
             phone_energy_j=self._phone.compute_energy_j(work.mops),

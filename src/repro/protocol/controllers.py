@@ -46,6 +46,28 @@ class TokenTransmission:
     coded_bits: int
 
 
+def choose_volume_spl(
+    config: SystemConfig,
+    noise_spl: float,
+    volume: Optional[VolumeControl] = None,
+) -> Tuple[int, float]:
+    """Volume step + SPL meeting the 1-m SNR rule (paper §III-7).
+
+    The pure volume-selection rule behind
+    :meth:`PhoneController.choose_volume`, shared with the fleet
+    staging path so a precomputed probe uses the exact transmit level
+    the live phone controller would pick.
+    """
+    control = volume if volume is not None else VolumeControl()
+    target = required_tx_spl(
+        noise_spl=max(noise_spl, 0.0),
+        min_snr_db=config.min_snr_db,
+        range_m=config.target_range_m,
+    )
+    step = control.step_for_spl(target)
+    return step, control.spl_for_step(step)
+
+
 def _repeat_bits(bits: np.ndarray, factor: int) -> np.ndarray:
     """Repetition-code a bit vector (bit-wise, ``factor`` copies)."""
     return np.repeat(np.asarray(bits, dtype=np.uint8), factor)
@@ -113,13 +135,7 @@ class PhoneController:
 
     def choose_volume(self, noise_spl: float) -> Tuple[int, float]:
         """Pick the volume step meeting the 1-m SNR rule (§III-7)."""
-        target = required_tx_spl(
-            noise_spl=max(noise_spl, 0.0),
-            min_snr_db=self.config.min_snr_db,
-            range_m=self.config.target_range_m,
-        )
-        step = self.volume.step_for_spl(target)
-        return step, self.volume.spl_for_step(step)
+        return choose_volume_spl(self.config, noise_spl, self.volume)
 
     def evaluate_motion(
         self, phone_xyz: np.ndarray, watch_xyz: np.ndarray

@@ -58,6 +58,8 @@ from .stages import (
 __all__ = [
     "AbortReason",
     "PrecomputedPrefilter",
+    "PrecomputedProbe",
+    "PrecomputedStages",
     "RetryPolicy",
     "RetryState",
     "SessionConfig",
@@ -143,20 +145,68 @@ class RetryState:
 
 
 @dataclass(frozen=True)
-class PrecomputedPrefilter:
-    """Shard-level precomputed sensor/motion inputs for one attempt.
+class PrecomputedProbe:
+    """One session's probe-tx stage, replayed out of band.
+
+    Built by :mod:`repro.fleet.executor`: the executor re-derives the
+    session's ``probe-tx`` :class:`~repro.core.stages.StageRng` stream,
+    synthesizes the ambient capture, channel IR and probe recording in
+    shard-wide batches, and analyzes the recording through the batched
+    signal-plane path.  ``rng_state`` is the generator's bit state
+    *after* those draws — the consuming stage restores it so that a
+    later re-probe retry continues the stream exactly where the live
+    stage would have.
+
+    ``report`` is ``None`` when the batched analysis hit the condition
+    under which the live ``analyze_probe`` would have raised a
+    :class:`~repro.errors.ModemError` (the stage then aborts with
+    ``probe_not_detected``, exactly as the live path does).
+
+    The waveforms themselves are *not* retained: everything downstream
+    of the probe-tx stage consumes either the analysis ``report``, the
+    staged ambient-similarity score, or the clip *length* (timing and
+    offload-transfer sizing) — so staging stores ``recording_samples``
+    and lets the shard-wide synthesis matrices be freed immediately.
+    Keeping per-session recordings alive through a whole shard costs
+    tens of megabytes of resident set and measurably slows the
+    unrelated Phase-2 stages on small-cache machines.
+    """
+
+    tx_spl: float
+    recording_samples: int
+    report: Optional[object]
+    rng_state: dict
+
+
+@dataclass(frozen=True)
+class PrecomputedStages:
+    """Shard-level precomputed stage inputs for one attempt.
 
     Built by :mod:`repro.fleet.executor`, which derives each session's
-    ``sensor-capture`` stream itself (same :class:`~repro.core.stages.
-    StageRng` construction), draws the sensor pair once, and computes
-    all motion scores for the shard in one batched DTW wavefront.  The
-    stages that consume it (:class:`~repro.protocol.stages.
-    SensorCaptureStage`, :class:`~repro.protocol.stages.PrefilterStage`)
-    produce bit-identical outcomes with or without it.
+    per-stage :class:`~repro.core.stages.StageRng` streams itself (same
+    construction), draws the stage inputs once, and computes the
+    expensive DSP for the whole shard in stacked batches: motion DTW
+    (PR 4) plus the Phase-1 probe synthesis/analysis and the ambient
+    similarity score.  The stages that consume it
+    (:class:`~repro.protocol.stages.SensorCaptureStage`,
+    :class:`~repro.protocol.stages.ProbeTxStage`,
+    :class:`~repro.protocol.stages.ProbeProcessStage`,
+    :class:`~repro.protocol.stages.PrefilterStage`) produce
+    bit-identical outcomes with or without it.  Probe results are
+    consumed at most once per session: a re-probe retry recomputes
+    live, with the rng stream positioned exactly as if the first pass
+    had run live too.
     """
 
     sensor_pair: Optional[Tuple[np.ndarray, np.ndarray]] = None
     motion_score: Optional[float] = None
+    probe: Optional[PrecomputedProbe] = None
+    noise_similarity: Optional[float] = None
+
+
+#: Backwards-compatible name from PR 4, when only the prefilter's
+#: sensor/motion inputs were staged.
+PrecomputedPrefilter = PrecomputedStages
 
 
 @dataclass
@@ -379,13 +429,14 @@ class UnlockSession:
         self,
         rng=None,
         tracer: Optional[Tracer] = None,
-        precomputed: Optional[PrecomputedPrefilter] = None,
+        precomputed: Optional[PrecomputedStages] = None,
     ) -> UnlockOutcome:
         """Execute the full protocol once via the stage engine.
 
-        ``precomputed`` (see :class:`PrecomputedPrefilter`) lets the
-        fleet executor supply shard-batched sensor/motion results; the
-        outcome is bit-identical to computing them in-stage.
+        ``precomputed`` (see :class:`PrecomputedStages`) lets the
+        fleet executor supply shard-batched sensor/motion, probe and
+        ambient-similarity results; the outcome is bit-identical to
+        computing them in-stage.
         """
         ctx = self._build_context(rng)
         ctx.precomputed = precomputed

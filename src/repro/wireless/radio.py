@@ -41,6 +41,19 @@ class TransferStats:
 class WirelessLink:
     """Base wireless link: latency + throughput with lognormal jitter.
 
+    Jitter model: every transfer draws **one** lognormal factor
+    ``exp(N(0, sigma))`` and applies it to the whole operation — setup
+    latency and payload serialization alike — because congestion that
+    stretches the handshake stretches the payload too.  A file transfer
+    therefore costs ``latency * jitter + 8 n / throughput * jitter``
+    seconds, so its *median* matches
+    ``OffloadPlanner._predict_transfer_seconds``'s deterministic
+    ``latency + 8 n / throughput`` estimate (a lognormal has median 1).
+    Drops (fault injection) charge the sender the acknowledgement
+    timeout and come back ``delivered=False``; ``round_trip`` skips the
+    return leg after a dropped request, and its combined stats report
+    ``delivered`` only when both legs arrived.
+
     Parameters
     ----------
     name:
@@ -127,13 +140,26 @@ class WirelessLink:
         return TransferStats(seconds=seconds, n_bytes=n_bytes, kind="message")
 
     def round_trip(self, n_bytes: int = 64) -> TransferStats:
-        """Request/response exchange (two messages)."""
+        """Request/response exchange (two messages).
+
+        A dropped request never elicits a response, so the return leg
+        is skipped and only the request timeout is charged; either
+        leg's loss clears ``delivered`` on the combined stats.
+        """
         there = self.send_message(n_bytes)
+        if not there.delivered:
+            return TransferStats(
+                seconds=there.seconds,
+                n_bytes=2 * n_bytes,
+                kind="round_trip",
+                delivered=False,
+            )
         back = self.send_message(n_bytes)
         return TransferStats(
             seconds=there.seconds + back.seconds,
             n_bytes=2 * n_bytes,
             kind="round_trip",
+            delivered=back.delivered,
         )
 
     def send_file(self, n_bytes: int) -> TransferStats:
@@ -149,8 +175,9 @@ class WirelessLink:
                 kind="file",
                 delivered=False,
             )
-        seconds = self._latency * self._jitter() * factor
-        seconds += 8.0 * n_bytes / (self._throughput * self._jitter())
+        jitter = self._jitter()
+        seconds = self._latency * jitter * factor
+        seconds += 8.0 * n_bytes * jitter / self._throughput
         return TransferStats(seconds=seconds, n_bytes=n_bytes, kind="file")
 
 

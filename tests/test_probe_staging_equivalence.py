@@ -1,0 +1,234 @@
+"""Bit-identity of the shard-batched Phase-1 probe DSP.
+
+The fleet's ``staging="probe"`` fast path replays every session's
+probe-tx rng stream out of band and runs the channel synthesis,
+synchronizer correlations and pilot receive FFTs as stacked batches.
+These tests pin the contract at both layers: each batch primitive is
+bit-identical to its scalar counterpart (including the generator
+stream positions it leaves behind), and whole shards produce the same
+session records at every staging level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.hardware import MicrophoneModel
+from repro.channel.multipath import RoomImpulseResponse, convolve_ir_rows
+from repro.channel.noise import NoiseScene, shaped_noise, shaped_noise_batch
+from repro.config import ModemConfig
+from repro.core.colocation import AmbientComparator
+from repro.dsp.correlation import (
+    sliding_normalized_correlation,
+    sliding_normalized_correlation_batch,
+)
+from repro.dsp.filters import (
+    design_bandpass_fir,
+    fir_filter,
+    fir_filter_batch,
+)
+from repro.dsp.spectrum import welch_psd, welch_psd_batch
+from repro.errors import ConfigurationError, ModemError
+from repro.fleet import FleetConfig, FleetScheduler, run_shard
+from repro.fleet.executor import STAGING_LEVELS
+from repro.modem.probe import ChannelProber
+
+BANDS = ((0.0, 1200.0, 1.0), (2000.0, 5000.0, 0.6))
+FS = 44_100.0
+
+
+class TestBatchPrimitives:
+    """Each stacked transform equals its scalar counterpart bit-for-bit."""
+
+    def test_fir_filter_batch_matches_rows(self):
+        rng = np.random.default_rng(0)
+        rows = rng.standard_normal((5, 3000))
+        taps = design_bandpass_fir(800.0, 4000.0, FS, num_taps=257)
+        batch = fir_filter_batch(rows, taps)
+        for i, row in enumerate(rows):
+            assert np.array_equal(batch[i], fir_filter(row, taps))
+
+    def test_sliding_ncc_batch_matches_rows(self):
+        rng = np.random.default_rng(1)
+        rows = rng.standard_normal((4, 2048))
+        template = rng.standard_normal(300)
+        batch = sliding_normalized_correlation_batch(rows, template)
+        for i, row in enumerate(rows):
+            assert np.array_equal(
+                batch[i], sliding_normalized_correlation(row, template)
+            )
+
+    def test_welch_psd_batch_matches_rows(self):
+        rng = np.random.default_rng(2)
+        rows = rng.standard_normal((3, 5000))
+        freqs_b, psds = welch_psd_batch(rows, FS)
+        for i, row in enumerate(rows):
+            freqs, psd = welch_psd(row, FS)
+            assert np.array_equal(freqs_b, freqs)
+            assert np.array_equal(psds[i], psd)
+
+    def test_convolve_ir_rows_matches_apply(self):
+        room = RoomImpulseResponse()
+        rng = np.random.default_rng(3)
+        signal = rng.standard_normal(4000)
+        irs = np.stack(
+            [room.sample(np.random.default_rng(s)) for s in range(4)]
+        )
+        batch = convolve_ir_rows(signal, irs)
+        for s in range(4):
+            scalar = room.apply(signal, rng=np.random.default_rng(s))
+            assert np.array_equal(batch[s], scalar)
+
+    def test_shaped_noise_batch_matches_scalar_and_stream(self):
+        seeds = (10, 11, 12)
+        gens = [np.random.default_rng(s) for s in seeds]
+        batch = shaped_noise_batch(4096, 55.0, FS, BANDS, gens)
+        for i, seed in enumerate(seeds):
+            mirror = np.random.default_rng(seed)
+            scalar = shaped_noise(4096, 55.0, FS, BANDS, rng=mirror)
+            assert np.array_equal(batch[i], scalar)
+            # The staged path hands the generators back to live code, so
+            # the stream must stop at exactly the scalar position.
+            assert gens[i].bit_generator.state == mirror.bit_generator.state
+
+    def test_shaped_noise_batch_draws_only_mode(self):
+        """``values=False`` advances the streams identically but skips
+        the FIR shaping (the quiet-scene staging shortcut)."""
+        gens = [np.random.default_rng(s) for s in (20, 21)]
+        out = shaped_noise_batch(2048, 55.0, FS, BANDS, gens, values=False)
+        assert not out.any()
+        for seed, gen in zip((20, 21), gens):
+            mirror = np.random.default_rng(seed)
+            shaped_noise(2048, 55.0, FS, BANDS, rng=mirror)
+            assert gen.bit_generator.state == mirror.bit_generator.state
+
+    def test_scene_sample_batch_matches_scalar(self):
+        scene = NoiseScene(
+            spl_db=60.0, bands=BANDS, jam_tones_hz=(3000.0,),
+            jam_spl_db=52.0,
+        )
+        gens = [np.random.default_rng(s) for s in (30, 31)]
+        batch = scene.sample_batch(3000, gens)
+        for i, seed in enumerate((30, 31)):
+            mirror = np.random.default_rng(seed)
+            assert np.array_equal(batch[i], scene.sample(3000, rng=mirror))
+            assert gens[i].bit_generator.state == mirror.bit_generator.state
+
+    def test_record_batch_matches_scalar_and_stream(self):
+        mic = MicrophoneModel()
+        rng = np.random.default_rng(4)
+        signals = 0.1 * rng.standard_normal((3, 4000))
+        gens = [np.random.default_rng(s) for s in (40, 41, 42)]
+        batch = mic.record_batch(signals, gens)
+        for i, seed in enumerate((40, 41, 42)):
+            mirror = np.random.default_rng(seed)
+            assert np.array_equal(
+                batch[i], mic.record(signals[i], rng=mirror)
+            )
+            assert gens[i].bit_generator.state == mirror.bit_generator.state
+
+    def test_record_batch_draws_only_mode(self):
+        mic = MicrophoneModel()
+        signals = np.zeros((2, 1000))
+        gens = [np.random.default_rng(s) for s in (50, 51)]
+        out = mic.record_batch(signals, gens, values=False)
+        assert not out.any()
+        for seed, gen in zip((50, 51), gens):
+            mirror = np.random.default_rng(seed)
+            mic.record(np.zeros(1000), rng=mirror)
+            assert gen.bit_generator.state == mirror.bit_generator.state
+
+    def test_similarity_batch_matches_scalar(self):
+        comparator = AmbientComparator()
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((4, 8000))
+        b = a + 0.3 * rng.standard_normal((4, 8000))
+        batch = comparator.similarity_batch(a, b)
+        for i in range(4):
+            assert batch[i] == comparator.similarity(a[i], b[i])
+
+    def test_analyze_batch_matches_scalar(self):
+        prober = ChannelProber(ModemConfig())
+        probe = prober.build_probe()
+        rng = np.random.default_rng(6)
+        recs = []
+        for amp in (0.5, 0.2):
+            rec = np.concatenate(
+                [np.zeros(400), amp * probe, np.zeros(600)]
+            )
+            rec += 1e-4 * rng.standard_normal(rec.size)
+            recs.append(rec)
+        # A probe-free row: the scalar path reports a failed detection.
+        recs.append(1e-4 * rng.standard_normal(recs[0].size))
+        batch = prober.analyze_batch(np.stack(recs))
+        for rec, got in zip(recs, batch):
+            try:
+                want = prober.analyze(rec)
+            except ModemError:
+                assert got is None
+                continue
+            assert got is not None
+            assert got.detected == want.detected
+            assert got.preamble_score == want.preamble_score
+            assert got.tau_rms == want.tau_rms
+            assert got.noise_spl == want.noise_spl
+            assert got.psnr_db == want.psnr_db
+            if want.noise_per_bin is None:
+                assert got.noise_per_bin is None
+            else:
+                assert np.array_equal(got.noise_per_bin, want.noise_per_bin)
+            if want.recommended_plan is None:
+                assert got.recommended_plan is None
+            else:
+                assert got.recommended_plan.data == want.recommended_plan.data
+        assert batch[0] is not None and batch[0].detected
+
+
+class TestStagedProbeFleet:
+    """Whole-shard identity across staging levels."""
+
+    def test_records_identical_across_staging_levels(self):
+        cfg = FleetConfig(n_users=5, hours=24.0, seed=9)
+        per_level = {
+            level: run_shard(cfg, 0, 5, staging=level)
+            for level in STAGING_LEVELS
+        }
+        assert per_level["none"] == per_level["dtw"] == per_level["probe"]
+
+    def test_faulted_shard_degrades_but_stays_identical(self):
+        """Probe staging turns itself off under fault injection; the
+        records must still match the all-live run."""
+        cfg = FleetConfig(
+            n_users=4, hours=24.0, seed=9, faults="msg_drop@otp-tx:p=0.5"
+        )
+        live = run_shard(cfg, 0, 4, staging="none")
+        staged = run_shard(cfg, 0, 4, staging="probe")
+        assert live == staged
+
+    def test_scheduler_staging_and_worker_invariance(self):
+        cfg = FleetConfig(n_users=6, hours=24.0, seed=4)
+
+        def doc(result):
+            import json
+
+            return json.dumps(
+                result.aggregate.to_dict(hours=cfg.hours),
+                sort_keys=True, indent=2,
+            )
+
+        base = doc(FleetScheduler(cfg, workers=1, staging="none").run())
+        staged = doc(FleetScheduler(cfg, workers=1, staging="probe").run())
+        pooled = doc(
+            FleetScheduler(
+                cfg, workers=2, shard_users=2, staging="probe"
+            ).run()
+        )
+        assert base == staged == pooled
+
+    def test_invalid_staging_rejected(self):
+        cfg = FleetConfig(n_users=2, hours=24.0, seed=1)
+        with pytest.raises(ConfigurationError):
+            run_shard(cfg, 0, 2, staging="bogus")
+        with pytest.raises(ConfigurationError):
+            FleetScheduler(cfg, staging="bogus")

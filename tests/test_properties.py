@@ -6,6 +6,7 @@ from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.config import ModemConfig
+from repro.core.metrics import TailStats
 from repro.dsp.correlation import normalized_cross_correlation
 from repro.dsp.energy import amplitude_to_spl, spl_to_amplitude
 from repro.dsp.fftops import fft_interpolate
@@ -177,3 +178,48 @@ class TestSubchannelSelectionProperties:
         # With plenty of clean candidates, jammed bins are never chosen.
         if len(candidates) - len(jammed) >= len(plan.data):
             assert not set(jammed) & set(new.data)
+
+
+class TestTailStatsProperties:
+    """``from_counts`` discretizes the same nearest-rank quantile that
+    ``from_values`` reads off the sorted samples, so binning can move
+    each percentile by at most half a bin width."""
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=0.999),
+            min_size=1,
+            max_size=200,
+        ),
+        st.integers(1, 64),
+    )
+    def test_from_counts_within_half_bin_of_from_values(
+        self, values, n_bins
+    ):
+        lo, hi = 0.0, 1.0
+        width = (hi - lo) / n_bins
+        counts = np.zeros(n_bins, dtype=np.int64)
+        for v in values:
+            counts[min(int((v - lo) / width), n_bins - 1)] += 1
+        exact = TailStats.from_values(values)
+        binned = TailStats.from_counts(counts, lo, hi)
+        assert binned.n == exact.n == len(values)
+        for q in ("p50", "p95", "p99"):
+            assert abs(getattr(binned, q) - getattr(exact, q)) <= (
+                width / 2 + 1e-12
+            )
+
+    @given(
+        st.lists(
+            st.floats(min_value=-10.0, max_value=10.0),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_from_values_percentiles_are_samples(self, values):
+        tail = TailStats.from_values(values)
+        # Nearest-rank quantiles are always actual observations.
+        assert tail.p50 in values
+        assert tail.p95 in values
+        assert tail.p99 in values
+        assert tail.p50 <= tail.p95 <= tail.p99

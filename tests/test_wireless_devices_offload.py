@@ -13,8 +13,11 @@ from repro.devices.compute import (
 )
 from repro.devices.profiles import DEVICES, GALAXY_NEXUS, MOTO360, NEXUS6
 from repro.errors import ConfigurationError, WearLockError
+from repro.faults import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.offload.executor import OffloadExecutor
 from repro.offload.planner import OffloadPlanner, Placement
+from repro.protocol.stages import MSG_RESEND_LIMIT
 from repro.wireless.messages import (
     AudioFileMessage,
     ChannelConfigMessage,
@@ -22,7 +25,24 @@ from repro.wireless.messages import (
     MessageType,
     RtsMessage,
 )
-from repro.wireless.radio import BleLink, WifiLink
+from repro.wireless.radio import BleLink, WifiLink, WirelessLink
+
+
+def _always_drop() -> FaultInjector:
+    """An injector whose every wireless verdict is a drop."""
+    return FaultInjector(FaultPlan.parse("msg_drop:p=1,hits=none"), seed=0)
+
+
+class _ScriptedInjector:
+    """Stands in for a FaultInjector with a fixed verdict sequence."""
+
+    def __init__(self, *verdicts):
+        self._verdicts = list(verdicts)
+
+    def wireless_verdict(self):
+        if self._verdicts:
+            return self._verdicts.pop(0)
+        return None, 1.0
 
 
 class TestRadio:
@@ -61,6 +81,72 @@ class TestRadio:
     def test_rejects_zero_byte_file(self):
         with pytest.raises(WearLockError):
             WifiLink().send_file(0)
+
+
+class TestDeliverySemantics:
+    """The wireless-seam fixes: drop flags, timeouts, one jitter draw."""
+
+    def _link(self, seed=11, sigma=0.3):
+        return WirelessLink(
+            "test", message_latency=0.02, throughput_bps=1.0e6,
+            jitter_sigma=sigma, seed=seed,
+        )
+
+    def test_dropped_file_charges_timeout_and_clears_flag(self):
+        link = self._link()
+        link.injector = _always_drop()
+        stats = link.send_file(30_000)
+        assert not stats.delivered
+        assert stats.seconds == pytest.approx(
+            link.message_latency * WirelessLink.DROP_TIMEOUT_FACTOR
+        )
+
+    def test_round_trip_dropped_request_skips_return_leg(self):
+        link = self._link()
+        link.injector = _ScriptedInjector(("drop", 1.0))
+        rt = link.round_trip()
+        assert not rt.delivered
+        assert rt.n_bytes == 128
+        # Only the request timeout is charged: no response was ever
+        # sent, so no return-leg latency (and no jitter draw) follows.
+        assert rt.seconds == pytest.approx(
+            link.message_latency * WirelessLink.DROP_TIMEOUT_FACTOR
+        )
+
+    def test_round_trip_dropped_response_clears_delivered(self):
+        link = self._link()
+        link.injector = _ScriptedInjector((None, 1.0), ("drop", 1.0))
+        rt = link.round_trip()
+        assert not rt.delivered
+        assert rt.seconds > link.message_latency * (
+            WirelessLink.DROP_TIMEOUT_FACTOR - 1.0
+        )
+
+    def test_round_trip_clean_is_delivered(self):
+        rt = self._link().round_trip()
+        assert rt.delivered
+
+    def test_send_file_draws_one_jitter_factor(self):
+        """Regression for the double-draw bug: a file transfer applies
+        a single lognormal factor to latency and payload alike, so its
+        median matches the planner's deterministic estimate."""
+        sigma, n = 0.3, 30_000
+        link = self._link(seed=11, sigma=sigma)
+        mirror = np.random.default_rng(11)
+        for _ in range(5):
+            jitter = float(np.exp(mirror.normal(0.0, sigma)))
+            expected = (
+                link.message_latency * jitter
+                + 8.0 * n * jitter / link.throughput_bps
+            )
+            assert link.send_file(n).seconds == pytest.approx(
+                expected, rel=1e-12
+            )
+        # Five transfers consumed exactly five draws: the streams agree
+        # on the very next normal variate.
+        assert link._jitter() == pytest.approx(
+            float(np.exp(mirror.normal(0.0, sigma))), rel=1e-12
+        )
 
 
 class TestMessages:
@@ -211,6 +297,47 @@ class TestOffload:
         assert report.watch_energy_j > 0
         assert report.phone_energy_j == 0
         assert ex.phone_meter.total_joules == 0
+
+    def test_executor_exhausted_resends_fall_back_to_local(self):
+        """A clip the phone never receives is processed on the watch."""
+        link = BleLink(seed=9)
+        link.injector = _always_drop()
+        ex = OffloadExecutor(MOTO360, NEXUS6, link)
+        planner = OffloadPlanner(
+            MOTO360, NEXUS6, BleLink(seed=9),
+            prefer=Placement.PHONE_OFFLOAD,
+        )
+        work = self._work()
+        report = ex.execute(planner.plan(work, 30_000), work)
+        assert report.placement is Placement.WATCH_LOCAL
+        # Every attempt (first send + MSG_RESEND_LIMIT resends) charged
+        # the acknowledgement timeout to the watch radio.
+        timeout = link.message_latency * link.DROP_TIMEOUT_FACTOR
+        assert report.transfer_s == pytest.approx(
+            (MSG_RESEND_LIMIT + 1) * timeout
+        )
+        assert report.compute_s > 0
+        assert report.phone_energy_j == 0
+        assert ex.phone_meter.total_joules == 0
+        assert ex.watch_meter.joules_by_category["radio"] > 0
+        assert ex.watch_meter.joules_by_category["compute"] > 0
+
+    def test_executor_resend_recovers_offload(self):
+        """One drop followed by a clean resend still lands on the phone,
+        with the timeout kept in the transfer bill."""
+        link = WifiLink(seed=10)
+        link.injector = _ScriptedInjector(("drop", 1.0))
+        ex = OffloadExecutor(MOTO360, NEXUS6, link)
+        planner = OffloadPlanner(
+            MOTO360, NEXUS6, WifiLink(seed=10),
+            prefer=Placement.PHONE_OFFLOAD,
+        )
+        work = self._work()
+        report = ex.execute(planner.plan(work, 30_000), work)
+        assert report.placement is Placement.PHONE_OFFLOAD
+        assert report.phone_energy_j > 0
+        timeout = link.message_latency * link.DROP_TIMEOUT_FACTOR
+        assert report.transfer_s > timeout
 
     def test_executor_offload_charges_both(self):
         ex = OffloadExecutor(MOTO360, NEXUS6, WifiLink(seed=8))
