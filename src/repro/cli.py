@@ -50,18 +50,29 @@ def _cmd_unlock(args: argparse.Namespace) -> int:
             from .protocol.session import RetryPolicy
 
             retry = RetryPolicy()
+    verifiers = None
+    if args.verifiers:
+        verifiers = tuple(
+            name.strip() for name in args.verifiers.split(",") if name.strip()
+        )
     wearlock = WearLock.pair(secret=args.secret.encode())
-    outcome = wearlock.unlock_attempt(
-        environment=args.environment,
-        distance_m=args.distance,
-        los=not args.nlos,
-        wireless=args.wireless,
-        band=args.band,
-        seed=args.seed,
-        tracer=tracer,
-        faults=faults,
-        retry=retry,
-    )
+    try:
+        outcome = wearlock.unlock_attempt(
+            environment=args.environment,
+            distance_m=args.distance,
+            los=not args.nlos,
+            wireless=args.wireless,
+            band=args.band,
+            seed=args.seed,
+            tracer=tracer,
+            faults=faults,
+            retry=retry,
+            verifiers=verifiers,
+            fusion=args.fusion,
+        )
+    except WearLockError as exc:
+        print(f"bad --verifiers/--fusion spec: {exc}", file=sys.stderr)
+        return 2
     print(f"unlocked:  {outcome.unlocked}")
     print(f"reason:    {outcome.abort_reason.value}")
     print(f"mode:      {outcome.mode}")
@@ -76,6 +87,15 @@ def _cmd_unlock(args: argparse.Namespace) -> int:
             print("recovered: True")
     if outcome.faults_injected:
         print(f"faults:    {', '.join(outcome.faults_injected)}")
+    if (args.verifiers or args.fusion != "and") and outcome.verifier_results:
+        for res in outcome.verifier_results:
+            state = (
+                "skipped"
+                if res.skipped
+                else ("pass" if res.passed else "FAIL")
+            )
+            score = "-" if res.score is None else f"{res.score:.3f}"
+            print(f"verifier:  {res.name:10s} {state:7s} score={score}")
     if tracer is not None:
         tracer.export_json(args.trace)
         stages = ", ".join(outcome.stages_run)
@@ -101,6 +121,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         "table2": "table2_dtw",
         "case-study": "case_study",
         "recovery": "recovery_rate",
+        "verifier-fusion": "verifier_fusion_matrix",
     }
     name = aliases.get(args.name, args.name)
     if name != "all" and name not in EXPERIMENT_REGISTRY:
@@ -161,6 +182,7 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
             sessions_per_day=args.sessions_per_day,
             faults=args.faults or "",
             retry=not args.no_retry,
+            fusion_mix=args.fusion_mix,
         )
     except WearLockError as exc:
         print(f"bad fleet config: {exc}", file=sys.stderr)
@@ -333,6 +355,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep recovery off even when --faults is given",
     )
     unlock.add_argument(
+        "--verifiers",
+        default=None,
+        metavar="LIST",
+        help="comma-separated proximity verifiers (ambient, motion-dtw, "
+        "multiband, vibration); default is the paper's ambient,motion-dtw",
+    )
+    unlock.add_argument(
+        "--fusion",
+        default="and",
+        metavar="MODE",
+        help="fusion policy: and, or, or score[:threshold] "
+        "(e.g. 'score:0.6')",
+    )
+    unlock.add_argument(
         "--trace",
         default=None,
         metavar="PATH",
@@ -397,6 +433,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-retry",
         action="store_true",
         help="disable the NACK/downgrade recovery loop",
+    )
+    fleet_run.add_argument(
+        "--fusion-mix",
+        choices=("legacy", "score", "archetype"),
+        default="legacy",
+        help="verifier/fusion assignment across the population: legacy = "
+        "ambient+DTW AND for everyone, score = all four verifiers under "
+        "score fusion, archetype = per-archetype sets and policies",
     )
     fleet_run.add_argument(
         "--no-batch",

@@ -224,6 +224,10 @@ class SessionContext:
     report: Any = None
     noise_similarity: Optional[float] = None
     motion_score: Optional[float] = None
+    #: Per-verifier verdicts from the latest prefilter pass (tuple of
+    #: ``repro.verifiers.VerifierResult``, duck-typed to keep
+    #: ``repro.core`` free of upward imports).
+    verifier_results: Tuple[Any, ...] = ()
     fast_path: bool = False
     nlos_verdict: Any = None
     mode_decision: Any = None

@@ -127,6 +127,8 @@ class WearLock:
         tracer=None,
         faults=None,
         retry=None,
+        verifiers=None,
+        fusion: str = "and",
     ) -> UnlockOutcome:
         """Run one unlock attempt in the described situation.
 
@@ -137,7 +139,10 @@ class WearLock:
         :class:`repro.faults.FaultPlan` (or its spec-string form, e.g.
         ``"burst_noise@otp-tx:severity=2"``); ``retry`` takes a
         :class:`repro.protocol.session.RetryPolicy` to enable the
-        NACK → downgrade → retransmit recovery loop.
+        NACK → downgrade → retransmit recovery loop.  ``verifiers`` /
+        ``fusion`` select the proximity-verifier set and fusion policy
+        (see :mod:`repro.verifiers`); the defaults keep the paper's
+        ambient + motion-DTW AND behaviour.
         """
         session_config = SessionConfig(
             system=self._system,
@@ -154,6 +159,8 @@ class WearLock:
             seed=seed,
             faults=faults,
             retry=retry,
+            verifiers=verifiers,
+            fusion=fusion,
         )
         session = UnlockSession(
             session_config, otp=self._otp, phone=self._phone

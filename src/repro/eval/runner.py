@@ -41,6 +41,7 @@ EXPERIMENT_REGISTRY: Dict[str, Callable[[], dict]] = {
     "case_study": experiments.case_study,
     "ablation_sync_and_equalizer": experiments.ablation_sync_and_equalizer,
     "security_matrix": experiments.security_matrix,
+    "verifier_fusion_matrix": experiments.verifier_fusion_matrix,
     "throughput_by_mode": experiments.throughput_by_mode,
     "recovery_rate": recovery_rate_table,
 }

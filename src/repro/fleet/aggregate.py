@@ -29,7 +29,7 @@ production metrics pipeline makes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -160,6 +160,11 @@ class SessionRecord:
     watch_energy_j: float
     phone_energy_j: float
     pin_fallback: bool
+    #: Per-verifier residue of the prefilter's fusion pass: one
+    #: ``(name, raw_score, passed, skipped)`` tuple per verifier the
+    #: fusion policy consulted, in evaluation order.  Empty for PIN
+    #: fallbacks and for sessions that aborted before the prefilter.
+    verifier_results: Tuple[Tuple[str, Optional[float], bool, bool], ...] = ()
 
 
 @dataclass
@@ -198,6 +203,57 @@ class _GroupStats:
                 self.delay_sum / self.sessions if self.sessions else None
             ),
             "mean_ber": (self.ber_sum / self.ber_n if self.ber_n else None),
+        }
+
+
+#: Raw verifier scores live on verifier-native scales (correlations in
+#: [-1, 1], DTW distances ≥ 0); one symmetric histogram covers them all
+#: at 0.01 resolution, with DTW tails landing in overflow.
+VERIFIER_SCORE_BINS = (-1.0, 1.0, 200)
+
+
+@dataclass
+class _VerifierStats:
+    """Per-verifier pass/fail/skip counters + raw-score histogram.
+
+    All state is integral, so shard-wise folds merge exactly — the
+    per-verifier block inherits the aggregate's any-worker-count
+    byte-identity for free.
+    """
+
+    evaluated: int = 0
+    passed: int = 0
+    skipped: int = 0
+    scores: Histogram = field(
+        default_factory=lambda: Histogram(*VERIFIER_SCORE_BINS)
+    )
+
+    def observe(
+        self, score: Optional[float], did_pass: bool, was_skipped: bool
+    ) -> None:
+        if was_skipped:
+            self.skipped += 1
+            return
+        self.evaluated += 1
+        self.passed += int(did_pass)
+        if score is not None:
+            self.scores.add(score)
+
+    def merge(self, other: "_VerifierStats") -> None:
+        self.evaluated += other.evaluated
+        self.passed += other.passed
+        self.skipped += other.skipped
+        self.scores.merge(other.scores)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "evaluated": self.evaluated,
+            "passed": self.passed,
+            "pass_rate": (
+                self.passed / self.evaluated if self.evaluated else None
+            ),
+            "skipped": self.skipped,
+            "score_histogram": self.scores.to_dict(),
         }
 
 
@@ -256,6 +312,7 @@ class FleetAggregate:
         self.per_scenario: Dict[str, _GroupStats] = {}
         self.per_band: Dict[str, _GroupStats] = {}
         self.per_device: Dict[str, _DeviceStats] = {}
+        self.per_verifier: Dict[str, _VerifierStats] = {}
 
     def observe(self, rec: SessionRecord) -> None:
         """Fold one record in (O(1) time and memory)."""
@@ -282,6 +339,10 @@ class FleetAggregate:
         self.per_scenario.setdefault(rec.environment, _GroupStats()).observe(rec)
         self.per_band.setdefault(rec.band, _GroupStats()).observe(rec)
         self.per_device.setdefault(rec.phone, _DeviceStats()).observe(rec)
+        for name, score, did_pass, was_skipped in rec.verifier_results:
+            self.per_verifier.setdefault(name, _VerifierStats()).observe(
+                score, did_pass, was_skipped
+            )
 
     def merge_records(self, records: List[SessionRecord]) -> "FleetAggregate":
         """Fold a shard's record list (in its given order)."""
@@ -313,6 +374,8 @@ class FleetAggregate:
             self.per_band.setdefault(key, _GroupStats()).merge(group)
         for key, dev in other.per_device.items():
             self.per_device.setdefault(key, _DeviceStats()).merge(dev)
+        for key, ver in other.per_verifier.items():
+            self.per_verifier.setdefault(key, _VerifierStats()).merge(ver)
         return self
 
     def _device_dict(self, hours: Optional[float]) -> Dict[str, Any]:
@@ -379,6 +442,10 @@ class FleetAggregate:
                 k: self.per_band[k].to_dict() for k in sorted(self.per_band)
             },
             "per_device": self._device_dict(hours),
+            "per_verifier": {
+                k: self.per_verifier[k].to_dict()
+                for k in sorted(self.per_verifier)
+            },
             "latency_histogram": self.latency.to_dict(),
             "ber_histogram": self.ber.to_dict(),
         }

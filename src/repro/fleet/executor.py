@@ -80,6 +80,13 @@ from ..sensors.traces import (
     different_devices_pair,
     magnitude,
 )
+from ..verifiers import (
+    PrecomputedVerifierEvidence,
+    multiband_similarity,
+    needs_sensor_pair,
+    resolve_verifier_names,
+    vibration_similarity,
+)
 from .aggregate import SessionRecord
 from .population import FleetConfig, SessionSpec, synthesize_user, user_sessions
 
@@ -131,15 +138,27 @@ def precompute_prefilter(
     """Phase A: sensor pairs + one batched DTW wavefront per shard.
 
     Sensor windows are fixed-length (100 samples at 50 Hz), so every
-    session in the shard stacks into a single ``(batch, n) × (batch,
-    m)`` wavefront.  Scores are grouped by window shape anyway, as a
-    guard against future variable-length windows.
+    session whose verifier set runs the DTW channel stacks into a
+    single ``(batch, n) × (batch, m)`` wavefront.  Scores are grouped
+    by window shape anyway, as a guard against future variable-length
+    windows.  Sessions whose verifier set includes the vibration
+    channel additionally stage its cross-correlation score; sessions
+    whose set touches no motion-domain verifier skip the sensor draw
+    entirely, exactly like the live ``sensor-capture`` stage.
     """
-    pairs = [_draw_pair(spec) for spec in specs]
-    mags = [(magnitude(p), magnitude(w)) for p, w in pairs]
-    scores: List[float] = [0.0] * len(specs)
+    resolved = [resolve_verifier_names(spec.verifiers) for spec in specs]
+    pairs: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [
+        _draw_pair(spec) if needs_sensor_pair(names) else None
+        for spec, names in zip(specs, resolved)
+    ]
+    dtw_idx = [i for i, names in enumerate(resolved) if "motion-dtw" in names]
+    mags = {
+        i: (magnitude(pairs[i][0]), magnitude(pairs[i][1])) for i in dtw_idx
+    }
+    scores: Dict[int, float] = {}
     by_shape: Dict[Tuple[int, int], List[int]] = {}
-    for i, (pm, wm) in enumerate(mags):
+    for i in dtw_idx:
+        pm, wm = mags[i]
         by_shape.setdefault((pm.size, wm.size), []).append(i)
     for indices in by_shape.values():
         xs = np.stack([mags[i][0] for i in indices])
@@ -148,7 +167,17 @@ def precompute_prefilter(
         for j, i in enumerate(indices):
             scores[i] = float(batch[j])
     return [
-        PrecomputedPrefilter(sensor_pair=pairs[i], motion_score=scores[i])
+        PrecomputedPrefilter(
+            sensor_pair=pairs[i],
+            evidence=PrecomputedVerifierEvidence(
+                motion_score=scores.get(i),
+                vibration_similarity=(
+                    vibration_similarity(pairs[i][0], pairs[i][1])
+                    if "vibration" in resolved[i]
+                    else None
+                ),
+            ),
+        )
         for i in range(len(specs))
     ]
 
@@ -158,7 +187,9 @@ def _stage_probe_group(
     band: str,
     env_name: str,
     group: Sequence[SessionSpec],
-) -> Tuple[List[PrecomputedProbe], List[Optional[float]]]:
+) -> Tuple[
+    List[PrecomputedProbe], List[Optional[float]], List[Optional[float]]
+]:
     """Replay one (band, environment) group's probe-tx stages batched.
 
     Every session in the group shares the emitted probe waveform (same
@@ -256,6 +287,7 @@ def _stage_probe_group(
     reports = prober.analyze_batch(recorded)
 
     sims: List[Optional[float]] = [None] * len(group)
+    mb_sims: List[Optional[float]] = [None] * len(group)
     if need_sims:
         # Sessions whose probe analysis failed abort before the noise
         # gate ever reads a similarity score, so only detected rows are
@@ -278,6 +310,17 @@ def _stage_probe_group(
                 scores = np.zeros(len(live))
             for row, i in enumerate(live):
                 sims[i] = float(scores[row])
+            # The multi-band fingerprint is staged only for sessions
+            # whose verifier set runs that channel, via the exact
+            # scalar the live verifier computes on the same
+            # ambient/probe-head pair — bit-identical by construction.
+            for i in live:
+                if "multiband" in resolve_verifier_names(
+                    group[i].verifiers
+                ):
+                    mb_sims[i] = multiband_similarity(
+                        ambients[i], recorded[i, :head_n], fs
+                    )
 
     # Only the clip length survives staging: every downstream consumer
     # of the recording is itself staged (report, similarity) or needs
@@ -293,12 +336,14 @@ def _stage_probe_group(
         )
         for i in range(len(group))
     ]
-    return probes, sims
+    return probes, sims, mb_sims
 
 
 def precompute_probe(
     specs: Sequence[SessionSpec],
-) -> Tuple[List[PrecomputedProbe], List[Optional[float]]]:
+) -> Tuple[
+    List[PrecomputedProbe], List[Optional[float]], List[Optional[float]]
+]:
     """Phase A: replay every session's probe-tx stage, shard-batched.
 
     Groups the shard by (band, environment) — the keys that fix the
@@ -306,23 +351,25 @@ def precompute_probe(
     each group's ``probe-tx`` rng streams out of band (see
     :func:`_stage_probe_group`).  Returns per-spec
     :class:`~repro.protocol.session.PrecomputedProbe` results plus the
-    ambient-similarity score for the noise gate (``None`` where the
-    live gate would not compute one).
+    ambient-similarity and multi-band scores for the verifiers
+    (``None`` where the live verifier would not compute one).
     """
     probes: List[Optional[PrecomputedProbe]] = [None] * len(specs)
     sims: List[Optional[float]] = [None] * len(specs)
+    mb_sims: List[Optional[float]] = [None] * len(specs)
     system = SystemConfig()
     groups: Dict[Tuple[str, str], List[int]] = {}
     for i, spec in enumerate(specs):
         groups.setdefault((spec.band, spec.environment), []).append(i)
     for (band, env_name), indices in groups.items():
-        group_probes, group_sims = _stage_probe_group(
+        group_probes, group_sims, group_mb = _stage_probe_group(
             system, band, env_name, [specs[i] for i in indices]
         )
         for j, i in enumerate(indices):
             probes[i] = group_probes[j]
             sims[i] = group_sims[j]
-    return probes, sims
+            mb_sims[i] = group_mb[j]
+    return probes, sims, mb_sims
 
 
 def _stage_shard(
@@ -337,9 +384,17 @@ def _stage_shard(
         # out-of-band probe replay cannot reproduce that, so probe
         # staging degrades to DTW-only staging under faults.
         return staged
-    probes, sims = precompute_probe(specs)
+    probes, sims, mb_sims = precompute_probe(specs)
     return [
-        replace(staged[i], probe=probes[i], noise_similarity=sims[i])
+        replace(
+            staged[i],
+            probe=probes[i],
+            evidence=replace(
+                staged[i].evidence,
+                noise_similarity=sims[i],
+                multiband_similarity=mb_sims[i],
+            ),
+        )
         for i in range(len(specs))
     ]
 
@@ -371,6 +426,10 @@ def _record(
         watch_energy_j=outcome.watch_energy_j,
         phone_energy_j=outcome.phone_energy_j,
         pin_fallback=pin_fallback,
+        verifier_results=tuple(
+            (r.name, r.score, bool(r.passed), bool(r.skipped))
+            for r in outcome.verifier_results
+        ),
     )
 
 
@@ -481,6 +540,8 @@ def run_shard(
                 seed=spec.seed,
                 faults=faults,
                 retry=retry,
+                verifiers=spec.verifiers,
+                fusion=spec.fusion,
             )
             session = UnlockSession(session_config, otp=otp, phone=phone)
             outcome = session.run(precomputed=staged)

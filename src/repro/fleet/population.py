@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -35,11 +35,13 @@ from ..sensors.traces import ActivityKind
 __all__ = [
     "DIURNAL_WEIGHTS",
     "ARCHETYPES",
+    "FUSION_MIXES",
     "FleetConfig",
     "UserProfile",
     "SessionSpec",
     "synthesize_user",
     "user_sessions",
+    "verifier_assignment",
     "build_population",
 ]
 
@@ -66,6 +68,41 @@ ARCHETYPES: Tuple[Tuple[str, float, Dict[str, float], Tuple[float, float, float]
 )
 
 _ACTIVITIES = (ActivityKind.SITTING, ActivityKind.WALKING, ActivityKind.JOGGING)
+
+#: Valid values of :attr:`FleetConfig.fusion_mix`.
+FUSION_MIXES = ("legacy", "score", "archetype")
+
+#: ``fusion_mix="archetype"``: each archetype runs the verifier set and
+#: fusion policy that suit its habitat.  Office workers keep the
+#: conservative legacy AND pair; students add the multi-band matcher
+#: under score fusion (classrooms are tonal — AND would over-reject);
+#: baristas work in a loud, fingerprint-rich cafe, so the ambient
+#: channels plus the vibration channel vote by score; shoppers walk a
+#: lot, so any one strong verifier (OR) is allowed to vouch.
+_ARCHETYPE_VERIFIERS: Dict[str, Tuple[Tuple[str, ...], str]] = {
+    "office_worker": (("ambient", "motion-dtw"), "and"),
+    "student": (("ambient", "multiband", "motion-dtw"), "score"),
+    "barista": (("multiband", "motion-dtw", "vibration"), "score"),
+    "shopper": (("ambient", "motion-dtw", "vibration"), "or"),
+}
+
+
+def verifier_assignment(
+    fusion_mix: str, archetype: str
+) -> Tuple[Optional[Tuple[str, ...]], str]:
+    """``(verifiers, fusion)`` for one user — a pure function.
+
+    Deliberately draw-free: the assignment depends only on the mix and
+    the archetype, so adding or changing a mix never perturbs the
+    population's rng streams (phone model, band, personal rate...) and
+    ``fusion_mix="legacy"`` reproduces pre-verifier session outcomes
+    bit-identically.
+    """
+    if fusion_mix == "legacy":
+        return None, "and"
+    if fusion_mix == "score":
+        return ("ambient", "multiband", "motion-dtw", "vibration"), "score"
+    return _ARCHETYPE_VERIFIERS[archetype]
 
 
 @dataclass(frozen=True)
@@ -99,6 +136,13 @@ class FleetConfig:
     faults: str = ""
     #: Enable the NACK → downgrade → retransmit recovery loop.
     retry: bool = True
+    #: How verifier sets and fusion policies are assigned across the
+    #: population — one of :data:`FUSION_MIXES`.  ``"legacy"`` keeps the
+    #: pre-verifier ambient+DTW AND pair for everyone (byte-identical
+    #: aggregates to older runs); ``"score"`` runs all four verifiers
+    #: under score-weighted fusion; ``"archetype"`` assigns per
+    #: archetype via :func:`verifier_assignment`.
+    fusion_mix: str = "legacy"
 
     def __post_init__(self) -> None:
         if self.n_users <= 0:
@@ -111,6 +155,11 @@ class FleetConfig:
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ConfigurationError(f"{name} must be in [0, 1]")
+        if self.fusion_mix not in FUSION_MIXES:
+            raise ConfigurationError(
+                f"fusion_mix must be one of {FUSION_MIXES}, "
+                f"got {self.fusion_mix!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -129,6 +178,10 @@ class UserProfile:
     activity_mix: Tuple[float, float, float]
     #: This user's personal mean attempts per 24 h.
     sessions_per_day: float
+    #: Proximity-verifier set (``None`` = legacy ambient+DTW pair) and
+    #: fusion policy spec, from :func:`verifier_assignment`.
+    verifiers: Optional[Tuple[str, ...]] = None
+    fusion: str = "and"
 
 
 @dataclass(frozen=True)
@@ -153,6 +206,8 @@ class SessionSpec:
     phone: str
     watch: str
     seed: int
+    verifiers: Optional[Tuple[str, ...]] = None
+    fusion: str = "and"
 
 
 def _user_rng(config: FleetConfig, user_id: int) -> np.random.Generator:
@@ -177,6 +232,9 @@ def synthesize_user(config: FleetConfig, user_id: int) -> UserProfile:
     personal_rate = float(
         config.sessions_per_day * rng.lognormal(mean=-0.125, sigma=0.5)
     )
+    # Assignment is computed *after* every rng draw above and consumes
+    # none itself — see verifier_assignment's purity note.
+    verifiers, fusion = verifier_assignment(config.fusion_mix, name)
     return UserProfile(
         user_id=user_id,
         archetype=name,
@@ -187,6 +245,8 @@ def synthesize_user(config: FleetConfig, user_id: int) -> UserProfile:
         day_mix=tuple(sorted(day_mix.items())),
         activity_mix=activity_mix,
         sessions_per_day=personal_rate,
+        verifiers=verifiers,
+        fusion=fusion,
     )
 
 
@@ -242,6 +302,8 @@ def user_sessions(config: FleetConfig, user: UserProfile) -> List[SessionSpec]:
                     phone=user.phone,
                     watch=user.watch,
                     seed=cell_seed(config.seed, "session", user.user_id, idx),
+                    verifiers=user.verifiers,
+                    fusion=user.fusion,
                 )
             )
     return specs

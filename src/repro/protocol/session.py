@@ -43,6 +43,12 @@ from ..errors import WearLockError
 from ..offload.planner import OffloadPlanner, Placement
 from ..security.otp import OtpManager
 from ..sensors.traces import ActivityKind
+from ..verifiers import (
+    FusionPolicy,
+    PrecomputedVerifierEvidence,
+    VerifierResult,
+    resolve_verifier_names,
+)
 from ..wireless.radio import BleLink, WifiLink
 from .controllers import PhoneController, WatchController
 from .events import Timeline
@@ -85,6 +91,11 @@ class AbortReason(str, Enum):
     NO_WIRELESS_LINK = "no_wireless_link"
     MOTION_MISMATCH = "motion_mismatch"
     NOISE_MISMATCH = "noise_mismatch"
+    MULTIBAND_MISMATCH = "multiband_mismatch"
+    VIBRATION_MISMATCH = "vibration_mismatch"
+    #: OR / score fusion rejected the combined evidence (no single
+    #: verifier owns the verdict, so no per-verifier reason applies).
+    VERIFIER_REJECTED = "verifier_rejected"
     PROBE_NOT_DETECTED = "probe_not_detected"
     NLOS_ABORT = "nlos_abort"
     NO_FEASIBLE_MODE = "no_feasible_mode"
@@ -187,7 +198,7 @@ class PrecomputedStages:
     construction), draws the stage inputs once, and computes the
     expensive DSP for the whole shard in stacked batches: motion DTW
     (PR 4) plus the Phase-1 probe synthesis/analysis and the ambient
-    similarity score.  The stages that consume it
+    similarity scores.  The stages that consume it
     (:class:`~repro.protocol.stages.SensorCaptureStage`,
     :class:`~repro.protocol.stages.ProbeTxStage`,
     :class:`~repro.protocol.stages.ProbeProcessStage`,
@@ -196,12 +207,25 @@ class PrecomputedStages:
     consumed at most once per session: a re-probe retry recomputes
     live, with the rng stream positioned exactly as if the first pass
     had run live too.
+
+    Verifier scores live in ``evidence``, a typed
+    :class:`~repro.verifiers.PrecomputedVerifierEvidence` with one
+    field per registered verifier (per-field consumption semantics are
+    documented there).  The legacy ``motion_score`` /
+    ``noise_similarity`` attributes remain as read-only views.
     """
 
     sensor_pair: Optional[Tuple[np.ndarray, np.ndarray]] = None
-    motion_score: Optional[float] = None
     probe: Optional[PrecomputedProbe] = None
-    noise_similarity: Optional[float] = None
+    evidence: Optional[PrecomputedVerifierEvidence] = None
+
+    @property
+    def motion_score(self) -> Optional[float]:
+        return self.evidence.motion_score if self.evidence else None
+
+    @property
+    def noise_similarity(self) -> Optional[float]:
+        return self.evidence.noise_similarity if self.evidence else None
 
 
 #: Backwards-compatible name from PR 4, when only the prefilter's
@@ -232,6 +256,13 @@ class SessionConfig:
     use_nlos_check: bool = True
     repetition: int = 5
     seed: Optional[int] = None
+    #: Proximity-verifier names the prefilter runs, in order; ``None``
+    #: resolves to the legacy ambient + motion-DTW pair (see
+    #: :func:`repro.verifiers.resolve_verifier_names`).
+    verifiers: Optional[Tuple[str, ...]] = None
+    #: Fusion-policy spec: ``"and"`` / ``"or"`` / ``"score"`` /
+    #: ``"score:0.6"`` (see :class:`repro.verifiers.FusionPolicy`).
+    fusion: str = "and"
     #: Optional :class:`repro.faults.FaultPlan` (or a spec string) —
     #: deterministic fault injection for this attempt.
     faults: Optional[object] = None
@@ -248,6 +279,11 @@ class SessionConfig:
             raise WearLockError("wireless must be 'ble' or 'wifi'")
         if self.band not in ("audible", "ultrasound"):
             raise WearLockError("band must be 'audible' or 'ultrasound'")
+        if self.verifiers is not None:
+            self.verifiers = resolve_verifier_names(tuple(self.verifiers))
+        # Validate the fusion spec eagerly so a bad string fails at
+        # configuration time, not mid-attempt.
+        FusionPolicy.from_spec(self.fusion)
 
 
 @dataclass(frozen=True)
@@ -275,6 +311,9 @@ class UnlockOutcome:
     reprobes: int = 0
     #: Labels of every injected fault that fired, in order.
     faults_injected: Tuple[str, ...] = ()
+    #: Per-verifier verdicts from the deciding prefilter pass (empty
+    #: when the attempt aborted before the prefilter).
+    verifier_results: Tuple[VerifierResult, ...] = ()
 
     @property
     def succeeded(self) -> bool:
@@ -293,17 +332,33 @@ def ambient_similarity(
 
     Thin wrapper over :class:`repro.core.colocation.AmbientComparator`
     (kept as a function because the session only needs the score).
+
+    An empty or all-silence segment — at or below
+    :data:`~repro.dsp.energy.SILENCE_FLOOR_SPL_DB` — scores a defined
+    0.0: silence carries no spectral fingerprint, so it is evidence of
+    nothing, in either direction.  (Previously this fell through to the
+    comparator, which happened to return 0.0 via its flat-profile and
+    too-short guards; the semantics are now explicit rather than an
+    artifact of those internals.)
     """
     from ..core.colocation import AmbientComparator
+    from ..dsp.energy import SILENCE_FLOOR_SPL_DB, signal_spl
 
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if (
+        a.size == 0
+        or b.size == 0
+        or signal_spl(a) <= SILENCE_FLOOR_SPL_DB
+        or signal_spl(b) <= SILENCE_FLOOR_SPL_DB
+    ):
+        return 0.0
     comparator = AmbientComparator(
         sample_rate=sample_rate,
         high_hz=min(18_000.0, sample_rate / 2.2),
     )
     try:
-        return comparator.similarity(
-            np.asarray(a, float), np.asarray(b, float)
-        )
+        return comparator.similarity(a, b)
     except WearLockError:
         return 0.0
 
@@ -475,4 +530,5 @@ class UnlockSession:
             faults_injected=tuple(
                 f.label() for f in (ctx.faults.events if ctx.faults else ())
             ),
+            verifier_results=tuple(ctx.verifier_results),
         )

@@ -11,8 +11,8 @@ sensor-capture    RTS/ACK handshake; both devices capture the 2 s
                   accelerometer window during Phase 1
 probe-tx          Phase 1 on air: volume rule, probe transmission
 probe-process     probe DSP (local or offloaded) + CTS channel report
-prefilter         computation-reduction gates: ambient-noise
-                  similarity, motion DTW (a FilterChain)
+prefilter         computation-reduction gates: pluggable proximity
+                  verifiers under a per-session fusion policy
 mode-select       NLOS verdict, MaxBER policy, adaptive modulation
 otp-tx            channel-config message + Phase 2 OTP on air
 verify            Phase 2 DSP (local or offloaded), demodulation,
@@ -22,7 +22,7 @@ verify            Phase 2 DSP (local or offloaded), demodulation,
 Cheap gates run first and every stage may abort; the engine's
 ``stopped_by`` plus the domain :class:`~repro.protocol.session.
 AbortReason` make the two reporting schemes (stage graph and
-:class:`~repro.core.pipeline.FilterChain`) read identically.
+verifier-level results) read identically.
 """
 
 from __future__ import annotations
@@ -31,18 +31,23 @@ from typing import List
 
 from typing import Optional
 
-from ..core.pipeline import FilterChain
 from ..core.stages import SessionContext, Stage, StageResult
 from ..devices.compute import (
     demodulation_workload,
-    dtw_workload,
     probe_processing_workload,
 )
 from ..errors import ModemError
 from ..modem.adaptive import ModeDecision
 from ..modem.context import plane_cache_stats
-from ..sensors.motion_filter import MotionDecision
 from ..sensors.traces import co_located_pair, different_devices_pair
+from ..verifiers import (
+    NOISE_FILTER_MIN_SIMILARITY,
+    NOISE_FILTER_MIN_SPL,
+    FusionPolicy,
+    get_verifier,
+    needs_sensor_pair,
+    resolve_verifier_names,
+)
 
 __all__ = [
     "WirelessCheckStage",
@@ -66,10 +71,6 @@ BUTTON_TO_APP_DELAY = 0.05
 AUDIO_PATH_START_DELAY = 0.12
 KEYGUARD_DISMISS_DELAY = 0.08
 SENSOR_WINDOW_SECONDS = 2.0  # 100 samples at 50 Hz
-
-#: Sound-Proof-style gate parameters (paper §V / DESIGN.md §5).
-NOISE_FILTER_MIN_SPL = 35.0
-NOISE_FILTER_MIN_SIMILARITY = 0.25
 
 #: Bounded resends for control-plane traffic when a message is dropped
 #: (fault injection); the wireless layer reports the loss via
@@ -141,7 +142,12 @@ class SensorCaptureStage:
         if ack is None:
             return StageResult.abort("no_wireless_link")
 
-        if ctx.config.use_motion_filter:
+        names = resolve_verifier_names(
+            ctx.config.verifiers,
+            use_motion_filter=ctx.config.use_motion_filter,
+            use_noise_filter=ctx.config.use_noise_filter,
+        )
+        if needs_sensor_pair(names, ctx.config.use_motion_filter):
             pre = ctx.precomputed
             if pre is not None and getattr(pre, "sensor_pair", None) is not None:
                 # The fleet executor already drew this pair from the
@@ -278,85 +284,43 @@ class ProbeProcessStage:
 
 
 class PrefilterStage:
-    """The §V computation-reduction gates as a FilterChain.
+    """The §V computation-reduction gates as pluggable verifiers.
 
-    The chain's ``stopped_by`` names the gate that fired; those names
-    are the session's abort reasons (``noise_mismatch`` /
-    ``motion_mismatch``), so filter-chain and stage-graph diagnostics
-    agree without a translation table.
+    ``SessionConfig.verifiers`` names the :class:`~repro.verifiers.
+    ProximityVerifier` set this attempt runs (``None`` = the legacy
+    ambient + motion-DTW pair) and ``SessionConfig.fusion`` picks the
+    :class:`~repro.verifiers.FusionPolicy` that combines their
+    verdicts.  A rejecting verifier's ``abort_reason`` becomes the
+    session's abort reason (``noise_mismatch`` / ``motion_mismatch`` /
+    ...), so verifier-level and stage-graph diagnostics agree without a
+    translation table — and the default AND walk short-circuits exactly
+    like the FilterChain it replaced, reproducing the seeded goldens
+    bit-identically.
     """
 
     name = "prefilter"
 
-    def _noise_gate(self, ctx: SessionContext):
-        # The Sound-Proof-style filter needs ambient *context*: in a
-        # near-silent room each microphone mostly hears its own noise
-        # floor, whose spectra are uncorrelated even when co-located
-        # (the limitation the "Sound of silence" paper addresses), so
-        # the filter only runs when the scene is loud enough to carry
-        # a fingerprint.
-        if (
-            not ctx.config.use_noise_filter
-            or ctx.noise_spl_estimate < NOISE_FILTER_MIN_SPL
-        ):
-            return True, None
-        staged_sim = getattr(ctx.precomputed, "noise_similarity", None)
-        if staged_sim is not None and not ctx.extras.get("noise_sim_staged"):
-            # Batched Welch-PSD fingerprints over the shard's staged
-            # recordings, bit-identical to scoring them here; consumed
-            # once so a re-probe's fresh recording is scored live.
-            ctx.extras["noise_sim_staged"] = True
-            ctx.noise_similarity = staged_sim
-        else:
-            from .session import ambient_similarity
-
-            modem = ctx.system.modem
-            head = ctx.probe_recording[
-                : max(int(0.1 * ctx.sample_rate), modem.fft_size)
-            ]
-            ctx.noise_similarity = ambient_similarity(
-                ctx.phone_ambient, head, ctx.sample_rate
-            )
-        passed = ctx.noise_similarity >= NOISE_FILTER_MIN_SIMILARITY
-        return passed, ctx.noise_similarity
-
-    def _motion_gate(self, ctx: SessionContext):
-        if not ctx.config.use_motion_filter:
-            return True, None
-        phone_xyz, watch_xyz = ctx.sensor_pair
-        sensor_msg = deliver_message(ctx, 24 + 400, "msg_sensor")
-        if sensor_msg is None:
-            # Fail closed: without the watch's sensor window the motion
-            # gate cannot vouch for co-location.
-            self._link_failed = True
-            return False, None
-        dtw_s = ctx.phone_meter.record_compute(dtw_workload(100, 100).mops)
-        ctx.timeline.record("dtw_on_phone", dtw_s, "compute_p1")
-        pre = ctx.precomputed
-        if pre is not None and getattr(pre, "motion_score", None) is not None:
-            # Batched-wavefront score, bit-identical to evaluating the
-            # pair here; only the thresholds still run in-stage.
-            motion = ctx.phone.motion_filter.classify(float(pre.motion_score))
-        else:
-            motion = ctx.phone.evaluate_motion(phone_xyz, watch_xyz)
-        ctx.motion_score = motion.score
-        ctx.fast_path = motion.decision is MotionDecision.FAST_PATH
-        passed = motion.decision is not MotionDecision.ABORT
-        return passed, ctx.motion_score
-
     def run(self, ctx: SessionContext) -> StageResult:
-        self._link_failed = False
-        chain = (
-            FilterChain()
-            .add("noise_mismatch", lambda c: self._noise_gate(c))
-            .add("motion_mismatch", lambda c: self._motion_gate(c))
+        # A re-probe retry re-enters this stage; clearing the flag makes
+        # the motion-domain verifiers pay for a fresh sensor delivery on
+        # every pass, exactly like the legacy gate.
+        ctx.extras.pop("sensor_msg_delivered", None)
+        names = resolve_verifier_names(
+            ctx.config.verifiers,
+            use_motion_filter=ctx.config.use_motion_filter,
+            use_noise_filter=ctx.config.use_noise_filter,
         )
-        result = chain.evaluate(ctx)
-        if self._link_failed:
+        policy = FusionPolicy.from_spec(ctx.config.fusion)
+        decision = policy.run([get_verifier(n) for n in names], ctx)
+        ctx.verifier_results = decision.results
+        if decision.link_failed:
+            # Fail closed: without the watch's evidence no verifier can
+            # vouch for co-location, regardless of fusion mode.
             return StageResult.abort("no_wireless_link")
-        if not result.passed:
-            detail = dict(result.scores).get(result.stopped_by)
-            return StageResult.abort(result.stopped_by, detail=detail)
+        if not decision.passed:
+            return StageResult.abort(
+                decision.abort_reason, detail=decision.detail
+            )
         return StageResult.proceed()
 
 

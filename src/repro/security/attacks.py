@@ -11,6 +11,13 @@ limited modem) can be evaluated end to end:
   (defeated by OTP freshness and the timing window);
 * :class:`RelayAttacker` — live relay with ADC/DAC distortion and added
   latency (the paper's acknowledged hardest case).
+
+The co-located and replay attackers additionally synthesize
+:class:`~repro.verifiers.base.ProximityEvidence` bundles — the raw
+ambient/motion signals the proximity verifiers would see under that
+attack — so the verifier × fusion matrix
+(:func:`repro.eval.experiments.verifier_fusion_matrix`) can score every
+verifier against every attacker offline, without running sessions.
 """
 
 from __future__ import annotations
@@ -20,8 +27,56 @@ from typing import Optional
 
 import numpy as np
 
+from ..channel.hardware import MicrophoneModel
+from ..channel.scenarios import get_environment
 from ..errors import SecurityError
+from ..sensors.traces import (
+    ActivityKind,
+    co_located_pair,
+    different_devices_pair,
+)
+from ..verifiers import ProximityEvidence
 from .timing import TimingObservation
+
+#: Window the offline evidence builders synthesize per microphone.
+EVIDENCE_SECONDS = 1.0
+EVIDENCE_SAMPLE_RATE = 44_100.0
+
+
+def _ambient(env_name: str, n: int, rng: np.random.Generator) -> np.ndarray:
+    """One scene-noise bed for ``env_name`` (zeros for silent scenes)."""
+    env = get_environment(env_name)
+    if env.noise is None:
+        return np.zeros(n)
+    return env.noise.sample(n, rng)
+
+
+def legitimate_evidence(
+    environment: str = "office",
+    activity: ActivityKind = ActivityKind.WALKING,
+    seed: int = 0,
+) -> ProximityEvidence:
+    """Evidence for the honest case: one scene, one wrist.
+
+    Both microphones record the *same* noise-bed realization (each
+    through its own hardware noise), and the accelerometer windows come
+    from :func:`~repro.sensors.traces.co_located_pair` — the baseline
+    every attacker bundle is judged against.
+    """
+    rng = np.random.default_rng(seed)
+    n = int(EVIDENCE_SECONDS * EVIDENCE_SAMPLE_RATE)
+    mic = MicrophoneModel(sample_rate=EVIDENCE_SAMPLE_RATE)
+    bed = _ambient(environment, n, rng)
+    phone_ambient = mic.record(bed, rng=rng)
+    watch_ambient = mic.record(bed, rng=rng)
+    phone_motion, watch_motion = co_located_pair(activity, rng=rng)
+    return ProximityEvidence(
+        sample_rate=EVIDENCE_SAMPLE_RATE,
+        phone_ambient=phone_ambient,
+        watch_ambient=watch_ambient,
+        phone_motion=phone_motion,
+        watch_motion=watch_motion,
+    )
 
 
 @dataclass(frozen=True)
@@ -96,6 +151,39 @@ class CoLocatedAttacker:
             "los": not self.concealed,
         }
 
+    def proximity_evidence(
+        self,
+        environment: str = "office",
+        activity: ActivityKind = ActivityKind.WALKING,
+        seed: int = 0,
+    ) -> ProximityEvidence:
+        """What the verifiers see with the attacker in the same room.
+
+        The attacker shares the victim's acoustic scene, so both
+        microphones hear the *same* noise bed — the ambient channels
+        are expected to pass (their known blind spot).  The motion
+        windows are a :func:`~repro.sensors.traces.
+        different_devices_pair`: the phone rides the attacker's hand,
+        not the victim's wrist, which is exactly the evidence the
+        motion-domain verifiers exist to catch.
+        """
+        rng = np.random.default_rng(seed)
+        n = int(EVIDENCE_SECONDS * EVIDENCE_SAMPLE_RATE)
+        mic = MicrophoneModel(sample_rate=EVIDENCE_SAMPLE_RATE)
+        bed = _ambient(environment, n, rng)
+        phone_ambient = mic.record(bed, rng=rng)
+        watch_ambient = mic.record(bed, rng=rng)
+        phone_motion, watch_motion = different_devices_pair(
+            activity, rng=rng
+        )
+        return ProximityEvidence(
+            sample_rate=EVIDENCE_SAMPLE_RATE,
+            phone_ambient=phone_ambient,
+            watch_ambient=watch_ambient,
+            phone_motion=phone_motion,
+            watch_motion=watch_motion,
+        )
+
 
 @dataclass
 class ReplayAttacker:
@@ -127,6 +215,42 @@ class ReplayAttacker:
             wireless_rtt=legitimate.wireless_rtt,
             stack_delay=legitimate.stack_delay,
             acoustic_onset=legitimate.acoustic_onset + self.replay_latency,
+        )
+
+    def proximity_evidence(
+        self,
+        victim_environment: str = "office",
+        replay_environment: str = "quiet_room",
+        activity: ActivityKind = ActivityKind.WALKING,
+        seed: int = 0,
+    ) -> ProximityEvidence:
+        """What the verifiers see when the capture is replayed later.
+
+        The replayed watch-side audio still carries the *victim's*
+        scene from capture time, while the phone's fresh ambient
+        self-recording hears wherever the attacker replays from — two
+        independent noise realizations from (generally) different
+        scenes, the mismatch the ambient fingerprints key on.  The
+        motion windows are likewise strangers' traces.
+        """
+        rng = np.random.default_rng(seed)
+        n = int(EVIDENCE_SECONDS * EVIDENCE_SAMPLE_RATE)
+        mic = MicrophoneModel(sample_rate=EVIDENCE_SAMPLE_RATE)
+        phone_ambient = mic.record(
+            _ambient(replay_environment, n, rng), rng=rng
+        )
+        watch_ambient = mic.record(
+            _ambient(victim_environment, n, rng), rng=rng
+        )
+        phone_motion, watch_motion = different_devices_pair(
+            activity, rng=rng
+        )
+        return ProximityEvidence(
+            sample_rate=EVIDENCE_SAMPLE_RATE,
+            phone_ambient=phone_ambient,
+            watch_ambient=watch_ambient,
+            phone_motion=phone_motion,
+            watch_motion=watch_motion,
         )
 
 

@@ -1,0 +1,108 @@
+"""Motion-DTW verifier (paper Algorithm 1, the legacy motion gate).
+
+Extracted from ``PrefilterStage._motion_gate``: the watch ships its
+accelerometer window over the wireless link, the phone runs the
+dual-threshold DTW filter, and the fast-path verdict feeds the MaxBER
+policy.  Message sizes, timeline labels, compute charges and staging
+semantics are bit-identical to the pre-refactor gate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..devices.compute import dtw_workload
+from ..sensors.motion_filter import MotionDecision, MotionFilter, MotionReport
+from .base import ProximityEvidence, VerifierResult, ensure_sensor_message
+
+__all__ = ["MotionDtwVerifier"]
+
+
+class MotionDtwVerifier:
+    """Dual-threshold DTW over accelerometer magnitudes (paper §V)."""
+
+    name = "motion-dtw"
+    abort_reason = "motion_mismatch"
+
+    def _result(
+        self, report: MotionReport, dtw_high: float
+    ) -> VerifierResult:
+        # DTW is a *distance*: 0 means identical motion.  Map onto the
+        # fusion scale so the abort threshold lands at normalized 0.
+        normalized = 1.0 - float(
+            np.clip(report.score / dtw_high, 0.0, 1.0)
+        )
+        return VerifierResult(
+            name=self.name,
+            score=float(report.score),
+            passed=report.decision is not MotionDecision.ABORT,
+            abort_reason=self.abort_reason,
+            normalized=normalized,
+            fast_path=report.decision is MotionDecision.FAST_PATH,
+        )
+
+    def _skipped(self) -> VerifierResult:
+        return VerifierResult(
+            name=self.name,
+            score=None,
+            passed=True,
+            abort_reason=self.abort_reason,
+            skipped=True,
+        )
+
+    def prepare(self, ctx: Any) -> ProximityEvidence:
+        phone_xyz, watch_xyz = ctx.sensor_pair
+        return ProximityEvidence(
+            sample_rate=ctx.sample_rate,
+            phone_motion=phone_xyz,
+            watch_motion=watch_xyz,
+        )
+
+    def score(self, evidence: ProximityEvidence) -> VerifierResult:
+        if evidence.phone_motion is None or evidence.watch_motion is None:
+            return self._skipped()
+        motion_filter = MotionFilter()
+        report = motion_filter.evaluate(
+            evidence.phone_motion, evidence.watch_motion
+        )
+        return self._result(report, motion_filter.config.dtw_high)
+
+    def verify(self, ctx: Any) -> VerifierResult:
+        if not ctx.config.use_motion_filter:
+            return self._skipped()
+        phone_xyz, watch_xyz = ctx.sensor_pair
+        if not ensure_sensor_message(ctx):
+            # Fail closed: without the watch's sensor window the motion
+            # gate cannot vouch for co-location.
+            return VerifierResult(
+                name=self.name,
+                score=None,
+                passed=False,
+                abort_reason=self.abort_reason,
+                link_failed=True,
+            )
+        dtw_s = ctx.phone_meter.record_compute(dtw_workload(100, 100).mops)
+        ctx.timeline.record("dtw_on_phone", dtw_s, "compute_p1")
+        staged_score = self._staged(ctx)
+        if staged_score is not None:
+            # Batched-wavefront score, bit-identical to evaluating the
+            # pair here; only the thresholds still run in-stage.  Not
+            # consumed-once: the sensor pair is unchanged by a re-probe.
+            motion = ctx.phone.motion_filter.classify(float(staged_score))
+        else:
+            motion = ctx.phone.evaluate_motion(phone_xyz, watch_xyz)
+        ctx.motion_score = motion.score
+        ctx.fast_path = motion.decision is MotionDecision.FAST_PATH
+        return self._result(
+            motion, ctx.phone.motion_filter.config.dtw_high
+        )
+
+    @staticmethod
+    def _staged(ctx: Any) -> Optional[float]:
+        pre = ctx.precomputed
+        if pre is None:
+            return None
+        evidence = getattr(pre, "evidence", None)
+        return evidence.motion_score if evidence is not None else None

@@ -209,6 +209,12 @@ class TestChaosDeterminism:
         "msg_drop@otp-tx:p=0.5,hits=none",
         "snr_collapse@probe-tx:severity=2",
         "latency_spike@verify;energy_spike@probe-process",
+        # The verifier-stage boundary: drop the watch's sensor message
+        # (the fused verifiers must fail closed), and charge spikes at
+        # the prefilter so verifier latency/energy annotations absorb
+        # injected costs deterministically.
+        "msg_drop@prefilter:p=0.5,hits=none",
+        "latency_spike@prefilter;energy_spike@prefilter",
     )
 
     def test_back_to_back_runs_identical(self):

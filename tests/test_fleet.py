@@ -37,6 +37,7 @@ from repro.sensors.dtw import (
     normalized_dtw_batch,
 )
 from repro.sensors.traces import ActivityKind, co_located_pair, magnitude
+from repro.verifiers import PrecomputedVerifierEvidence
 
 
 SMALL = FleetConfig(n_users=12, hours=24.0, seed=42)
@@ -92,7 +93,10 @@ class TestPrecomputedPrefilter:
                     magnitude(pair[1])[None, :],
                 )[0]
             )
-            pre = PrecomputedPrefilter(sensor_pair=pair, motion_score=score)
+            pre = PrecomputedPrefilter(
+                sensor_pair=pair,
+                evidence=PrecomputedVerifierEvidence(motion_score=score),
+            )
             fast = UnlockSession(SessionConfig(seed=seed)).run(
                 precomputed=pre
             )

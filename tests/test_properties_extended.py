@@ -64,8 +64,11 @@ class TestHotpWindowProperties:
 
 
 class TestDelaySpreadProperties:
+    # Subnormal taps are excluded: scaling one below the smallest
+    # subnormal flushes it to exactly zero, which erases the tap and
+    # legitimately changes the spread — not an invariance violation.
     profiles = st.lists(
-        st.floats(min_value=0.0, max_value=100.0),
+        st.floats(min_value=0.0, max_value=100.0, allow_subnormal=False),
         min_size=1,
         max_size=64,
     ).map(np.asarray)
