@@ -1,6 +1,6 @@
 """Benchmark: fleet throughput — serial baseline vs staged fast paths.
 
-Runs the same deterministic population four ways and byte-compares the
+Runs the same deterministic population five ways and byte-compares the
 aggregate documents before reporting any timing:
 
 * **serial** — one worker, staging off: every session runs the scalar
@@ -14,21 +14,30 @@ aggregate documents before reporting any timing:
   Phase-1 probe DSP (:func:`repro.fleet.executor.precompute_probe`):
   channel synthesis, synchronizer cross-correlations, pilot receive
   FFTs and ambient-similarity fingerprints run as stacked batches;
-* **sharded** — staged plus a process pool sized to the machine: adds
-  the *parallel* speedup on top.
+* **otp** — one worker, everything above plus the wave-batched Phase-2
+  OTP transmit/receive (:func:`repro.fleet.executor.precompute_otp`):
+  frame assembly, channel convolution, stacked receive FFTs and
+  batched pilot equalization for every session that reaches Phase 2;
+* **sharded** — the otp level plus a process pool sized to the
+  machine: adds the *parallel* speedup on top.
 
-All four must produce **byte-identical** aggregate JSON (the fleet
+All five must produce **byte-identical** aggregate JSON (the fleet
 determinism contract); the benchmark exits non-zero if they do not.
 ``cpu_count`` is recorded alongside the timings because the parallel
 term is machine-dependent: on a single-core container the sharded arm
-cannot beat the staged arm, and the JSON says so rather than hiding
-it.
+cannot beat the otp arm, and the JSON says so rather than hiding it.
 
-Timing protocol: the four arms run **interleaved** for ``--reps``
+Timing protocol: the five arms run **interleaved** for ``--reps``
 rounds and each arm reports its *minimum* wall time.  Shared/noisy
 machines stall all arms alike, so the per-arm minimum is the standard
 low-noise estimator (same rationale as ``timeit``), and interleaving
 keeps a load burst from biasing one arm's ratio.
+
+The full run additionally probes **constant-memory streaming**: a
+100k-user half-hour population (and a 10x smaller control) each run in
+a fresh child process at ``staging="otp"``, and the peak-RSS ratio is
+recorded — the scheduler folds shard records into the aggregate as
+they arrive, so 10x the users must cost far less than 10x the memory.
 
 Usage::
 
@@ -43,7 +52,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
+import textwrap
 import time
 from pathlib import Path
 
@@ -54,12 +65,53 @@ from repro.fleet import FleetConfig, FleetScheduler  # noqa: E402
 FULL_USERS = 1000
 QUICK_USERS = 60
 
-#: Users per shard for every arm.  Staged probe DSP amortizes per
-#: (band, environment) group, so shards must be big enough to form
-#: fat groups — but the staging matrices scale with group size, and
-#: past ~50 users/shard they outgrow small per-core caches and the
-#: whole run slows down.  50 is the measured sweet spot.
-SHARD_USERS = 50
+#: Users per shard for every arm.  Staged DSP amortizes per group —
+#: (band, environment) for probes, (plane, frame length) for the
+#: Phase-2 OTP waves — so shards must be big enough to form fat
+#: groups; too big and the staging matrices outgrow per-core caches.
+#: 200 is the measured sweet spot now that the fine-sync and receive
+#: reductions batch across a whole wave (50 was, when the per-frame
+#: loops dominated).
+SHARD_USERS = 200
+
+
+def streaming_probe(users: int, hours: float, staging: str) -> dict:
+    """Run one fleet in a fresh child process; report wall + peak RSS.
+
+    A child process per population keeps the RSS readings independent
+    (the parent's allocator high-water mark would otherwise carry over
+    between probes).  ``ru_maxrss`` is kilobytes on Linux.
+    """
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    code = textwrap.dedent(
+        f"""
+        import json, resource, sys, time
+        sys.path.insert(0, {src!r})
+        from repro.fleet import FleetConfig, FleetScheduler
+        cfg = FleetConfig(n_users={users}, hours={hours}, seed=0)
+        t0 = time.perf_counter()
+        res = FleetScheduler(
+            cfg, workers=1, shard_users={SHARD_USERS}, staging={staging!r}
+        ).run()
+        wall = time.perf_counter() - t0
+        rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        print(json.dumps({{
+            "users": {users},
+            "hours": {hours},
+            "sessions": res.sessions,
+            "wall_s": wall,
+            "sessions_per_s": res.sessions / wall if wall > 0 else 0.0,
+            "max_rss_mb": rss_kb / 1024.0,
+        }}))
+        """
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
 
 
 def run_arm(config: FleetConfig, workers: int, staging: str):
@@ -121,7 +173,8 @@ def main(argv=None) -> int:
         ("serial", 1, "none", "workers=1, all live"),
         ("batched", 1, "dtw", "workers=1, DTW wavefront"),
         ("staged", 1, "probe", "workers=1, + probe DSP"),
-        ("sharded", workers, "probe", f"workers={workers}, staged"),
+        ("otp", 1, "otp", "workers=1, + OTP waves"),
+        ("sharded", workers, "otp", f"workers={workers}, otp-staged"),
     ]
     times: dict = {}
     docs: dict = {}
@@ -139,22 +192,52 @@ def main(argv=None) -> int:
         )
 
     identical = (
-        docs["serial"] == docs["batched"]
-        == docs["staged"] == docs["sharded"]
+        docs["serial"] == docs["batched"] == docs["staged"]
+        == docs["otp"] == docs["sharded"]
     )
     serial_s = times["serial"]
     batched_s = times["batched"]
     staged_s = times["staged"]
+    otp_s = times["otp"]
     sharded_s = times["sharded"]
     speedup = serial_s / sharded_s if sharded_s > 0 else float("inf")
-    algo_speedup = serial_s / staged_s if staged_s > 0 else float("inf")
+    algo_speedup = serial_s / otp_s if otp_s > 0 else float("inf")
     probe_speedup = batched_s / staged_s if staged_s > 0 else float("inf")
+    otp_speedup = staged_s / otp_s if otp_s > 0 else float("inf")
     print(
         f"speedup: {speedup:.2f}x total "
         f"({algo_speedup:.2f}x algorithmic, "
-        f"{probe_speedup:.2f}x from probe staging)  "
+        f"{probe_speedup:.2f}x from probe staging, "
+        f"{otp_speedup:.2f}x from OTP staging)  "
         f"byte-identical aggregates: {identical}"
     )
+
+    streaming = None
+    if not args.quick:
+        streaming_small = streaming_probe(10_000, 0.5, "otp")
+        streaming_large = streaming_probe(100_000, 0.5, "otp")
+        rss_ratio = (
+            streaming_large["max_rss_mb"] / streaming_small["max_rss_mb"]
+            if streaming_small["max_rss_mb"] > 0
+            else float("inf")
+        )
+        streaming = {
+            "staging": "otp",
+            "small": streaming_small,
+            "large": streaming_large,
+            "rss_ratio": rss_ratio,
+            "note": (
+                "10x users at a peak-RSS ratio near 1.0 evidences "
+                "constant-memory streaming: shard records fold into "
+                "the aggregate as they arrive and are dropped"
+            ),
+        }
+        print(
+            f"streaming: {streaming_large['users']} users -> "
+            f"{streaming_large['max_rss_mb']:.0f} MB peak RSS "
+            f"({rss_ratio:.2f}x the {streaming_small['users']}-user "
+            f"control)"
+        )
 
     payload = {
         "quick": bool(args.quick),
@@ -167,18 +250,23 @@ def main(argv=None) -> int:
         "serial_seconds": serial_s,
         "batched_seconds": batched_s,
         "staged_seconds": staged_s,
+        "otp_seconds": otp_s,
         "sharded_seconds": sharded_s,
         "serial_sessions_per_s": sessions / serial_s,
         "batched_sessions_per_s": sessions / batched_s,
         "staged_sessions_per_s": sessions / staged_s,
+        "otp_sessions_per_s": sessions / otp_s,
         "sharded_sessions_per_s": sessions / sharded_s,
         "speedup_total": speedup,
         "speedup_algorithmic": algo_speedup,
         "speedup_probe_staging": probe_speedup,
-        "speedup_parallel": staged_s / sharded_s if sharded_s > 0 else 0.0,
+        "speedup_otp_staging": otp_speedup,
+        "speedup_parallel": otp_s / sharded_s if sharded_s > 0 else 0.0,
         "aggregates_byte_identical": identical,
+        "streaming": streaming,
         "note": (
-            "speedup_parallel is bounded by cpu_count; on a 1-CPU "
+            "speedup_algorithmic is serial/otp at workers=1; "
+            "speedup_parallel is bounded by cpu_count, so on a 1-CPU "
             "machine only the algorithmic terms can exceed 1.0"
         ),
     }

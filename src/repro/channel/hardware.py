@@ -22,8 +22,21 @@ from typing import Optional
 import numpy as np
 
 from ..errors import ChannelError
-from ..dsp.filters import design_lowpass_fir, fir_filter, fir_filter_batch
+from ..dsp.filters import (
+    design_lowpass_fir,
+    fir_filter,
+    fir_filter_batch_pair,
+)
+from ..dsp.plane import KeyedCache
 from ..dsp.windows import raised_cosine_ramp
+
+#: A speaker's phase-ripple spectral factor ``exp(j*phi(f))`` is a pure
+#: function of its ripple realization and the transform length.  The
+#: fleet staging path replays thousands of equal-length frames through
+#: identically configured speakers, so the factors are memoized
+#: module-wide; the scalar :meth:`SpeakerModel.play` stays the from-
+#: scratch reference implementation.
+_RIPPLE_FACTORS = KeyedCache("channel.ripple_factors", maxsize=32)
 
 
 @dataclass
@@ -106,6 +119,63 @@ class SpeakerModel:
         freqs = np.fft.rfftfreq(signal.size, d=1.0 / self.sample_rate)
         spec *= np.exp(1j * self.phase_response(freqs))
         return np.fft.irfft(spec, signal.size)
+
+    def _ripple_factor(self, n: int) -> np.ndarray:
+        """Memoized ``exp(j*phi(f))`` for an ``n``-sample transform."""
+        key = (
+            int(self.device_seed),
+            float(self.phase_ripple_rad),
+            float(self.phase_ripple_detail_hz),
+            float(self.sample_rate),
+            int(n),
+        )
+
+        def build() -> np.ndarray:
+            freqs = np.fft.rfftfreq(n, d=1.0 / self.sample_rate)
+            factor = np.exp(1j * self.phase_response(freqs))
+            factor.setflags(write=False)
+            return factor
+
+        return _RIPPLE_FACTORS.get(key, build)
+
+    def play_batch(self, signals: np.ndarray) -> np.ndarray:
+        """Render each row of ``signals`` through the speaker, in one pass.
+
+        Row ``i`` equals ``play(signals[i])`` bit-for-bit: the rise
+        ramp and the final clip broadcast row-wise (the same
+        elementwise operations the scalar call applies), the ringing
+        convolution runs per row (a short direct convolution, kept
+        identical by construction), and the phase ripple applies one
+        stacked rFFT/irFFT whose spectral factor is memoized in
+        :data:`_RIPPLE_FACTORS` — the exact values the scalar call
+        recomputes from scratch.  Used by the fleet staging path to
+        render a whole wave's frames at once.
+        """
+        x = np.asarray(signals, dtype=np.float64)
+        if x.ndim != 2:
+            raise ChannelError("signals must be 2-D")
+        if x.shape[0] == 0 or x.shape[1] == 0:
+            raise ChannelError("signals must be non-empty")
+
+        out = x.copy()
+        rise_samples = int(self.rise_time * self.sample_rate)
+        if rise_samples > 1:
+            n = min(rise_samples, out.shape[1])
+            out[:, :n] *= raised_cosine_ramp(n, rising=True)
+
+        if self.ringing_gain > 0 and self.ringing_time > 0:
+            tail_len = int(4 * self.ringing_time * self.sample_rate)
+            tail_len = max(tail_len, 1)
+            t = np.arange(1, tail_len + 1) / self.sample_rate
+            tail = self.ringing_gain * np.exp(-t / self.ringing_time)
+            ir = np.concatenate(([1.0], tail))
+            out = np.stack([np.convolve(row, ir) for row in out])
+
+        if self.phase_ripple_rad > 0 and out.shape[1] >= 2:
+            spec = np.fft.rfft(out, axis=1)
+            spec *= self._ripple_factor(out.shape[1])
+            out = np.fft.irfft(spec, out.shape[1], axis=1)
+        return np.clip(out, -self.clip_level, self.clip_level)
 
     def play(self, signal: np.ndarray) -> np.ndarray:
         """Render ``signal`` through the speaker model.
@@ -240,19 +310,37 @@ class MicrophoneModel:
                 for generator in generators:
                     generator.standard_normal(x.shape[1])
             return np.zeros_like(x)
-        out = x.copy()
-        if self.lowpass_hz is not None and out.shape[1]:
+        if self.lowpass_hz is not None and x.shape[1]:
             self._ensure_filters()
-            sharp = fir_filter_batch(out, self._taps)
-            soft = fir_filter_batch(out, self._knee_taps)
+            # The FIR pair reads ``x`` and returns fresh arrays, so the
+            # defensive copy the scalar path makes is pure overhead here.
+            sharp, soft = fir_filter_batch_pair(
+                x, self._taps, self._knee_taps
+            )
             blend = 10.0 ** (-self.knee_loss_db / 20.0)
-            out = blend * sharp + (1.0 - blend) * soft
+            # ``blend*sharp + (1-blend)*soft`` evaluated in place: the
+            # two rounded products and their rounded sum are the exact
+            # operations of the scalar expression.
+            sharp *= blend
+            soft *= 1.0 - blend
+            sharp += soft
+            out = sharp
+        else:
+            out = x.copy()
         if self.noise_floor_spl > -np.inf and out.shape[1]:
             level = spl_to_amplitude(self.noise_floor_spl)
+            # Each generator fills its own row in the scalar draw
+            # order; the RMS calibration then reduces along the last
+            # axis, the same per-row pairwise summation the scalar
+            # ``np.mean(floor ** 2)`` applies.
+            floors = np.empty_like(out)
             for i, generator in enumerate(generators):
-                floor = generator.standard_normal(out.shape[1])
-                floor *= level / max(np.sqrt(np.mean(floor ** 2)), 1e-300)
-                out[i] = out[i] + floor
+                generator.standard_normal(out=floors[i])
+            norms = np.maximum(
+                np.sqrt(np.mean(floors * floors, axis=1)), 1e-300
+            )
+            floors *= (level / norms)[:, None]
+            out += floors
         return np.clip(out, -self.clip_level, self.clip_level)
 
     @staticmethod

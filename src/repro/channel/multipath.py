@@ -107,6 +107,40 @@ def convolve_ir_rows(signal: np.ndarray, irs: np.ndarray) -> np.ndarray:
     )[:, :n]
 
 
+def convolve_rows_pairwise(
+    signals: np.ndarray, irs: np.ndarray
+) -> np.ndarray:
+    """Convolve signal row ``i`` with IR row ``i``, stacked.
+
+    The pairwise sibling of :func:`convolve_ir_rows` for the staged
+    Phase-2 path, where every session transmits its *own* OTP frame
+    (unlike the shared probe waveform): row ``i`` equals
+    ``RoomImpulseResponse.apply``'s convolution of ``signals[i]`` with
+    ``irs[i]`` bit-for-bit — same power-of-two ``nfft`` from
+    ``n = signal_len + ir_len - 1``, same rfft/irfft composition, with
+    the stacked transforms sharing the scalar calls' 1-D plans.
+    """
+    x = np.asarray(signals, dtype=np.float64)
+    h = np.asarray(irs, dtype=np.float64)
+    if x.ndim != 2 or h.ndim != 2:
+        raise ChannelError("signals and irs must both be 2-D")
+    if x.shape[0] != h.shape[0]:
+        raise ChannelError("need exactly one IR row per signal row")
+    if h.shape[1] == 0:
+        raise ChannelError("irs must have non-empty rows")
+    if x.shape[1] == 0:
+        return np.zeros((x.shape[0], 0))
+    n = x.shape[1] + h.shape[1] - 1
+    nfft = 1
+    while nfft < n:
+        nfft <<= 1
+    return np.fft.irfft(
+        np.fft.rfft(x, nfft, axis=1) * np.fft.rfft(h, nfft, axis=1),
+        nfft,
+        axis=1,
+    )[:, :n]
+
+
 @dataclass
 class RoomImpulseResponse:
     """Synthetic room impulse response generator.

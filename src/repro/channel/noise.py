@@ -154,12 +154,19 @@ def shaped_noise_batch(
             taps = design_bandpass_fir(low, high, sample_rate, num_taps=257)
         component = fir_filter_batch(raw, taps)
         levels = np.sqrt(np.mean(component * component, axis=1))
-        safe = np.where(levels > 0.0, levels, 1.0)[:, None]
         # Scalar path: ``row / level * weight`` (divide, then scale) —
-        # keep the exact op order so rows stay bit-identical.
-        total += np.where(
-            levels[:, None] > 0.0, component / safe * weight, component
-        )
+        # keep the exact op order so rows stay bit-identical.  Every
+        # level is positive in practice (filtered white noise), so the
+        # masked variant only materializes on the degenerate path.
+        if np.all(levels > 0.0):
+            component /= levels[:, None]
+            component *= weight
+            total += component
+        else:
+            safe = np.where(levels > 0.0, levels, 1.0)[:, None]
+            total += np.where(
+                levels[:, None] > 0.0, component / safe * weight, component
+            )
     if n_samples == 0 or not values:
         return total
     levels = np.sqrt(np.mean(total * total, axis=1))
@@ -200,6 +207,50 @@ def tone_jammer(
         phase = generator.uniform(0, 2 * np.pi)
         total += np.sin(2 * np.pi * f * t + phase)
     return _scale_to_spl(total, spl_db)
+
+
+def _tone_jammer_rows(
+    n_samples: int,
+    sample_rate: float,
+    freqs_hz: Sequence[float],
+    spl_db: float,
+    generators: Sequence[np.random.Generator],
+    values: bool = True,
+) -> np.ndarray:
+    """One :func:`tone_jammer` realization per generator, stacked.
+
+    Row ``i`` equals ``tone_jammer(..., rng=generators[i])`` bit-for-
+    bit: each generator draws its tone phases in the scalar order (one
+    uniform per tone, ascending), then the sine synthesis and the RMS
+    calibration run across the stack with the scalar call's elementwise
+    arithmetic — the per-row mean reduces along the last axis of a
+    C-ordered stack, matching the 1-D pairwise summation.  With
+    ``values=False`` only the phase draws happen (stream advance) and
+    the rows are zeros.
+    """
+    if len(freqs_hz) > 6:
+        raise ChannelError(
+            "the paper's jammer (Audacity) supports at most 6 tones"
+        )
+    phases = np.empty((len(generators), len(freqs_hz)))
+    for j, f in enumerate(freqs_hz):
+        if not 0 < f < sample_rate / 2:
+            raise ChannelError(f"jammer tone {f} Hz outside (0, Nyquist)")
+        for i, generator in enumerate(generators):
+            phases[i, j] = generator.uniform(0, 2 * np.pi)
+    total = np.zeros((len(generators), n_samples))
+    if not values or len(freqs_hz) == 0 or n_samples == 0:
+        return total
+    t = np.arange(n_samples) / sample_rate
+    for j, f in enumerate(freqs_hz):
+        total += np.sin(2 * np.pi * f * t + phases[:, j][:, None])
+    levels = np.sqrt(np.mean(total * total, axis=1))
+    factors = np.where(
+        levels > 0.0,
+        spl_to_amplitude(spl_db) / np.where(levels > 0.0, levels, 1.0),
+        1.0,
+    )
+    return total * factors[:, None]
 
 
 @dataclass
@@ -279,11 +330,10 @@ class NoiseScene:
                 ]
             ) if generators else np.zeros((0, n_samples))
         if self.jam_tones_hz and np.isfinite(self.jam_spl_db):
-            for i, generator in enumerate(generators):
-                bed[i] = bed[i] + tone_jammer(
-                    n_samples, self.sample_rate, self.jam_tones_hz,
-                    self.jam_spl_db, rng=generator,
-                )
+            bed = bed + _tone_jammer_rows(
+                n_samples, self.sample_rate, self.jam_tones_hz,
+                self.jam_spl_db, generators, values=values,
+            )
         return bed
 
     def with_jammer(

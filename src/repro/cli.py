@@ -449,11 +449,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet_run.add_argument(
         "--staging",
-        choices=("none", "dtw", "probe"),
-        default="probe",
+        choices=("none", "dtw", "probe", "otp"),
+        default="otp",
         help="shard staging level: none = all-live baseline, dtw = "
-        "batched motion DTW, probe = also batch the Phase-1 probe DSP; "
-        "the aggregate is byte-identical across levels",
+        "batched motion DTW, probe = also batch the Phase-1 probe DSP, "
+        "otp = also wave-batch the Phase-2 OTP modem (degrades to dtw "
+        "under fault injection); the aggregate is byte-identical across "
+        "levels",
     )
     fleet_run.add_argument(
         "--out", default=None, help="write the aggregate JSON here"

@@ -97,10 +97,14 @@ class AmbientComparator:
         if len(masks) < 3:
             raise WearLockError("too few usable bands — recording too short")
         profiles = np.empty((x.shape[0], len(masks)))
-        for i in range(x.shape[0]):
-            psd = psds[i]
-            for j, mask in enumerate(masks):
-                profiles[i, j] = np.log10(float(np.mean(psd[mask])) + 1e-20)
+        # One reduction per band, all rows at once.  A column-mask
+        # gather comes back Fortran-ordered, whose axis-1 reduction
+        # rounds differently from the scalar path's 1-D sum; re-laying
+        # the band as C-order makes the per-row pairwise summation
+        # match ``np.mean(psd[mask])`` bit-for-bit.
+        for j, mask in enumerate(masks):
+            band = np.ascontiguousarray(psds[:, mask])
+            profiles[:, j] = np.log10(np.mean(band, axis=1) + 1e-20)
         return profiles
 
     def similarity_batch(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:

@@ -45,6 +45,7 @@ __all__ = [
     "StageRng",
     "SessionContext",
     "EngineResult",
+    "EnginePause",
     "StageEngine",
 ]
 
@@ -234,6 +235,11 @@ class SessionContext:
     token_tx: Any = None
     config_msg: Any = None
     data_recording: Any = None
+    #: Length of the Phase-2 recording in samples.  Set alongside
+    #: ``data_recording`` by the live path; the staged OTP path sets
+    #: only this (the recording itself is consumed out of band), so
+    #: timing/offload arithmetic never needs the freed samples.
+    data_samples: int = 0
     received_bits: Any = None
     unlocked: bool = False
     raw_ber: Optional[float] = None
@@ -251,6 +257,33 @@ class SessionContext:
         if self.tracer is None:
             return NullTracer().span(name)
         return self.tracer.span(name, **tags)
+
+
+@dataclass
+class EnginePause:
+    """A suspended engine pass, stopped just before a named stage.
+
+    Produced by :meth:`StageEngine.execute` when ``pause_before`` is
+    given and execution reaches that stage going *forward* for the
+    first time.  The pause captures everything the loop needs to pick
+    up where it left off — the context, the index of the not-yet-run
+    stage, the stages executed so far and the jump budget spent — so
+    :meth:`StageEngine.resume` continues as if the pass had never
+    stopped.  By default, backward retry edges taken after resumption
+    never pause again (resume clears the trigger) — staging exactly the
+    *first* pass of a stage while retries run live.  A resume may
+    instead *re-arm* the trigger (``resume(pause, pause_before=...)``):
+    the pass continues past the paused stage, and the next arrival at
+    that stage — a NACK retransmission jumping back, or a re-probe
+    sweeping forward through it — pauses again, which is what lets a
+    batch orchestrator stage every retransmission wave too.
+    """
+
+    ctx: SessionContext
+    next_index: int
+    next_stage: str
+    stages_run: List[str]
+    jumps: int
 
 
 @dataclass(frozen=True)
@@ -339,18 +372,76 @@ class StageEngine:
                 if ctx.phone_meter is not None:
                     ctx.phone_meter.record_idle(magnitude)
 
-    def execute(self, ctx: SessionContext) -> EngineResult:
+    def execute(self, ctx: SessionContext, pause_before: Optional[str] = None):
         """Run stages in order; stop at the first abort.
 
         Backward retry edges re-enter the graph at the named stage,
         bounded by ``max_jumps``.
+
+        ``pause_before`` names a stage to suspend in front of: when the
+        forward walk first reaches it, an :class:`EnginePause` is
+        returned instead of an :class:`EngineResult`, and
+        :meth:`resume` continues the pass later.  If execution aborts
+        before ever reaching the named stage, the normal
+        :class:`EngineResult` is returned — there is nothing to resume.
         """
+        if pause_before is not None and pause_before not in self._index:
+            raise WearLockError(
+                f"pause_before {pause_before!r} is not a stage of this "
+                f"engine ({self.stage_names})"
+            )
         ctx.tracer = self.tracer
-        run: List[str] = []
-        i = 0
-        jumps = 0
+        return self._run(ctx, 0, [], 0, pause_before)
+
+    def resume(
+        self, pause: EnginePause, pause_before: Optional[str] = None
+    ):
+        """Continue a pass suspended by ``execute(pause_before=...)``.
+
+        With ``pause_before=None`` (the default) the pass runs to its
+        :class:`EngineResult`.  Naming a stage re-arms the trigger for
+        the *next* arrival at it — the stage the pass is currently
+        suspended in front of executes unconditionally, so a resume
+        can never pause without making progress.
+        """
+        if pause_before is not None and pause_before not in self._index:
+            raise WearLockError(
+                f"pause_before {pause_before!r} is not a stage of this "
+                f"engine ({self.stage_names})"
+            )
+        return self._run(
+            pause.ctx,
+            pause.next_index,
+            pause.stages_run,
+            pause.jumps,
+            pause_before,
+            pause_armed=False,
+        )
+
+    def _run(
+        self,
+        ctx: SessionContext,
+        i: int,
+        run: List[str],
+        jumps: int,
+        pause_before: Optional[str],
+        pause_armed: bool = True,
+    ):
         while i < len(self._stages):
             stage = self._stages[i]
+            if (
+                pause_armed
+                and pause_before is not None
+                and stage.name == pause_before
+            ):
+                return EnginePause(
+                    ctx=ctx,
+                    next_index=i,
+                    next_stage=stage.name,
+                    stages_run=run,
+                    jumps=jumps,
+                )
+            pause_armed = True
             if ctx.faults is not None:
                 ctx.faults.enter_stage(stage.name)
             watch0 = self._joules(ctx.watch_meter)

@@ -14,6 +14,14 @@ from typing import Tuple
 import numpy as np
 
 from ..errors import DspError
+from .plane import KeyedCache
+
+#: Conjugated template spectra reused by
+#: :func:`sliding_normalized_correlation_batch`.  The batch path scores
+#: many recording stacks against the same few preamble templates at the
+#: same few transform sizes, so the template transform is memoized by
+#: value; the scalar function stays the from-scratch reference.
+_TEMPLATE_SPECTRA = KeyedCache("dsp.ncc_template_spectra", maxsize=32)
 
 
 def normalized_cross_correlation(a: np.ndarray, b: np.ndarray) -> float:
@@ -108,7 +116,10 @@ def sliding_normalized_correlation_batch(
     nfft = 1
     while nfft < n + m:
         nfft <<= 1
-    spec = np.fft.rfft(x, nfft, axis=1) * np.conj(np.fft.rfft(t, nfft))
+    spec_t = _TEMPLATE_SPECTRA.get(
+        (t.tobytes(), nfft), lambda: np.conj(np.fft.rfft(t, nfft))
+    )
+    spec = np.fft.rfft(x, nfft, axis=1) * spec_t
     raw = np.fft.irfft(spec, nfft, axis=1)[:, : n - m + 1]
 
     csum = np.concatenate(
@@ -117,8 +128,10 @@ def sliding_normalized_correlation_batch(
     local = csum[:, m:] - csum[:, : n - m + 1]
     denom = np.sqrt(np.maximum(local * te, 0.0))
     out = np.zeros_like(raw)
-    nonzero = denom > 1e-300
-    out[nonzero] = raw[nonzero] / denom[nonzero]
+    # Masked divide in place of the scalar path's fancy-index
+    # gather/scatter: the quotients are the same IEEE divisions, and
+    # the masked-out entries keep the pre-filled zeros.
+    np.divide(raw, denom, out=out, where=denom > 1e-300)
     return np.clip(out, -1.0, 1.0)
 
 

@@ -8,6 +8,8 @@ scenes.  Filtering is FFT-based overlap-free convolution via
 
 from __future__ import annotations
 
+from typing import Tuple
+
 import numpy as np
 
 from ..errors import DspError
@@ -18,6 +20,13 @@ from .windows import hamming_window
 #: every noise-scene sample re-designed them from scratch — ~20 designs
 #: per unlock session.  Cached entries are returned read-only.
 _FIR_DESIGNS = KeyedCache("dsp.fir_designs", maxsize=64)
+
+#: Taps spectra ``rfft(h, nfft)`` reused by :func:`fir_filter_batch`.
+#: The batch path filters many stacks with the same few designs at the
+#: same few transform sizes, so the taps transform — one of the three
+#: FFTs per call — is memoized by value.  The scalar :func:`fir_filter`
+#: stays the from-scratch reference implementation.
+_TAPS_SPECTRA = KeyedCache("dsp.fir_taps_spectra", maxsize=64)
 
 
 def design_lowpass_fir(
@@ -137,10 +146,52 @@ def fir_filter_batch(signals: np.ndarray, taps: np.ndarray) -> np.ndarray:
     nfft = 1
     while nfft < n:
         nfft <<= 1
+    spec_h = _TAPS_SPECTRA.get(
+        (h.tobytes(), nfft), lambda: np.fft.rfft(h, nfft)
+    )
     y = np.fft.irfft(
-        np.fft.rfft(x, nfft, axis=1) * np.fft.rfft(h, nfft),
+        np.fft.rfft(x, nfft, axis=1) * spec_h,
         nfft,
         axis=1,
     )[:, :n]
     delay = (h.size - 1) // 2
     return y[:, delay: delay + x.shape[1]]
+
+
+def fir_filter_batch_pair(
+    signals: np.ndarray, taps_a: np.ndarray, taps_b: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Filter each row with two FIRs, sharing one forward transform.
+
+    Returns ``(fir_filter_batch(signals, taps_a),
+    fir_filter_batch(signals, taps_b))`` bit-for-bit — the rows'
+    forward spectrum is identical for both filters, so computing it
+    once is pure common-subexpression elimination.  Both taps must
+    share a length (so the padded transform size and the group-delay
+    compensation agree); the microphone model's sharp/knee pair does.
+    """
+    x = np.asarray(signals, dtype=np.float64)
+    ha = np.asarray(taps_a, dtype=np.float64)
+    hb = np.asarray(taps_b, dtype=np.float64)
+    if x.ndim != 2 or ha.ndim != 1 or hb.ndim != 1:
+        raise DspError("signals must be 2-D and taps 1-D")
+    if ha.size == 0 or hb.size == 0:
+        raise DspError("taps must be non-empty")
+    if ha.size != hb.size:
+        raise DspError("paired taps must share a length")
+    if x.shape[0] == 0 or x.shape[1] == 0:
+        return x.copy(), x.copy()
+    n = x.shape[1] + ha.size - 1
+    nfft = 1
+    while nfft < n:
+        nfft <<= 1
+    spec_x = np.fft.rfft(x, nfft, axis=1)
+    delay = (ha.size - 1) // 2
+    outs = []
+    for h in (ha, hb):
+        spec_h = _TAPS_SPECTRA.get(
+            (h.tobytes(), nfft), lambda h=h: np.fft.rfft(h, nfft)
+        )
+        y = np.fft.irfft(spec_x * spec_h, nfft, axis=1)[:, :n]
+        outs.append(y[:, delay: delay + x.shape[1]])
+    return outs[0], outs[1]

@@ -89,10 +89,16 @@ def welch_psd_batch(
     step = max(1, int(segment_size * (1.0 - overlap)))
     n_segments = 1 + (x.shape[1] - segment_size) // step
 
-    idx = np.arange(segment_size)[None, :] + (
-        np.arange(n_segments) * step
-    )[:, None]
-    segs = x[:, idx] * window
+    # Overlapping segments as a strided view — the window multiply is
+    # the only materialization (the fancy-index gather would add a
+    # second full copy before it).
+    s0, s1 = x.strides
+    segs = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(x.shape[0], n_segments, segment_size),
+        strides=(s0, s1 * step, s1),
+        writeable=False,
+    ) * window
     spec = np.fft.rfft(segs, axis=2)
     power = spec.real ** 2 + spec.imag ** 2
 
@@ -144,8 +150,12 @@ def noise_power_per_bin(
         x = np.pad(x, (0, fft_size - x.size))
         n_blocks = 1
     half = fft_size // 2 + 1
+    # One stacked transform over all blocks (row-wise identical to the
+    # per-block 1-D calls), but the block sum stays a sequential loop:
+    # its accumulation order is part of the bit-identity contract.
+    specs = np.fft.rfft(x[: n_blocks * fft_size].reshape(n_blocks, fft_size))
+    powers = specs.real ** 2 + specs.imag ** 2
     acc = np.zeros(half)
     for b in range(n_blocks):
-        spec = np.fft.rfft(x[b * fft_size: (b + 1) * fft_size])
-        acc += (spec.real ** 2 + spec.imag ** 2)
+        acc += powers[b]
     return acc / (n_blocks * fft_size)

@@ -30,14 +30,24 @@ processes; it owns everything that must *not* cross shard boundaries:
     stacked batches through the vectorized signal plane
     (:func:`precompute_probe`), with each generator's bit state
     captured so a re-probe retry continues the stream exactly where
-    the live stage would have.
+    the live stage would have;
+  - ``staging="otp"`` additionally batches the **Phase-2 OTP
+    transmit/receive**.  Tokens depend on per-user OTP counter state
+    (each session's counter position depends on earlier outcomes), so
+    this level cannot be staged up front: Phase B instead runs in
+    *waves* — every user advances by at most one Phase-2-reaching
+    session, paused just before ``otp-tx``; the wave's frames, channel
+    convolutions, receive FFTs and pilot equalizations run as stacked
+    batches (:func:`precompute_otp`); then each session resumes with
+    its staged result and exact rng bit-state restore.
 
   Phase B runs the sessions with those results staged; every staged
   value is bit-identical to what the live stage would compute, so the
   aggregate document is byte-identical across staging levels (CI
-  ``cmp``-checks this).  Probe staging turns itself off when fault
-  injection is configured — injector state depends on cross-stage
-  sequencing that out-of-band replay cannot reproduce.
+  ``cmp``-checks this).  Acoustic staging (probe and otp) turns itself
+  off when fault injection is configured — injector state depends on
+  cross-stage sequencing that out-of-band replay cannot reproduce
+  (:func:`effective_staging`).
 
 The output is a list of compact :class:`~repro.fleet.aggregate.
 SessionRecord`\\ s in canonical ``(user_id, session_index)`` order.
@@ -54,23 +64,36 @@ import numpy as np
 from ..channel.acoustics import D0_METERS, spreading_loss_db
 from ..channel.hardware import MicrophoneModel, SpeakerModel
 from ..channel.link import AcousticLink
-from ..channel.multipath import convolve_ir_rows
+from ..channel.multipath import convolve_ir_rows, convolve_rows_pairwise
 from ..channel.scenarios import get_environment
 from ..config import SystemConfig
 from ..core.colocation import AmbientComparator
 from ..core.stages import StageRng
 from ..devices.profiles import DEVICES
-from ..errors import ConfigurationError, WearLockError
+from ..dsp.energy import rms, spl_to_amplitude
+from ..errors import ChannelError, ConfigurationError, WearLockError
+from ..modem.constellation import get_constellation
+from ..modem.context import signal_plane
 from ..modem.probe import ChannelProber
-from ..protocol.controllers import PhoneController, choose_volume_spl
+from ..modem.receiver import OfdmReceiver, receive_batch_grouped
+from ..modem.subchannels import ChannelPlan
+from ..modem.transmitter import OfdmTransmitter
+from ..protocol.controllers import (
+    PhoneController,
+    TokenTransmission,
+    choose_volume_spl,
+)
 from ..protocol.session import (
     AbortReason,
+    PendingSession,
+    PrecomputedOtp,
     PrecomputedPrefilter,
     PrecomputedProbe,
     RetryPolicy,
     SessionConfig,
     UnlockSession,
 )
+from ..security.tokens import token_to_bits
 from ..protocol.stages import NOISE_FILTER_MIN_SPL, ProbeTxStage
 from ..security.otp import OtpManager
 from ..sensors.dtw import normalized_dtw_batch
@@ -94,6 +117,9 @@ __all__ = [
     "run_shard",
     "precompute_prefilter",
     "precompute_probe",
+    "precompute_otp",
+    "effective_staging",
+    "partition_indices",
     "PIN_FALLBACK_DELAY_S",
     "STAGING_LEVELS",
 ]
@@ -103,7 +129,7 @@ __all__ = [
 PIN_FALLBACK_DELAY_S = 2.5
 
 #: Valid shard staging levels, least to most batched.
-STAGING_LEVELS = ("none", "dtw", "probe")
+STAGING_LEVELS = ("none", "dtw", "probe", "otp")
 
 #: The stage whose rng stream feeds the sensor pair (must match
 #: ``SensorCaptureStage.name``).
@@ -112,6 +138,46 @@ _SENSOR_STAGE = "sensor-capture"
 #: The stage whose rng stream feeds the Phase-1 probe (must match
 #: ``ProbeTxStage.name``).
 _PROBE_STAGE = "probe-tx"
+
+#: The stage whose rng stream feeds the Phase-2 transmit (must match
+#: ``OtpTxStage.name``) — also the stage the wave executor pauses
+#: sessions in front of.
+_OTP_STAGE = "otp-tx"
+
+
+def partition_indices(keys) -> Dict[object, List[int]]:
+    """Order-preserving partition of positions by key.
+
+    Returns ``{key: [positions]}`` with keys in first-seen order and
+    every position list strictly ascending.  The staged fleet paths
+    lean on the induced invariant: scattering per-group results back
+    through the position lists reproduces the original sequence order
+    exactly, for *any* grouping key — the property
+    ``tests/test_otp_staging_equivalence.py`` checks.
+    """
+    groups: Dict[object, List[int]] = {}
+    for i, key in enumerate(keys):
+        groups.setdefault(key, []).append(i)
+    return groups
+
+
+def effective_staging(staging: str, faulted: bool) -> str:
+    """Degrade a requested staging level to what can run bit-exactly.
+
+    Fault injection sequences its draws *across* stages, which no
+    out-of-band replay can reproduce, so both acoustic levels
+    (``"probe"`` and ``"otp"``) degrade to DTW-only staging when a
+    fault plan is configured.  The map is monotone: a faulted run never
+    stages *more* than a fault-free run at the same requested level,
+    and fault-free runs are untouched.
+    """
+    if staging not in STAGING_LEVELS:
+        raise ConfigurationError(
+            f"staging must be one of {STAGING_LEVELS}, got {staging!r}"
+        )
+    if faulted and staging in ("probe", "otp"):
+        return "dtw"
+    return staging
 
 
 def _user_secret(fleet_seed: int, user_id: int) -> bytes:
@@ -156,11 +222,11 @@ def precompute_prefilter(
         i: (magnitude(pairs[i][0]), magnitude(pairs[i][1])) for i in dtw_idx
     }
     scores: Dict[int, float] = {}
-    by_shape: Dict[Tuple[int, int], List[int]] = {}
-    for i in dtw_idx:
-        pm, wm = mags[i]
-        by_shape.setdefault((pm.size, wm.size), []).append(i)
-    for indices in by_shape.values():
+    by_shape = partition_indices(
+        (mags[i][0].size, mags[i][1].size) for i in dtw_idx
+    )
+    for positions in by_shape.values():
+        indices = [dtw_idx[p] for p in positions]
         xs = np.stack([mags[i][0] for i in indices])
         ys = np.stack([mags[i][1] for i in indices])
         batch = normalized_dtw_batch(xs, ys)
@@ -358,9 +424,9 @@ def precompute_probe(
     sims: List[Optional[float]] = [None] * len(specs)
     mb_sims: List[Optional[float]] = [None] * len(specs)
     system = SystemConfig()
-    groups: Dict[Tuple[str, str], List[int]] = {}
-    for i, spec in enumerate(specs):
-        groups.setdefault((spec.band, spec.environment), []).append(i)
+    groups = partition_indices(
+        (spec.band, spec.environment) for spec in specs
+    )
     for (band, env_name), indices in groups.items():
         group_probes, group_sims, group_mb = _stage_probe_group(
             system, band, env_name, [specs[i] for i in indices]
@@ -372,6 +438,310 @@ def precompute_probe(
     return probes, sims, mb_sims
 
 
+def _mic_fingerprint(mic: MicrophoneModel) -> Tuple:
+    """Hashable identity of a microphone's capture behaviour.
+
+    Two microphones with equal fingerprints record any input through
+    identical filters and noise-floor scaling, so their rows can share
+    one :meth:`~repro.channel.hardware.MicrophoneModel.record_batch`.
+    """
+    return (
+        float(mic.sample_rate),
+        None if mic.lowpass_hz is None else float(mic.lowpass_hz),
+        float(mic.knee_hz),
+        float(mic.knee_loss_db),
+        float(mic.noise_floor_spl),
+        float(mic.clip_level),
+        int(mic.num_taps),
+    )
+
+
+def _speaker_fingerprint(speaker: SpeakerModel) -> Tuple:
+    """Hashable identity of a speaker's deterministic response.
+
+    Two speakers with equal fingerprints render any input identically
+    (the ripple realization is fixed by ``device_seed``), so their rows
+    can share one :meth:`~repro.channel.hardware.SpeakerModel.
+    play_batch` call.
+    """
+    return (
+        float(speaker.sample_rate),
+        float(speaker.rise_time),
+        float(speaker.ringing_time),
+        float(speaker.ringing_gain),
+        float(speaker.clip_level),
+        float(speaker.phase_ripple_rad),
+        float(speaker.phase_ripple_detail_hz),
+        int(speaker.device_seed),
+    )
+
+
+def precompute_otp(
+    pendings: Sequence[PendingSession],
+) -> List[Optional[PrecomputedOtp]]:
+    """Batch one wave's Phase-2 transmit + receive, bit-exactly.
+
+    Each pending session is paused just before ``otp-tx`` with its mode
+    decision, probe report and transmit level already fixed, so the
+    token each phone *will* send is fully determined — ``prepare_token``
+    reads the OTP counter without advancing it.  Three stacked passes
+    replay what the live stages would compute:
+
+    1. **Frames.**  Token bits are encoded per session, then sessions
+       sharing a signal plane and coded length go through one
+       :meth:`~repro.modem.transmitter.OfdmTransmitter.modulate_batch`.
+    2. **Channel.**  Each session's ``otp-tx`` generator (the memoized
+       :meth:`~repro.core.stages.SessionContext.rng_for` stream, so the
+       live stage sees the advanced state) replays the exact
+       :meth:`~repro.channel.link.AcousticLink.transmit` draw order —
+       room IR, receiver noise bed, microphone — with the convolutions
+       stacked via :func:`~repro.channel.multipath.
+       convolve_rows_pairwise` and the noise/mic draws batched per
+       (environment, band, frame length) group.  Sessions whose link
+       has clock skew or a fault injector fall back to the scalar
+       ``transmit`` (same stream, identical by definition).
+    3. **Receive.**  The watch-side plane is rebuilt exactly the way
+       :meth:`~repro.protocol.controllers.WatchController.demodulate`
+       rebuilds it from the channel-config message, and sessions
+       sharing (plane, recording length, bit count) go through one
+       :meth:`~repro.modem.receiver.OfdmReceiver.receive_batch`.  A
+       ``None`` bits entry marks exactly the frames whose scalar
+       receive would raise (→ ``data_not_detected`` downstream).
+
+    Recordings are dropped here: only the sample count survives (for
+    the offload arithmetic), plus the post-draw generator state so a
+    NACK retransmission continues the stream exactly where live would.
+    """
+    n = len(pendings)
+    results: List[Optional[PrecomputedOtp]] = [None] * n
+    if not n:
+        return results
+
+    # Pass 1 — tokens + frame assembly, bucketed by signal plane (a
+    # cached singleton, so identity is the key) and coded bit count.
+    prepared: List[Tuple] = [None] * n
+    planes: List[object] = [None] * n
+    coded: List[np.ndarray] = [None] * n
+    for i, pending in enumerate(pendings):
+        ctx = pending.ctx
+        phone = ctx.phone
+        decision = ctx.mode_decision
+        use_plan = ctx.report.recommended_plan or phone.plan
+        constellation = phone.modulator.constellation_for(decision)
+        token = phone.otp.generate()
+        bits = token_to_bits(token, phone.otp.token_bits)
+        coded[i] = phone.code.encode(bits)
+        planes[i] = signal_plane(phone.config.modem, use_plan, constellation)
+        prepared[i] = (decision.mode, use_plan, token)
+    tts: List[Optional[TokenTransmission]] = [None] * n
+    for key, idxs in partition_indices(
+        (id(planes[i]), coded[i].size) for i in range(n)
+    ).items():
+        tx = OfdmTransmitter(plane=planes[idxs[0]])
+        frames = tx.modulate_batch([coded[i] for i in idxs])
+        for frame, i in zip(frames, idxs):
+            mode, use_plan, token = prepared[i]
+            tts[i] = TokenTransmission(
+                result=frame,
+                mode=mode,
+                plan=use_plan,
+                tx_spl=pendings[i].ctx.tx_spl,
+                token=token,
+                coded_bits=coded[i].size,
+            )
+
+    # Pass 2 — the acoustic channel, on each session's own stage
+    # stream.  The emitted waveform is deterministic; everything after
+    # it follows transmit()'s draw order on the memoized generator.
+    gens = [p.ctx.rng_for(_OTP_STAGE) for p in pendings]
+    recordings: List[Optional[np.ndarray]] = [None] * n
+    emitted: List[Optional[np.ndarray]] = [None] * n
+    batchable: List[int] = []
+    for i, pending in enumerate(pendings):
+        link = pending.ctx.link
+        if link.clock_skew_ppm or link.injector is not None:
+            recordings[i], _ = link.transmit(
+                tts[i].result.waveform, tts[i].tx_spl, rng=gens[i]
+            )
+        else:
+            batchable.append(i)
+    # Speaker rendering, stacked per (frame length, device response):
+    # `emitted_waveform` is deterministic, so rows sharing a length and
+    # an identically configured speaker go through one
+    # :meth:`~repro.channel.hardware.SpeakerModel.play_batch`.
+    for key, positions in partition_indices(
+        (
+            tts[i].result.waveform.size,
+            _speaker_fingerprint(pendings[i].ctx.link.speaker),
+        )
+        for i in batchable
+    ).items():
+        group = [batchable[p] for p in positions]
+        driven = []
+        for i in group:
+            x = np.asarray(tts[i].result.waveform, dtype=np.float64)
+            if x.ndim != 1 or x.size == 0:
+                raise ChannelError("waveform must be a non-empty 1-D array")
+            level = rms(x)
+            if level <= 0.0:
+                raise ChannelError("waveform has zero energy")
+            driven.append(x * (spl_to_amplitude(tts[i].tx_spl) / level))
+        played = pendings[group[0]].ctx.link.speaker.play_batch(
+            np.stack(driven)
+        )
+        for j, i in enumerate(group):
+            emitted[i] = played[j]
+    mic_pending: List[Tuple[List[int], np.ndarray]] = []
+    for key, positions in partition_indices(
+        (
+            pendings[i].ctx.config.environment,
+            pendings[i].ctx.config.band,
+            emitted[i].size,
+        )
+        for i in batchable
+    ).items():
+        group = [batchable[p] for p in positions]
+        link0 = pendings[group[0]].ctx.link
+        fs = link0.sample_rate
+        group_gens = [gens[i] for i in group]
+        if link0.room is not None:
+            # ``los`` picks the LOS room or its cached NLOS variant per
+            # session; variants share the tail length, so rows stack.
+            irs = np.stack(
+                [
+                    pendings[i].ctx.link.effective_room().sample(gens[i])
+                    for i in group
+                ]
+            )
+            propagated = convolve_rows_pairwise(
+                np.stack([emitted[i] for i in group]), irs
+            )
+        rows = []
+        for j, i in enumerate(group):
+            link = pendings[i].ctx.link
+            if link0.room is not None:
+                row = propagated[j]
+            else:
+                row = emitted[i]
+                if not link.los:
+                    row = row * 10.0 ** (-link.nlos_blocking_db / 20.0)
+            loss_db = spreading_loss_db(link.distance_m, d0=D0_METERS)
+            rows.append(row * 10.0 ** (-loss_db / 20.0))
+        lead = int(link0.leading_silence * fs)
+        trail = int(link0.trailing_silence * fs)
+        width = lead + rows[0].size + trail
+        if link0.noise is not None:
+            at_mic = link0.noise.sample_batch(width, group_gens)
+        else:
+            at_mic = np.zeros((len(group), width))
+        for j, row in enumerate(rows):
+            at_mic[j, lead:lead + row.size] += row
+        mic_pending.append((group, at_mic))
+    # Microphone capture, merged across channel groups: the mic model
+    # is identical fleet-wide per band, so rows from different
+    # environments stack into one ``record_batch`` per (device, width)
+    # — each row's generator draws only its own noise floor, so the
+    # cross-group order is irrelevant to the per-stream draw sequence.
+    flat = [
+        (i, beds, j)
+        for group, beds in mic_pending
+        for j, i in enumerate(group)
+    ]
+    for key, positions in partition_indices(
+        (
+            _mic_fingerprint(pendings[i].ctx.link.microphone),
+            beds.shape[1],
+        )
+        for i, beds, _ in flat
+    ).items():
+        rows_idx = [flat[p] for p in positions]
+        stacked = np.stack([beds[j] for _, beds, j in rows_idx])
+        recorded = pendings[rows_idx[0][0]].ctx.link.microphone.record_batch(
+            stacked, [gens[i] for i, _, _ in rows_idx]
+        )
+        for row, (i, _, _) in enumerate(rows_idx):
+            recordings[i] = recorded[row]
+    states = [gen.bit_generator.state for gen in gens]
+
+    # Pass 3 — watch-side receive, planes rebuilt from the config
+    # message exactly like WatchController.demodulate.
+    msgs = [
+        pendings[i].ctx.phone.channel_config_message(tts[i])
+        for i in range(n)
+    ]
+    rx_planes: List[object] = [None] * n
+    plane_memo: Dict[Tuple, object] = {}
+    for i, pending in enumerate(pendings):
+        modem = pending.ctx.watch.config.modem
+        # Keyed by the frozen config's *value*, not identity: every
+        # session builds its own ModemConfig object, and an id() key
+        # would rebuild the ChannelPlan and re-probe the plane cache
+        # once per session instead of once per (config, plan, mode).
+        memo_key = (
+            modem,
+            msgs[i].mode,
+            tuple(msgs[i].data_channels),
+            tuple(msgs[i].pilot_channels),
+        )
+        plane = plane_memo.get(memo_key)
+        if plane is None:
+            rx_plan = ChannelPlan(
+                fft_size=modem.fft_size,
+                data=tuple(msgs[i].data_channels),
+                pilots=tuple(msgs[i].pilot_channels),
+            )
+            plane = signal_plane(
+                modem, rx_plan, get_constellation(msgs[i].mode)
+            )
+            plane_memo[memo_key] = plane
+        rx_planes[i] = plane
+    bits_out: List[Optional[np.ndarray]] = [None] * n
+    # Grouped by sync geometry, not by plane: sessions rarely share a
+    # probe-selected plan, so an id(plane) partition would shatter the
+    # wave into near-singleton stacks.  The modem config plus the
+    # (mode, data-channel count) pair fix everything the shared sync
+    # front-half depends on; the per-plan tail runs inside
+    # receive_batch_grouped.
+    rx_memo: Dict[int, OfdmReceiver] = {}
+
+    def _rx(plane) -> OfdmReceiver:
+        receiver = rx_memo.get(id(plane))
+        if receiver is None:
+            receiver = OfdmReceiver(plane=plane)
+            rx_memo[id(plane)] = receiver
+        return receiver
+
+    for key, idxs in partition_indices(
+        (
+            pendings[i].ctx.watch.config.modem,
+            msgs[i].mode,
+            len(msgs[i].data_channels),
+            recordings[i].size,
+            msgs[i].n_bits,
+        )
+        for i in range(n)
+    ).items():
+        received = receive_batch_grouped(
+            [_rx(rx_planes[i]) for i in idxs],
+            [recordings[i] for i in idxs],
+            expected_bits=msgs[idxs[0]].n_bits,
+        )
+        for res, i in zip(received, idxs):
+            bits_out[i] = res.bits if res is not None else None
+
+    for i in range(n):
+        lite = replace(
+            tts[i], result=replace(tts[i].result, waveform=None)
+        )
+        results[i] = PrecomputedOtp(
+            token_tx=lite,
+            recording_samples=int(recordings[i].size),
+            received_bits=bits_out[i],
+            rng_state=states[i],
+        )
+    return results
+
+
 def _stage_shard(
     config: FleetConfig, specs: Sequence[SessionSpec], staging: str
 ) -> List[Optional[PrecomputedPrefilter]]:
@@ -379,10 +749,12 @@ def _stage_shard(
     if staging == "none":
         return [None] * len(specs)
     staged = precompute_prefilter(specs)
-    if staging != "probe" or config.faults:
+    if staging not in ("probe", "otp") or config.faults:
         # Fault injection sequences its draws across stages; the
         # out-of-band probe replay cannot reproduce that, so probe
-        # staging degrades to DTW-only staging under faults.
+        # staging degrades to DTW-only staging under faults (the
+        # ``"otp"`` level, which builds on probe staging, degrades the
+        # same way — see :func:`effective_staging`).
         return staged
     probes, sims, mb_sims = precompute_probe(specs)
     return [
@@ -458,6 +830,133 @@ def _pin_fallback_record(spec: SessionSpec) -> SessionRecord:
     )
 
 
+def _session_config(
+    system: SystemConfig,
+    spec: SessionSpec,
+    faults,
+    retry: Optional[RetryPolicy],
+) -> SessionConfig:
+    """The session configuration one spec describes (shared by both
+    Phase-B drivers, so wave batching can never drift from the live
+    construction)."""
+    return SessionConfig(
+        system=system,
+        environment=spec.environment,
+        distance_m=spec.distance_m,
+        los=spec.los,
+        wireless=spec.wireless,
+        phone_device=DEVICES[spec.phone],
+        watch_device=DEVICES[spec.watch],
+        activity=ActivityKind(spec.activity),
+        co_located=spec.co_located,
+        band=spec.band,
+        seed=spec.seed,
+        faults=faults,
+        retry=retry,
+        verifiers=spec.verifiers,
+        fusion=spec.fusion,
+    )
+
+
+def _user_phone(
+    config: FleetConfig, system: SystemConfig, user
+) -> Tuple[OtpManager, PhoneController]:
+    """One user's persistent security state (OTP counters + keyguard)."""
+    otp = OtpManager(
+        _user_secret(config.seed, user.user_id), config=system.security
+    )
+    phone_system = system
+    if user.band == "ultrasound":
+        phone_system = replace(system, modem=system.modem.near_ultrasound())
+    return otp, PhoneController(phone_system, otp)
+
+
+def _run_shard_otp(
+    config: FleetConfig,
+    system: SystemConfig,
+    retry: Optional[RetryPolicy],
+    shard: Sequence[Tuple[object, List[SessionSpec], int]],
+    staged_flat: List[Optional[PrecomputedPrefilter]],
+) -> List[SessionRecord]:
+    """Phase B with wave-batched Phase-2 staging (``staging="otp"``).
+
+    A session's OTP token depends on its user's counter state, which
+    depends on the *outcomes* of that user's earlier sessions — so the
+    Phase-2 DSP cannot be staged up front the way the probe can.
+    Instead sessions run in **waves**: each user holds at most one
+    *active* session, paused just before ``otp-tx``
+    (:meth:`~repro.protocol.session.UnlockSession.begin`); every
+    round, the whole wave's transmit/receive DSP runs as one batch
+    (:func:`precompute_otp`) and each session is *fed* its staged
+    result (:meth:`~repro.protocol.session.PendingSession.feed`).  A
+    fed session either completes — freeing its user to start the next
+    session, which joins the following round — or pauses again in
+    front of ``otp-tx`` (a NACK retransmission, or the tail of a
+    re-probe) and is batched again: retransmissions ride the waves
+    too, their generators already positioned mid-stream.  Sessions
+    that abort before Phase 2 (prefilter rejections, probe failures)
+    finish inside the top-up sweep without occupying a wave slot.
+    Tokens are exact by construction: each is staged from the paused
+    session's own OTP counter at its own attempt.  Records are
+    re-sorted to the canonical ``(user_id, session_index)`` order the
+    live driver emits.
+    """
+    states = []
+    for user, specs, offset in shard:
+        otp, phone = _user_phone(config, system, user)
+        states.append([otp, phone, specs, offset, 0])
+
+    records: List[SessionRecord] = []
+    active: Dict[int, Tuple[SessionSpec, PendingSession]] = {}
+    while True:
+        # Top-up sweep: every user without an in-flight session starts
+        # sessions until one pauses at otp-tx or their day runs out.
+        for ui, state in enumerate(states):
+            if ui in active:
+                continue
+            otp, phone, specs, offset, cursor = state
+            while cursor < len(specs):
+                spec = specs[cursor]
+                staged = staged_flat[offset + cursor]
+                staged_flat[offset + cursor] = None
+                cursor += 1
+                if otp.locked_out or phone.keyguard.pin_required:
+                    phone.keyguard.pin_unlock()
+                    otp.unlock_with_pin()
+                    records.append(_pin_fallback_record(spec))
+                    continue
+                phone.keyguard.lock()
+                session = UnlockSession(
+                    _session_config(system, spec, None, retry),
+                    otp=otp,
+                    phone=phone,
+                )
+                pending = session.begin(precomputed=staged)
+                if pending.paused:
+                    active[ui] = (spec, pending)
+                    break  # one in-flight session per user
+                # Aborted before otp-tx: the outcome is already final.
+                records.append(
+                    _record(spec, pending.finish(), pin_fallback=False)
+                )
+            state[4] = cursor
+        if not active:
+            break
+        # One batched round: stage every in-flight transmission (first
+        # attempts and retransmissions alike) and feed it back.
+        wave = list(active.items())
+        staged_otps = precompute_otp([p for _, (_, p) in wave])
+        for (ui, (spec, pending)), staged_otp in zip(wave, staged_otps):
+            if pending.feed(staged_otp):
+                continue  # paused again: next round stages the retry
+            records.append(
+                _record(spec, pending.finish(), pin_fallback=False)
+            )
+            del active[ui]
+    records.sort(key=lambda r: (r.user_id, r.session_index))
+    return records
+
+
 def run_shard(
     config: FleetConfig,
     user_lo: int,
@@ -474,17 +973,17 @@ def run_shard(
     ``staging`` selects the Phase-A fast path (:data:`STAGING_LEVELS`):
     ``"none"`` runs every stage live (the benchmark's serial baseline),
     ``"dtw"`` stages the batched motion DTW, ``"probe"`` additionally
-    stages the batched Phase-1 probe DSP.  When ``staging`` is omitted
-    the legacy ``batched`` flag maps ``True`` to ``"probe"`` and
-    ``False`` to ``"none"``.  All levels produce byte-identical
-    aggregates.
+    stages the batched Phase-1 probe DSP, and ``"otp"`` additionally
+    wave-batches the Phase-2 OTP transmit/receive
+    (:func:`_run_shard_otp`).  When ``staging`` is omitted the legacy
+    ``batched`` flag maps ``True`` to ``"probe"`` and ``False`` to
+    ``"none"``.  Under fault injection the acoustic levels degrade to
+    ``"dtw"`` (:func:`effective_staging`).  All levels produce
+    byte-identical aggregates.
     """
     if staging is None:
         staging = "probe" if batched else "none"
-    if staging not in STAGING_LEVELS:
-        raise ConfigurationError(
-            f"staging must be one of {STAGING_LEVELS}, got {staging!r}"
-        )
+    staging = effective_staging(staging, bool(config.faults))
     system = SystemConfig()
     retry = RetryPolicy() if config.retry else None
     faults = config.faults or None
@@ -502,18 +1001,14 @@ def run_shard(
         flat.extend(specs)
     staged_flat = _stage_shard(config, flat, staging)
 
+    if staging == "otp":
+        # effective_staging() already degraded faulted runs, so the
+        # wave driver never sees an injector.
+        return _run_shard_otp(config, system, retry, shard, staged_flat)
+
     records: List[SessionRecord] = []
     for user, specs, offset in shard:
-        user_id = user.user_id
-        otp = OtpManager(
-            _user_secret(config.seed, user_id), config=system.security
-        )
-        phone_system = system
-        if user.band == "ultrasound":
-            phone_system = replace(
-                system, modem=system.modem.near_ultrasound()
-            )
-        phone = PhoneController(phone_system, otp)
+        otp, phone = _user_phone(config, system, user)
         for k, spec in enumerate(specs):
             # Consume the staged entry (drop the reference immediately
             # so a shard's precomputed recordings are freed as Phase B
@@ -526,24 +1021,11 @@ def run_shard(
                 records.append(_pin_fallback_record(spec))
                 continue
             phone.keyguard.lock()
-            session_config = SessionConfig(
-                system=system,
-                environment=spec.environment,
-                distance_m=spec.distance_m,
-                los=spec.los,
-                wireless=spec.wireless,
-                phone_device=DEVICES[spec.phone],
-                watch_device=DEVICES[spec.watch],
-                activity=ActivityKind(spec.activity),
-                co_located=spec.co_located,
-                band=spec.band,
-                seed=spec.seed,
-                faults=faults,
-                retry=retry,
-                verifiers=spec.verifiers,
-                fusion=spec.fusion,
+            session = UnlockSession(
+                _session_config(system, spec, faults, retry),
+                otp=otp,
+                phone=phone,
             )
-            session = UnlockSession(session_config, otp=otp, phone=phone)
             outcome = session.run(precomputed=staged)
             records.append(_record(spec, outcome, pin_fallback=False))
     return records

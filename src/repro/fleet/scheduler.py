@@ -79,8 +79,10 @@ class FleetScheduler:
         Shard staging level (see :data:`~repro.fleet.executor.
         STAGING_LEVELS`): ``"none"`` runs every stage live, ``"dtw"``
         batches the motion DTW per shard, ``"probe"`` additionally
-        batches the Phase-1 probe DSP.  Every level produces a
-        byte-identical aggregate.
+        batches the Phase-1 probe DSP, and ``"otp"`` additionally
+        wave-batches the Phase-2 OTP transmit/receive (acoustic levels
+        degrade to ``"dtw"`` under fault injection).  Every level
+        produces a byte-identical aggregate.
     """
 
     def __init__(

@@ -166,7 +166,66 @@ class PreambleDetector:
             delay_profile=profile,
         )
 
-    def _delay_profile(self, scores: np.ndarray, peak: int) -> np.ndarray:
+    def matches_from_scores(
+        self, scores: np.ndarray
+    ) -> Tuple[Tuple[Optional[PreambleMatch], float], ...]:
+        """Finish a whole stack of score traces in one pass.
+
+        Entry ``i`` is ``(match, peak_score)`` where ``match`` equals
+        ``match_from_scores(scores[i])`` bit-for-bit and is ``None``
+        where that call would have raised
+        :class:`~repro.errors.PreambleNotFoundError` (``peak_score`` is
+        then the score the exception would carry).  The peak argmax and
+        the noise-floor median — the two full-trace reductions — run
+        batched over the stack; ``np.argmax``/``np.median`` along a row
+        of a C-ordered stack select exactly the elements the 1-D calls
+        do.
+        """
+        stack = np.asarray(scores, dtype=np.float64)
+        if stack.ndim != 2:
+            raise DspError("scores must be a 2-D stack of traces")
+        if stack.shape[0] == 0:
+            return ()
+        peaks = np.argmax(stack, axis=1)
+        # The noise-floor median only feeds the delay profile, which
+        # below-threshold rows never build — so run the (partition-
+        # heavy) median over the locked rows only.
+        locked = [
+            row
+            for row in range(stack.shape[0])
+            if float(stack[row, peaks[row]]) >= self._threshold
+        ]
+        baselines = dict(
+            zip(locked, np.median(np.abs(stack[locked]), axis=1))
+        ) if locked else {}
+        out = []
+        for row in range(stack.shape[0]):
+            peak = int(peaks[row])
+            best = float(stack[row, peak])
+            if best < self._threshold:
+                out.append((None, best))
+                continue
+            profile = self._delay_profile(
+                stack[row], peak, baseline=float(baselines[row])
+            )
+            out.append(
+                (
+                    PreambleMatch(
+                        start=peak + self._template.size,
+                        score=best,
+                        delay_profile=profile,
+                    ),
+                    best,
+                )
+            )
+        return tuple(out)
+
+    def _delay_profile(
+        self,
+        scores: np.ndarray,
+        peak: int,
+        baseline: Optional[float] = None,
+    ) -> np.ndarray:
         """Approximate power delay profile from the correlation trace.
 
         Correlation values from the peak onward (echoes arrive after
@@ -188,7 +247,8 @@ class PreambleDetector:
         # siblings pass the gate, inflating τ_rms — which is exactly the
         # signature the detector needs.  Absolute part: the correlation
         # noise floor, so loud scenes don't masquerade as echoes.
-        baseline = float(np.median(np.abs(scores)))
+        if baseline is None:
+            baseline = float(np.median(np.abs(scores)))
         gate = max(0.25 * segment[0], 3.0 * baseline)
         segment = np.where(segment >= gate, segment, 0.0)
         return segment * segment

@@ -165,27 +165,40 @@ class ChannelProber:
                 )
             except DspError:
                 continue  # too short: every row fails with score 0.0
-            for row, i in enumerate(idxs):
-                try:
-                    matches[i] = detector.match_from_scores(scores[row])
-                except PreambleNotFoundError as exc:
-                    fail_scores[i] = exc.score
+            finished = detector.matches_from_scores(scores)
+            for i, (match, peak_score) in zip(idxs, finished):
+                matches[i] = match
+                if match is None:
+                    fail_scores[i] = peak_score
 
-        # Fine sync + body extraction per recording, one stacked
-        # receive FFT across every detected probe in the batch.
+        # Fine sync + body extraction batched per recording length, one
+        # stacked receive FFT across every detected probe in the batch.
+        # Stacking follows the length buckets; the stacked transforms
+        # are row-independent, so the order is immaterial.
         bodies_list: List[Optional[np.ndarray]] = [None] * len(recs)
         stacked: List[np.ndarray] = []
         offsets: dict = {}
         offset = 0
-        for i, match in enumerate(matches):
-            if match is None:
+        for size, idxs in by_len.items():
+            locked = [i for i in idxs if matches[i] is not None]
+            if not locked:
                 continue
-            bodies = self._probe_bodies(recs[i], match, layout)
-            bodies_list[i] = bodies
-            if bodies.shape[0]:
-                offsets[i] = offset
-                offset += bodies.shape[0]
-                stacked.append(bodies)
+            extracted = self._sync.extract_bodies_rows(
+                np.stack([recs[i] for i in locked]),
+                [matches[i] for i in locked],
+                layout,
+            )
+            for i, res in zip(locked, extracted):
+                if isinstance(res, Exception):
+                    # Mirrors :meth:`_probe_bodies`'s tolerance.
+                    bodies = np.zeros((0, self._config.fft_size))
+                else:
+                    bodies = res[0]
+                bodies_list[i] = bodies
+                if bodies.shape[0]:
+                    offsets[i] = offset
+                    offset += bodies.shape[0]
+                    stacked.append(bodies)
         spectra_all = (
             demodulate_blocks(self._config, np.concatenate(stacked))
             if stacked

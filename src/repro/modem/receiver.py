@@ -18,12 +18,17 @@ detector, plan index arrays) come from the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..config import ModemConfig
-from ..errors import DemodulationError, PreambleNotFoundError
+from ..errors import (
+    DemodulationError,
+    DspError,
+    ModemError,
+    PreambleNotFoundError,
+)
 from ..dsp.energy import SILENCE_FLOOR_SPL_DB, EnergyDetector, signal_spl
 from .constellation import Constellation
 from .context import SignalPlane, signal_plane
@@ -202,6 +207,202 @@ class OfdmReceiver:
             noise_spl=noise_spl,
         )
 
+    def receive_batch(
+        self,
+        recordings,
+        expected_bits: int,
+    ) -> List[Optional[ReceiveResult]]:
+        """Demodulate many frames of the same payload size in one pass.
+
+        Entry ``i`` equals ``receive(recordings[i], expected_bits)``
+        bit-for-bit: the preamble search runs as one stacked
+        correlation per recording length, the symbol bodies of every
+        locked frame go through one stacked receive FFT, and the pilot
+        SNR / channel estimation / equalization — all per-row
+        transforms — run on the concatenated symbol rows.  An entry is
+        ``None`` where the scalar ``receive`` would have *raised* a
+        :class:`~repro.errors.ModemError` (no preamble, frame past the
+        end of the recording), so a staged caller can abort exactly
+        where the live path would.  Mirrors
+        :meth:`~repro.modem.probe.ChannelProber.analyze_batch`.
+        """
+        recs = [np.asarray(r, dtype=np.float64) for r in recordings]
+        out: List[Optional[ReceiveResult]] = [None] * len(recs)
+        if not recs:
+            return out
+
+        n_symbols = self.n_symbols_for_bits(expected_bits)
+        layout = frame_layout(self._config, n_symbols)
+        detector = self._sync.detector
+
+        # Coarse sync: one stacked correlation per recording length.
+        matches: List[Optional[PreambleMatch]] = [None] * len(recs)
+        by_len: dict = {}
+        for i, x in enumerate(recs):
+            if x.ndim != 1 or x.size == 0:
+                continue  # scalar receive raises DemodulationError
+            by_len.setdefault(x.size, []).append(i)
+        for size, idxs in by_len.items():
+            try:
+                scores = detector.scores_batch(
+                    np.stack([recs[i] for i in idxs])
+                )
+            except DspError:
+                continue  # too short for the template: all rows fail
+            finished = detector.matches_from_scores(scores)
+            for i, (match, _) in zip(idxs, finished):
+                matches[i] = match
+
+        # Fine sync + body extraction batched per recording length, one
+        # stacked receive FFT (and one batched estimate/equalize/demap)
+        # across every locked frame.  The stacked row order follows the
+        # length buckets rather than the input order; every stacked
+        # transform below is row-independent, so each frame's rows are
+        # bit-identical either way and ``bodies_at`` keeps the mapping.
+        bodies_at: List[Optional[int]] = [None] * len(recs)
+        offsets_of: List[Optional[Tuple[int, ...]]] = [None] * len(recs)
+        stacked: List[np.ndarray] = []
+        row_cursor = 0
+        for size, idxs in by_len.items():
+            locked = [i for i in idxs if matches[i] is not None]
+            if not locked:
+                continue
+            extracted = self._sync.extract_bodies_rows(
+                np.stack([recs[i] for i in locked]),
+                [matches[i] for i in locked],
+                layout,
+            )
+            for i, res in zip(locked, extracted):
+                if isinstance(res, ModemError):
+                    matches[i] = None  # frame ran past the recording
+                    continue
+                if isinstance(res, Exception):
+                    raise res  # what the scalar extraction would do
+                bodies, offsets = res
+                bodies_at[i] = row_cursor
+                offsets_of[i] = offsets
+                row_cursor += bodies.shape[0]
+                stacked.append(bodies)
+        if not stacked:
+            return out
+
+        spectra_all = demodulate_blocks(self._config, np.concatenate(stacked))
+        try:
+            psnr_all = pilot_snr_db_rows(
+                spectra_all, self._plan, null_bins=self._plane.quiet_nulls
+            )
+            estimate_all = self._estimate_rows(spectra_all)
+            equalized_all = equalize_rows(
+                spectra_all, self._plan, estimate_all
+            )
+        except ModemError:
+            # A frame with dead pilot bins fails the *stacked* estimate
+            # for everyone; the scalar path fails only that frame.  Re-
+            # run the locked frames one by one so each gets exactly its
+            # scalar outcome (rare: a locked preamble with empty pilots).
+            for i, match in enumerate(matches):
+                if match is None:
+                    continue
+                try:
+                    out[i] = self.receive(recs[i], expected_bits)
+                except ModemError:
+                    out[i] = None
+            return out
+
+        for i, match in enumerate(matches):
+            if match is None or bodies_at[i] is None:
+                continue
+            lo = bodies_at[i]
+            hi = lo + n_symbols
+            symbols = equalized_all[lo:hi].reshape(-1)
+            bits = self._constellation.demap(symbols)[:expected_bits]
+
+            noise_start = max(0, match.start - layout.preamble_length)
+            ambient = recs[i][:noise_start]
+            noise_spl = (
+                signal_spl(ambient) if ambient.size else SILENCE_FLOOR_SPL_DB
+            )
+            if not np.isfinite(noise_spl):
+                noise_spl = SILENCE_FLOOR_SPL_DB
+
+            psnr = float(np.mean(psnr_all[lo:hi]))
+            ebn0 = ebn0_db_from_psnr(
+                psnr, self._config, self._plan, self._constellation
+            )
+            out[i] = ReceiveResult(
+                bits=bits,
+                preamble_score=match.score,
+                psnr_db=psnr,
+                ebn0_db=ebn0,
+                fine_offsets=offsets_of[i],
+                delay_profile=match.delay_profile,
+                equalized_symbols=symbols,
+                noise_spl=noise_spl,
+            )
+        return out
+
+    def _finish_rows(
+        self,
+        out: List[Optional[ReceiveResult]],
+        idxs: List[int],
+        recs: List[np.ndarray],
+        matches: List[Optional[PreambleMatch]],
+        offsets_of: List[Optional[Tuple[int, ...]]],
+        spectra: np.ndarray,
+        layout,
+        n_symbols: int,
+        expected_bits: int,
+    ) -> None:
+        """Equalize/demap ``idxs``'s frames from their stacked spectra.
+
+        ``spectra`` holds ``n_symbols`` consecutive rows per entry of
+        ``idxs``, in order.  The plan-dependent tail of
+        :meth:`receive_batch`, factored out so grouped callers can run
+        it once per plane over a sync stack shared across plans.  On a
+        stacked-estimate failure every frame re-runs scalar, exactly
+        like :meth:`receive_batch`'s fallback.
+        """
+        try:
+            psnr_all = pilot_snr_db_rows(
+                spectra, self._plan, null_bins=self._plane.quiet_nulls
+            )
+            estimate_all = self._estimate_rows(spectra)
+            equalized_all = equalize_rows(spectra, self._plan, estimate_all)
+        except ModemError:
+            for i in idxs:
+                try:
+                    out[i] = self.receive(recs[i], expected_bits)
+                except ModemError:
+                    out[i] = None
+            return
+        for row, i in enumerate(idxs):
+            lo = row * n_symbols
+            hi = lo + n_symbols
+            symbols = equalized_all[lo:hi].reshape(-1)
+            bits = self._constellation.demap(symbols)[:expected_bits]
+            match = matches[i]
+            noise_start = max(0, match.start - layout.preamble_length)
+            ambient = recs[i][:noise_start]
+            noise_spl = (
+                signal_spl(ambient) if ambient.size else SILENCE_FLOOR_SPL_DB
+            )
+            if not np.isfinite(noise_spl):
+                noise_spl = SILENCE_FLOOR_SPL_DB
+            psnr = float(np.mean(psnr_all[lo:hi]))
+            ebn0 = ebn0_db_from_psnr(
+                psnr, self._config, self._plan, self._constellation
+            )
+            out[i] = ReceiveResult(
+                bits=bits,
+                preamble_score=match.score,
+                psnr_db=psnr,
+                ebn0_db=ebn0,
+                fine_offsets=offsets_of[i],
+                delay_profile=match.delay_profile,
+                equalized_symbols=symbols,
+                noise_spl=noise_spl,
+            )
+
     def detect_only(self, recording: np.ndarray) -> PreambleMatch:
         """Run silence + preamble detection without demodulating.
 
@@ -214,3 +415,109 @@ class OfdmReceiver:
                 0.0, self._sync.detector.threshold
             )
         return self._sync.locate(x)
+
+
+def receive_batch_grouped(
+    receivers: List[OfdmReceiver],
+    recordings,
+    expected_bits: int,
+) -> List[Optional[ReceiveResult]]:
+    """Demodulate frames that share sync geometry but not a plan.
+
+    Entry ``i`` equals ``receivers[i].receive(recordings[i],
+    expected_bits)`` bit-for-bit, with ``None`` where that call would
+    raise a :class:`~repro.errors.ModemError` — the same contract as
+    :meth:`OfdmReceiver.receive_batch`, except the rows may come from
+    *different* sub-channel plans.  Coarse sync, fine sync and the
+    symbol-body FFT depend only on the modem config and the frame
+    geometry, so they run as one stack across every plan; only the
+    cheap plan-dependent tail (pilot SNR, channel estimate,
+    equalization, demap) runs per distinct plane.  This matters to the
+    fleet's Phase-2 waves, where nearly every session carries its own
+    probe-selected plan: per-plane batching would shatter a wave into
+    single-row "stacks".
+
+    Every receiver must agree on config, fine-sync setting, detection
+    threshold and the symbol count implied by ``expected_bits``, and
+    the recordings must share one length; mismatches raise
+    :class:`~repro.errors.DemodulationError`.
+    """
+    recs = [np.asarray(r, dtype=np.float64) for r in recordings]
+    out: List[Optional[ReceiveResult]] = [None] * len(recs)
+    if not recs:
+        return out
+    if len(receivers) != len(recs):
+        raise DemodulationError("one receiver per recording required")
+    r0 = receivers[0]
+    n_symbols = r0.n_symbols_for_bits(expected_bits)
+    for r in receivers:
+        if (
+            r._config != r0._config
+            or r._sync._fine != r0._sync._fine
+            or r._sync._search_range != r0._sync._search_range
+            or r._sync.detector.threshold != r0._sync.detector.threshold
+            or r.n_symbols_for_bits(expected_bits) != n_symbols
+        ):
+            raise DemodulationError(
+                "grouped receive requires matching sync geometry"
+            )
+    for x in recs:
+        if x.ndim != 1 or x.size != recs[0].size or x.size == 0:
+            raise DemodulationError(
+                "grouped receive requires equal-length 1-D recordings"
+            )
+    layout = frame_layout(r0._config, n_symbols)
+    detector = r0._sync.detector
+
+    matches: List[Optional[PreambleMatch]] = [None] * len(recs)
+    try:
+        scores = detector.scores_batch(np.stack(recs))
+    except DspError:
+        return out  # too short for the template: every row fails
+    for i, (match, _) in enumerate(detector.matches_from_scores(scores)):
+        matches[i] = match
+
+    locked = [i for i in range(len(recs)) if matches[i] is not None]
+    if not locked:
+        return out
+    extracted = r0._sync.extract_bodies_rows(
+        np.stack([recs[i] for i in locked]),
+        [matches[i] for i in locked],
+        layout,
+    )
+    offsets_of: List[Optional[Tuple[int, ...]]] = [None] * len(recs)
+    kept: List[int] = []
+    stacked: List[np.ndarray] = []
+    for i, res in zip(locked, extracted):
+        if isinstance(res, ModemError):
+            matches[i] = None  # frame ran past the recording
+            continue
+        if isinstance(res, Exception):
+            raise res  # what the scalar extraction would do
+        bodies, offsets = res
+        offsets_of[i] = offsets
+        kept.append(i)
+        stacked.append(bodies)
+    if not kept:
+        return out
+    spectra_all = demodulate_blocks(r0._config, np.concatenate(stacked))
+
+    # Plan-dependent tail, once per distinct plane.  Each sub-stack is
+    # a C-ordered copy of its frames' rows; every transform in the
+    # tail is row-wise, so sub-stack rows equal full-stack rows.
+    by_plane: dict = {}
+    for row, i in enumerate(kept):
+        by_plane.setdefault(id(receivers[i]._plane), []).append((row, i))
+    for entries in by_plane.values():
+        idxs = [i for _, i in entries]
+        sub = np.concatenate(
+            [
+                spectra_all[row * n_symbols: (row + 1) * n_symbols]
+                for row, _ in entries
+            ]
+        )
+        receivers[idxs[0]]._finish_rows(
+            out, idxs, recs, matches, offsets_of, sub,
+            layout, n_symbols, expected_bits,
+        )
+    return out

@@ -99,6 +99,42 @@ def fine_sync_offset(
     return best_offset
 
 
+def _select_exact(
+    x: np.ndarray,
+    anchor: int,
+    lo: int,
+    scores: np.ndarray,
+    n: int,
+    cp: int,
+) -> int:
+    """Band + exact re-score selection shared by the batch paths.
+
+    The approximate batch ``scores`` only nominate candidates; the
+    returned offset comes from the sequential ``np.dot`` arithmetic, so
+    it is independent of how the batch scores were accumulated.
+    """
+    vmax = float(scores.max())
+    band = np.flatnonzero(
+        scores >= vmax - _FINE_SYNC_SCORE_BAND * max(1.0, abs(vmax))
+    )
+    best_offset = 0
+    best_score = -np.inf
+    for i in band:
+        tf = lo + int(i)
+        a0 = anchor + tf
+        head = x[a0: a0 + cp]
+        tail = x[a0 + n: a0 + n + cp]
+        he_exact = float(np.dot(head, head))
+        te_exact = float(np.dot(tail, tail))
+        if he_exact <= 0.0 or te_exact <= 0.0:
+            continue
+        score = float(np.dot(head, tail)) / np.sqrt(he_exact * te_exact)
+        if score > best_score:
+            best_score = score
+            best_offset = tf
+    return best_offset
+
+
 def fine_sync_offsets_batch(
     signal: np.ndarray,
     cp_starts: "np.ndarray",
@@ -121,54 +157,148 @@ def fine_sync_offsets_batch(
     if cp == 0 or anchors.size == 0 or x.size < n + cp:
         return out
     # One strided window table over the whole recording; each symbol's
-    # candidate windows are then contiguous slices of it (no gather).
+    # candidate windows are rows of it.
     windows = np.lib.stride_tricks.sliding_window_view(x, cp)
     last_start = x.size - n - cp
-    for s in range(anchors.size):
+
+    def _select(anchor: int, lo: int, scores: np.ndarray) -> int:
+        return _select_exact(x, anchor, lo, scores, n, cp)
+
+    def _scores(he: np.ndarray, te: np.ndarray, num: np.ndarray):
+        # he/te are sums of squares: zero in the batch iff zero in the
+        # sequential loop (non-negative terms cannot cancel), so the
+        # skip conditions agree exactly even though the sums round
+        # differently.
+        if he.min() > 0.0 and te.min() > 0.0:
+            return num / np.sqrt(he * te)
+        ok = (he > 0.0) & (te > 0.0)
+        if not np.any(ok):
+            return None
+        scores = np.full(he.size, -np.inf)
+        scores[ok] = num[ok] / np.sqrt(he[ok] * te[ok])
+        return scores
+
+    # A candidate start ``anchor + tf`` is valid iff it lies in
+    # ``[0, last_start]``; the valid ``tf`` form one contiguous run.
+    los = np.maximum(-search_range, -anchors)
+    his = np.minimum(search_range, last_start - anchors)
+    # Interior symbols — almost all of them — see the full candidate
+    # range, so their window gathers share one shape and their energy/
+    # correlation reductions stack into three einsum calls per frame
+    # instead of three per symbol.
+    full = np.flatnonzero(
+        (los == -search_range) & (his == search_range)
+    )
+    if full.size:
+        k = 2 * search_range + 1
+        idx = (anchors[full] - search_range)[:, None] + np.arange(k)
+        heads = windows[idx]
+        tails = windows[idx + n]
+        he = np.einsum("ski,ski->sk", heads, heads)
+        te = np.einsum("ski,ski->sk", tails, tails)
+        num = np.einsum("ski,ski->sk", heads, tails)
+        for row, s in enumerate(full):
+            scores = _scores(he[row], te[row], num[row])
+            if scores is not None:
+                out[s] = _select(int(anchors[s]), -search_range, scores)
+    for s in np.flatnonzero((los != -search_range) | (his != search_range)):
         anchor = int(anchors[s])
-        # A candidate start ``anchor + tf`` is valid iff it lies in
-        # ``[0, last_start]``; the valid ``tf`` form one contiguous run.
-        lo = max(-search_range, -anchor)
-        hi = min(search_range, last_start - anchor)
+        lo = int(los[s])
+        hi = int(his[s])
         if hi < lo:
             continue
-        k = hi - lo + 1
         s0 = anchor + lo
+        k = hi - lo + 1
         heads = windows[s0: s0 + k]
         tails = windows[s0 + n: s0 + n + k]
         he = np.einsum("ij,ij->i", heads, heads)
         te = np.einsum("ij,ij->i", tails, tails)
         num = np.einsum("ij,ij->i", heads, tails)
-        if he.min() > 0.0 and te.min() > 0.0:
-            scores = num / np.sqrt(he * te)
-        else:
-            ok = (he > 0.0) & (te > 0.0)
-            if not np.any(ok):
-                continue
-            scores = np.full(k, -np.inf)
-            scores[ok] = num[ok] / np.sqrt(he[ok] * te[ok])
-        vmax = float(scores.max())
-        band = np.flatnonzero(
-            scores >= vmax - _FINE_SYNC_SCORE_BAND * max(1.0, abs(vmax))
+        scores = _scores(he, te, num)
+        if scores is not None:
+            out[s] = _select(anchor, lo, scores)
+    return out
+
+
+def fine_sync_offsets_rows(
+    signals: np.ndarray,
+    cp_starts: np.ndarray,
+    config: ModemConfig,
+    search_range: int = 32,
+) -> np.ndarray:
+    """Batched :func:`fine_sync_offsets_batch` across equal-length rows.
+
+    Entry ``(r, s)`` equals
+    ``fine_sync_offset(signals[r], cp_starts[r, s], ...)`` bit-for-bit.
+    The frames of a staged wave search independently, so the candidate
+    energy/correlation reductions of *every* frame's symbol ``s`` stack
+    into three einsum calls — three per symbol position instead of
+    three per frame.  Selection reuses the band + exact-re-score rule:
+    when the nomination band holds a single candidate it must be the
+    unique exact maximizer (every exact tie of the exact maximum lands
+    inside the band by construction), so it is picked vectorized; wider
+    bands fall back to the per-candidate ``np.dot`` arithmetic, and
+    rows whose anchors clip the search window anywhere delegate to the
+    per-frame function wholesale.
+    """
+    xs = np.asarray(signals, dtype=np.float64)
+    anchors = np.asarray(cp_starts, dtype=np.intp)
+    if xs.ndim != 2 or anchors.ndim != 2 or anchors.shape[0] != xs.shape[0]:
+        raise SynchronizationError(
+            "signals must be 2-D with one row of cp_starts per signal row"
         )
-        best_offset = 0
-        best_score = -np.inf
-        for i in band:
-            tf = lo + int(i)
-            a0 = anchor + tf
-            head = x[a0: a0 + cp]
-            tail = x[a0 + n: a0 + n + cp]
-            he_exact = float(np.dot(head, head))
-            te_exact = float(np.dot(tail, tail))
-            if he_exact <= 0.0 or te_exact <= 0.0:
-                continue
-            score = float(np.dot(head, tail)) / np.sqrt(
-                he_exact * te_exact
+    out = np.zeros(anchors.shape, dtype=int)
+    n = config.fft_size
+    cp = config.cp_length
+    width = xs.shape[1]
+    if cp == 0 or anchors.size == 0 or width < n + cp:
+        return out
+    last_start = width - n - cp
+    interior = (
+        (anchors >= search_range) & (anchors <= last_start - search_range)
+    ).all(axis=1)
+    for r in np.flatnonzero(~interior):
+        out[r] = fine_sync_offsets_batch(
+            xs[r], anchors[r], config, search_range=search_range
+        )
+    fast = np.flatnonzero(interior)
+    if not fast.size:
+        return out
+    windows = np.lib.stride_tricks.sliding_window_view(xs, cp, axis=1)
+    k = 2 * search_range + 1
+    taus = np.arange(k)
+    rows3 = fast[:, None]
+    # One symbol position at a time bounds the gather working set to
+    # ``frames * candidates * cp_length`` samples.
+    for s in range(anchors.shape[1]):
+        idx = (anchors[fast, s] - search_range)[:, None] + taus
+        heads = windows[rows3, idx]
+        tails = windows[rows3, idx + n]
+        he = np.einsum("fki,fki->fk", heads, heads)
+        te = np.einsum("fki,fki->fk", tails, tails)
+        num = np.einsum("fki,fki->fk", heads, tails)
+        # he/te are sums of squares: zero in the batch iff zero in the
+        # sequential loop, so the skip conditions agree exactly.
+        ok = (he > 0.0) & (te > 0.0)
+        scores = np.full(he.shape, -np.inf)
+        scores[ok] = num[ok] / np.sqrt(he[ok] * te[ok])
+        vmax = scores.max(axis=1)
+        with np.errstate(invalid="ignore"):
+            # An all-invalid row has ``vmax = -inf`` and a NaN
+            # threshold: no candidate passes, the offset stays 0 —
+            # exactly the per-frame no-scores short-circuit.
+            thresh = vmax - _FINE_SYNC_SCORE_BAND * np.maximum(
+                1.0, np.abs(vmax)
             )
-            if score > best_score:
-                best_score = score
-                best_offset = tf
-        out[s] = best_offset
+            band = scores >= thresh[:, None]
+        counts = band.sum(axis=1)
+        single = counts == 1
+        out[fast[single], s] = band.argmax(axis=1)[single] - search_range
+        for f in np.flatnonzero(counts > 1):
+            r = int(fast[f])
+            out[r, s] = _select_exact(
+                xs[r], int(anchors[r, s]), -search_range, scores[f], n, cp
+            )
     return out
 
 
@@ -251,6 +381,69 @@ class Synchronizer:
             yield SymbolTiming(
                 index=i, body_start=body_start, fine_offset=offset
             )
+
+    def extract_bodies_rows(
+        self,
+        recordings: np.ndarray,
+        matches: "Tuple[Optional[PreambleMatch], ...]",
+        layout: FrameLayout,
+    ) -> list:
+        """Batched :meth:`extract_bodies` over equal-length recordings.
+
+        Entry ``i`` is what ``extract_bodies(recordings[i], matches[i],
+        layout)`` produces bit-for-bit: the ``(bodies, offsets)`` pair
+        on success, the *exception instance* that call would raise on
+        failure (returned, not raised, so each caller keeps its own
+        tolerance — the receiver drops the frame, the prober scores it
+        at zero bodies), or ``None`` where ``matches[i]`` is ``None``.
+        Fine synchronization for every locked frame runs through one
+        :func:`fine_sync_offsets_rows` call; rows whose resolved bodies
+        would fall outside the recording delegate to the scalar method
+        wholesale.
+        """
+        xs = np.asarray(recordings, dtype=np.float64)
+        if xs.ndim != 2:
+            raise SynchronizationError("recordings must be 2-D")
+        out: list = [None] * len(matches)
+        live = [i for i, m in enumerate(matches) if m is not None]
+        if not live:
+            return out
+        sub = xs[live]
+        anchors = (
+            np.array([matches[i].start for i in live], dtype=np.intp)[
+                :, None
+            ]
+            - layout.preamble_length
+            + layout.symbol_offsets()[None, :]
+        )
+        if self._fine and self._config.cp_length:
+            fine = fine_sync_offsets_rows(
+                sub, anchors, self._config,
+                search_range=self._search_range,
+            )
+        else:
+            fine = np.zeros(anchors.shape, dtype=int)
+        body_starts = anchors + fine + layout.cp_length
+        good = (body_starts >= 0).all(axis=1) & (
+            body_starts + layout.fft_size <= xs.shape[1]
+        ).all(axis=1)
+        for j in np.flatnonzero(~good):
+            try:
+                out[live[j]] = self.extract_bodies(
+                    sub[j], matches[live[j]], layout
+                )
+            except Exception as exc:
+                out[live[j]] = exc
+        if good.any():
+            bview = np.lib.stride_tricks.sliding_window_view(
+                sub, layout.fft_size, axis=1
+            )
+            for j in np.flatnonzero(good):
+                out[live[j]] = (
+                    bview[j, body_starts[j]],
+                    tuple(int(v) for v in fine[j]),
+                )
+        return out
 
     def extract_bodies(
         self,

@@ -142,6 +142,57 @@ class OfdmTransmitter:
             n_payload_bits=b.size,
         )
 
+    def modulate_batch(self, bit_rows) -> "list[TransmitResult]":
+        """Modulate many equal-length payloads in one stacked pass.
+
+        Entry ``i`` equals ``modulate(bit_rows[i])`` bit-for-bit: the
+        constellation mapping and the per-symbol IFFT/CP assembly run
+        on the concatenated symbol rows (the same per-row transforms
+        the scalar path applies, sharing one plan), and the per-frame
+        tail (RMS match, preamble, edge fade) reuses the scalar code.
+        Used by the fleet staging path to assemble a whole wave's OTP
+        frames at once.  All payloads must have the same bit count —
+        that is what lets the symbol rows stack — so callers group by
+        coded length first.
+        """
+        rows = [np.asarray(b).astype(np.uint8) for b in bit_rows]
+        if not rows:
+            return []
+        size = rows[0].size
+        for b in rows:
+            if b.ndim != 1 or b.size == 0:
+                raise ModemError("bits must be a non-empty 1-D array")
+            if b.size != size:
+                raise ModemError(
+                    "modulate_batch needs equal-length payloads; group "
+                    f"by bit count first (got {b.size} and {size})"
+                )
+        n_symbols = self.symbols_for_bits(size)
+        per = self.bits_per_symbol
+        padded = np.zeros((len(rows), n_symbols * per), dtype=np.uint8)
+        for i, b in enumerate(rows):
+            padded[i, : b.size] = b
+
+        data_symbols = self._constellation.map(padded.reshape(-1)).reshape(
+            len(rows) * n_symbols, -1
+        )
+        train_all = modulate_symbols(
+            self._config, self._plan, data_symbols, hermitian=self._hermitian
+        )
+        layout = frame_layout(self._config, n_symbols)
+        results = []
+        for i, b in enumerate(rows):
+            train = train_all[i * n_symbols : (i + 1) * n_symbols].reshape(-1)
+            results.append(
+                TransmitResult(
+                    waveform=self._finish_frame(train),
+                    layout=layout,
+                    padded_bits=padded[i],
+                    n_payload_bits=b.size,
+                )
+            )
+        return results
+
     def probe_waveform(self, n_pilot_symbols: int = 1) -> Tuple[np.ndarray, FrameLayout]:
         """Build the RTS channel-probing packet (paper §III-7).
 

@@ -25,7 +25,7 @@ behaviour).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Optional, Tuple
 
@@ -35,7 +35,13 @@ from ..channel.hardware import MicrophoneModel, SpeakerModel
 from ..channel.link import AcousticLink
 from ..channel.scenarios import Environment, get_environment
 from ..config import SystemConfig
-from ..core.stages import SessionContext, StageEngine, StageRng
+from ..core.stages import (
+    EnginePause,
+    EngineResult,
+    SessionContext,
+    StageEngine,
+    StageRng,
+)
 from ..core.trace import TraceReport, Tracer
 from ..devices.battery import EnergyMeter
 from ..devices.profiles import DeviceProfile, MOTO360, NEXUS6
@@ -63,6 +69,8 @@ from .stages import (
 
 __all__ = [
     "AbortReason",
+    "PendingSession",
+    "PrecomputedOtp",
     "PrecomputedPrefilter",
     "PrecomputedProbe",
     "PrecomputedStages",
@@ -190,6 +198,38 @@ class PrecomputedProbe:
 
 
 @dataclass(frozen=True)
+class PrecomputedOtp:
+    """One session's Phase-2 OTP tx/rx, replayed out of band.
+
+    Built by :func:`repro.fleet.executor.precompute_otp` between a
+    session's pause (just before ``otp-tx``) and its resumption: the
+    executor reads the paused context's mode decision, channel report
+    and OTP counter — so the staged token is *the* token the live stage
+    would generate, by construction rather than by prediction — then
+    runs the frame assembly, channel synthesis and receive DSP for a
+    whole wave of sessions in stacked batches.
+
+    ``token_tx`` is the prepared transmission with its waveform
+    dropped (every downstream consumer needs only the layout, plan,
+    mode, token and coded-bit count; retaining a wave's waveforms
+    would pin megabytes through the resume loop).  ``received_bits``
+    is ``None`` when the batched receive hit the condition under which
+    the live :meth:`~repro.protocol.controllers.WatchController.
+    demodulate` would have raised a :class:`~repro.errors.ModemError`
+    (the verify stage then resolves ``data_not_detected`` exactly as
+    the live path does).  ``rng_state`` is the ``otp-tx`` generator's
+    bit state after the staged draws; the consuming stage restores it
+    so a NACK-downgrade retransmission continues the stream exactly
+    where a live first transmission would have left it.
+    """
+
+    token_tx: object
+    recording_samples: int
+    received_bits: Optional[np.ndarray]
+    rng_state: dict
+
+
+@dataclass(frozen=True)
 class PrecomputedStages:
     """Shard-level precomputed stage inputs for one attempt.
 
@@ -213,11 +253,21 @@ class PrecomputedStages:
     field per registered verifier (per-field consumption semantics are
     documented there).  The legacy ``motion_score`` /
     ``noise_similarity`` attributes remain as read-only views.
+
+    ``otp`` extends the same contract to Phase 2 (see
+    :class:`PrecomputedOtp`); unlike the other fields it cannot be
+    staged before the session starts — the OTP token depends on the
+    user's counter state *at* the otp-tx stage — so the fleet executor
+    attaches it between :meth:`UnlockSession.begin` (paused before
+    ``otp-tx``) and :meth:`PendingSession.finish`.
     """
 
     sensor_pair: Optional[Tuple[np.ndarray, np.ndarray]] = None
     probe: Optional[PrecomputedProbe] = None
     evidence: Optional[PrecomputedVerifierEvidence] = None
+    #: Staged Phase-2 OTP tx/rx (wave-batched by the fleet executor;
+    #: attached at resume time, never present when the session starts).
+    otp: Optional[PrecomputedOtp] = None
 
     @property
     def motion_score(self) -> Optional[float]:
@@ -493,11 +543,41 @@ class UnlockSession:
         ambient-similarity results; the outcome is bit-identical to
         computing them in-stage.
         """
+        return self.begin(
+            rng, tracer, precomputed, pause_before=None
+        ).finish()
+
+    def begin(
+        self,
+        rng=None,
+        tracer: Optional[Tracer] = None,
+        precomputed: Optional[PrecomputedStages] = None,
+        pause_before: Optional[str] = "otp-tx",
+    ) -> "PendingSession":
+        """Start an attempt, suspending just before ``pause_before``.
+
+        The wave-batching fleet executor runs Phase 1 live, collects
+        every paused session of a wave, stages their Phase-2 tx/rx as
+        one batch (:class:`PrecomputedOtp`), then resumes each via
+        :meth:`PendingSession.finish`.  An attempt that aborts before
+        reaching the pause point comes back already finished
+        (``paused`` is ``False``); ``finish`` then simply packages the
+        outcome.  ``pause_before=None`` runs the attempt to completion
+        (exactly :meth:`run`).
+        """
         ctx = self._build_context(rng)
         ctx.precomputed = precomputed
         engine = StageEngine(build_unlock_stages(), tracer=tracer)
         engine.tracer.bind_sim_clock(lambda: ctx.timeline.clock.now)
-        result = engine.execute(ctx)
+        state = engine.execute(ctx, pause_before=pause_before)
+        if isinstance(state, EnginePause):
+            return PendingSession(self, ctx, engine, pause=state)
+        return PendingSession(self, ctx, engine, result=state)
+
+    def _outcome(
+        self, ctx: SessionContext, result: EngineResult, engine: StageEngine
+    ) -> UnlockOutcome:
+        """Package a finished engine pass into an :class:`UnlockOutcome`."""
         reason = (
             AbortReason(result.abort_reason)
             if result.abort_reason is not None
@@ -532,3 +612,93 @@ class UnlockSession:
             ),
             verifier_results=tuple(ctx.verifier_results),
         )
+
+
+class PendingSession:
+    """An unlock attempt suspended (or already finished) mid-protocol.
+
+    Returned by :meth:`UnlockSession.begin`.  A *paused* pending
+    session stopped just before the ``otp-tx`` stage with all of
+    Phase 1 complete: its :attr:`ctx` exposes the mode decision,
+    channel report and transmit level the batch stager needs, and the
+    phone's OTP counter is exactly where the live stage would read it.
+    A *finished* one aborted before the pause point; ``finish`` just
+    packages its outcome.
+
+    ``finish(staged_otp)`` attaches a :class:`PrecomputedOtp` (if
+    given) to the context's precomputed bundle and resumes the engine;
+    the consuming stages restore rng state and splice the staged
+    bits back in, bit-identical to a live pass.  ``feed(staged_otp)``
+    does the same but re-arms the pause: the next arrival at
+    ``otp-tx`` — a NACK retransmission or the tail of a re-probe —
+    suspends again, so an orchestrator can batch every retransmission
+    wave instead of only the first attempts.
+    """
+
+    def __init__(
+        self,
+        session: UnlockSession,
+        ctx: SessionContext,
+        engine: StageEngine,
+        pause: Optional[EnginePause] = None,
+        result: Optional[EngineResult] = None,
+    ):
+        if (pause is None) == (result is None):
+            raise WearLockError(
+                "PendingSession needs exactly one of pause/result"
+            )
+        self.session = session
+        self.ctx = ctx
+        self.engine = engine
+        self._pause = pause
+        self._result = result
+
+    @property
+    def paused(self) -> bool:
+        """True while the engine is suspended awaiting :meth:`finish`."""
+        return self._result is None
+
+    def _attach(self, staged_otp: Optional[PrecomputedOtp]) -> None:
+        """Stage a Phase-2 result and re-arm its consume-once flags."""
+        if staged_otp is None:
+            return
+        pre = self.ctx.precomputed
+        if isinstance(pre, PrecomputedStages):
+            self.ctx.precomputed = replace(pre, otp=staged_otp)
+        else:
+            self.ctx.precomputed = PrecomputedStages(otp=staged_otp)
+        self.ctx.extras.pop("otp_tx_staged", None)
+        self.ctx.extras.pop("otp_rx_staged", None)
+
+    def feed(self, staged_otp: Optional[PrecomputedOtp]) -> bool:
+        """Resume with a staged Phase 2, pausing again on re-arrival.
+
+        Returns ``True`` when the session suspended again in front of
+        ``otp-tx`` (it NACKed and will retransmit, or re-probed), in
+        which case the caller stages the *next* transmission — the
+        stage stream's generator is already positioned exactly where
+        the live retransmit would draw.  ``False`` means the pass ran
+        to completion; read the outcome with :meth:`finish`.
+        """
+        if self._result is not None:
+            raise WearLockError("cannot feed a finished session")
+        self._attach(staged_otp)
+        state = self.engine.resume(
+            self._pause, pause_before=self._pause.next_stage
+        )
+        if isinstance(state, EnginePause):
+            self._pause = state
+            return True
+        self._result = state
+        self._pause = None
+        return False
+
+    def finish(
+        self, staged_otp: Optional[PrecomputedOtp] = None
+    ) -> UnlockOutcome:
+        """Resume (if paused) and package the attempt's outcome."""
+        if self._result is None:
+            self._attach(staged_otp)
+            self._result = self.engine.resume(self._pause)
+            self._pause = None
+        return self.session._outcome(self.ctx, self._result, self.engine)

@@ -366,10 +366,56 @@ class OtpTxStage:
 
     name = "otp-tx"
 
-    def run(self, ctx: SessionContext) -> StageResult:
-        ctx.token_tx = ctx.phone.prepare_token(
-            ctx.mode_decision, ctx.report.recommended_plan, ctx.tx_spl
+    @staticmethod
+    def _staged_matches(ctx: SessionContext, staged) -> bool:
+        """Does the staged transmission match what live would prepare?
+
+        The wave-batching executor stages from the paused session's own
+        context, so in that flow this always holds; the check is the
+        safety net for out-of-band callers — a stale token (counter
+        moved), a different mode decision or transmit level means the
+        staged recording is *not* what this attempt would put on air,
+        and the stage must fall back to the live path (whose rng stream
+        is still positioned correctly, since a mismatched stage never
+        restores state).
+        """
+        tt = staged.token_tx
+        try:
+            expected_token = ctx.phone.otp.generate()
+        except Exception:
+            return False
+        return (
+            tt.token == expected_token
+            and tt.mode == ctx.mode_decision.mode
+            and tt.tx_spl == ctx.tx_spl
+            and tt.plan
+            == (ctx.report.recommended_plan or ctx.phone.plan)
         )
+
+    def run(self, ctx: SessionContext) -> StageResult:
+        staged = getattr(ctx.precomputed, "otp", None)
+        if (
+            staged is not None
+            and not ctx.extras.get("otp_tx_staged")
+            and self._staged_matches(ctx, staged)
+        ):
+            # First pass with a staged Phase 2: the fleet executor
+            # replayed this stage's stream out of band (same generator,
+            # same draw order) and synthesized the frame + channel in
+            # wave batches.  Restore the generator to its post-draw
+            # state so a NACK-downgrade retransmission continues the
+            # stream exactly where the live transmit would have.
+            ctx.extras["otp_tx_staged"] = True
+            rng = ctx.rng_for(self.name)
+            rng.bit_generator.state = staged.rng_state
+            ctx.token_tx = staged.token_tx
+            ctx.data_recording = None
+            ctx.data_samples = staged.recording_samples
+        else:
+            ctx.token_tx = ctx.phone.prepare_token(
+                ctx.mode_decision, ctx.report.recommended_plan, ctx.tx_spl
+            )
+            ctx.data_samples = 0  # filled after the live transmit below
         if ctx.retry_state is not None:
             ctx.retry_state.note_mode(ctx.token_tx.mode)
         ctx.config_msg = ctx.phone.channel_config_message(ctx.token_tx)
@@ -380,12 +426,14 @@ class OtpTxStage:
             return StageResult.abort("no_wireless_link")
 
         ctx.timeline.record("audio_start_p2", AUDIO_PATH_START_DELAY, "stack")
-        ctx.data_recording, _ = ctx.link.transmit(
-            ctx.token_tx.result.waveform,
-            tx_spl=ctx.tx_spl,
-            rng=ctx.rng_for(self.name),
-        )
-        data_air_s = ctx.data_recording.size / ctx.sample_rate
+        if not ctx.data_samples:
+            ctx.data_recording, _ = ctx.link.transmit(
+                ctx.token_tx.result.waveform,
+                tx_spl=ctx.tx_spl,
+                rng=ctx.rng_for(self.name),
+            )
+            ctx.data_samples = ctx.data_recording.size
+        data_air_s = ctx.data_samples / ctx.sample_rate
         ctx.timeline.record("token_on_air", data_air_s, "audio")
         ctx.watch_meter.record_audio(data_air_s)
         ctx.phone_meter.record_audio(data_air_s)
@@ -404,9 +452,9 @@ class VerifyStage:
     def run(self, ctx: SessionContext) -> StageResult:
         modem = ctx.system.modem
         tt = ctx.token_tx
-        data_bytes = int(ctx.data_recording.size * 2)
+        data_bytes = int(ctx.data_samples * 2)
         pre_work = probe_processing_workload(
-            ctx.data_recording.size,
+            ctx.data_samples,
             modem.preamble_length,
             modem.fft_size,
         )
@@ -439,26 +487,44 @@ class VerifyStage:
                 "p2_demodulation_watch", demod_s, "compute_p2demod"
             )
 
-        try:
-            cache_before = plane_cache_stats()
+        staged = getattr(ctx.precomputed, "otp", None)
+        if (
+            staged is not None
+            and ctx.extras.get("otp_tx_staged")
+            and not ctx.extras.get("otp_rx_staged")
+        ):
+            # The recording this stage would demodulate was synthesized
+            # and received in the wave batch; consume the staged bits
+            # once — a retransmission demodulates its fresh recording
+            # live.  ``None`` bits mark the condition under which the
+            # live demodulate would have raised a ModemError.
+            ctx.extras["otp_rx_staged"] = True
             with ctx.trace_span("modem.demodulate"):
-                ctx.received_bits = ctx.watch.demodulate(
-                    ctx.data_recording, ctx.config_msg
-                )
-                cache_after = plane_cache_stats()
-                ctx.tracer.counter(
-                    "plane_cache_hits",
-                    float(cache_after.hits - cache_before.hits),
-                )
-                ctx.tracer.counter(
-                    "plane_cache_misses",
-                    float(cache_after.misses - cache_before.misses),
-                )
-        except ModemError:
-            # PreambleNotFoundError, SynchronizationError, Demodulation-
-            # Error: a corrupt frame the receiver cannot lock onto is
-            # one protocol event — the Phase-2 data never arrived.
-            return self._resolve_failure(ctx, "data_not_detected", None)
+                ctx.received_bits = staged.received_bits
+            if ctx.received_bits is None:
+                return self._resolve_failure(ctx, "data_not_detected", None)
+        else:
+            try:
+                cache_before = plane_cache_stats()
+                with ctx.trace_span("modem.demodulate"):
+                    ctx.received_bits = ctx.watch.demodulate(
+                        ctx.data_recording, ctx.config_msg
+                    )
+                    cache_after = plane_cache_stats()
+                    ctx.tracer.counter(
+                        "plane_cache_hits",
+                        float(cache_after.hits - cache_before.hits),
+                    )
+                    ctx.tracer.counter(
+                        "plane_cache_misses",
+                        float(cache_after.misses - cache_before.misses),
+                    )
+            except ModemError:
+                # PreambleNotFoundError, SynchronizationError, Demodu-
+                # lationError: a corrupt frame the receiver cannot lock
+                # onto is one protocol event — the Phase-2 data never
+                # arrived.
+                return self._resolve_failure(ctx, "data_not_detected", None)
 
         if ctx.retry is None:
             # Legacy single-shot path: verification commits immediately.

@@ -102,17 +102,36 @@ def dtw_distance_batch(
     if batch == 0:
         return np.zeros(0)
     cost = np.abs(X[:, :, None] - Y[:, None, :])  # (batch, n, m)
-    acc = np.full((batch, n + 1, m + 1), np.inf)
-    acc[:, 0, 0] = 0.0
+    # Rolling anti-diagonal buffers indexed by ``i`` (0..n): cell
+    # ``(i, j)`` of diagonal ``d = i + j`` reads ``(i-1, j)`` and
+    # ``(i, j-1)`` from diagonal ``d-1`` (buffer slots ``i-1``/``i``)
+    # and ``(i-1, j-1)`` from diagonal ``d-2`` (slot ``i-1``) — all
+    # contiguous slices, no 3-D gather/scatter.  Slot values outside a
+    # diagonal's valid ``i`` range stay +inf, exactly like the unfilled
+    # border of the full accumulator matrix.
+    prev2 = np.full((batch, n + 1), np.inf)  # diagonal d-2
+    prev1 = np.full((batch, n + 1), np.inf)  # diagonal d-1
+    prev2[:, 0] = 0.0  # acc[0, 0] on diagonal d=0; borders stay +inf
+    flipped = cost[:, ::-1, :]  # anti-diagonals become np.diagonal views
     for d in range(2, n + m + 1):
-        i = np.arange(max(1, d - m), min(n, d - 1) + 1)
-        j = d - i
+        lo = max(1, d - m)
+        hi = min(n, d - 1)
+        cur = np.full((batch, n + 1), np.inf)
         best = np.minimum(
-            np.minimum(acc[:, i - 1, j], acc[:, i, j - 1]),
-            acc[:, i - 1, j - 1],
+            np.minimum(prev1[:, lo - 1: hi], prev1[:, lo: hi + 1]),
+            prev2[:, lo - 1: hi],
         )
-        acc[:, i, j] = cost[:, i - 1, j - 1] + best
-    return acc[:, n, m]
+        # ``cost[:, i-1, d-i-1]`` for ``i = lo..hi`` is exactly the
+        # anti-diagonal ``ci + cj = d - 2`` of the cost tensor: a
+        # diagonal of the row-flipped view, reversed so entries follow
+        # ascending ``i``.
+        diag = np.diagonal(
+            flipped, offset=(d - 2) - (n - 1), axis1=1, axis2=2
+        )[:, ::-1]
+        cur[:, lo: hi + 1] = diag + best
+        prev2 = prev1
+        prev1 = cur
+    return prev1[:, n]
 
 
 def normalized_dtw(

@@ -294,3 +294,59 @@ class TestInjectorUnit:
             injector.stage_spikes()
         assert len(seen) == len(UNLOCK_STAGE_NAMES)
         assert seen == injector.events
+
+
+class TestStagedFleetUnderFaults:
+    """Fault injection against the fleet's staged OTP fast path.
+
+    The wave-batched Phase-2 replay cannot reproduce a fault plan's
+    cross-stage draw sequencing, so ``staging="otp"`` must *degrade*
+    (to DTW-only staging, see :func:`repro.fleet.executor.
+    effective_staging`) rather than stage wrongly or raise — and the
+    degraded run must stay byte-identical to a fully live one.
+    """
+
+    @pytest.mark.parametrize("stage", ("otp-tx", "verify"))
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_staged_shard_never_raises_and_matches_live(self, kind, stage):
+        from repro.fleet import FleetConfig, run_shard
+
+        cfg = FleetConfig(
+            n_users=3, hours=24.0, seed=11,
+            faults=f"{kind}@{stage}:p=0.5,hits=none",
+        )
+        live = run_shard(cfg, 0, 3, staging="none")
+        staged = run_shard(cfg, 0, 3, staging="otp")
+        assert staged == live
+
+    def test_acoustic_levels_degrade_only_when_faulted(self):
+        from repro.fleet.executor import effective_staging
+
+        for level in ("probe", "otp"):
+            assert effective_staging(level, faulted=True) == "dtw"
+            assert effective_staging(level, faulted=False) == level
+        for level in ("none", "dtw"):
+            assert effective_staging(level, faulted=True) == level
+
+    def test_faulted_scheduler_worker_invariance(self):
+        """Degradation must not break the worker-count contract."""
+        import json
+
+        from repro.fleet import FleetConfig, FleetScheduler
+
+        cfg = FleetConfig(
+            n_users=4, hours=24.0, seed=11,
+            faults="snr_collapse@otp-tx:severity=2,hits=none",
+        )
+
+        def doc(workers, shard_users):
+            result = FleetScheduler(
+                cfg, workers=workers, shard_users=shard_users,
+                staging="otp",
+            ).run()
+            return json.dumps(
+                result.aggregate.to_dict(hours=cfg.hours),
+                sort_keys=True, indent=2,
+            )
+
+        assert doc(1, 4) == doc(4, 1)

@@ -1,0 +1,464 @@
+"""Bit-identity of the wave-batched Phase-2 OTP transmit/receive.
+
+The fleet's ``staging="otp"`` fast path pauses every session just
+before ``otp-tx``, replays each paused session's stage rng stream out
+of band, and runs the wave's frame assembly, channel synthesis and
+receive DSP as stacked batches (:func:`repro.fleet.executor.
+precompute_otp`).  These tests pin the contract at every layer,
+mirroring ``tests/test_probe_staging_equivalence.py``:
+
+* each batch primitive equals its scalar counterpart bit-for-bit,
+  including the generator stream positions it leaves behind;
+* a staged ``begin``/``feed``/``finish`` session equals a live
+  ``run()`` field-for-field, including the ``otp-tx`` stream position;
+* whole shards and scheduled fleets produce byte-identical aggregates
+  at every staging level and worker count;
+* the order-preserving-partition and monotone-degradation invariants
+  the wave driver leans on hold for arbitrary inputs (hypothesis).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.multipath import (
+    RoomImpulseResponse,
+    convolve_rows_pairwise,
+)
+from repro.channel.noise import NoiseScene, tone_jammer
+from repro.channel.hardware import SpeakerModel
+from repro.config import ModemConfig
+from repro.errors import ModemError
+from repro.fleet import FleetConfig, FleetScheduler, run_shard
+from repro.fleet.executor import (
+    STAGING_LEVELS,
+    effective_staging,
+    partition_indices,
+    precompute_otp,
+)
+from repro.modem.constellation import QPSK
+from repro.modem.frame import frame_layout
+from repro.modem.receiver import OfdmReceiver, receive_batch_grouped
+from repro.modem.subchannels import ChannelPlan
+from repro.modem.synchronizer import (
+    Synchronizer,
+    fine_sync_offsets_batch,
+    fine_sync_offsets_rows,
+)
+from repro.modem.transmitter import OfdmTransmitter
+from repro.protocol.session import SessionConfig, UnlockSession
+
+BANDS = ((0.0, 1200.0, 1.0), (2000.0, 5000.0, 0.6))
+FS = 44_100.0
+
+
+def _frame_recordings(config, n_rows, seed, drop_row=None, cut_row=None):
+    """Equal-length recordings embedding one QPSK frame each."""
+    tx = OfdmTransmitter(config, QPSK)
+    rng = np.random.default_rng(seed)
+    recs = []
+    n_bits = 2 * len(tx.plan.data)
+    for i in range(n_rows):
+        frame = tx.modulate(rng.integers(0, 2, n_bits)).waveform
+        lead = np.zeros(300 + 40 * i)
+        rec = np.concatenate([lead, 0.4 * frame, np.zeros(900 - 40 * i)])
+        rec += 1e-4 * rng.standard_normal(rec.size)
+        if drop_row is not None and i == drop_row:
+            rec = 1e-4 * rng.standard_normal(rec.size)  # no frame at all
+        if cut_row is not None and i == cut_row:
+            # Frame present but truncated: coarse sync locks, the body
+            # extraction then runs past the recording end.
+            rec = np.concatenate(
+                [lead, 0.4 * frame, np.zeros(900 - 40 * i)]
+            )[: lead.size + frame.size // 2]
+            rec = np.pad(rec, (0, recs[0].size - rec.size))
+        recs.append(rec)
+    return recs, n_bits
+
+
+class TestBatchPrimitives:
+    """Each stacked transform equals its scalar counterpart bit-for-bit."""
+
+    def test_modulate_batch_matches_scalar(self):
+        tx = OfdmTransmitter(ModemConfig(), QPSK)
+        rng = np.random.default_rng(0)
+        rows = [rng.integers(0, 2, 96) for _ in range(5)]
+        batch = tx.modulate_batch(rows)
+        for bits, got in zip(rows, batch):
+            want = tx.modulate(bits)
+            assert np.array_equal(got.waveform, want.waveform)
+            assert np.array_equal(got.padded_bits, want.padded_bits)
+            assert got.n_payload_bits == want.n_payload_bits
+            assert got.layout == want.layout
+
+    def test_modulate_batch_rejects_ragged_payloads(self):
+        tx = OfdmTransmitter(ModemConfig(), QPSK)
+        with pytest.raises(ModemError):
+            tx.modulate_batch([np.ones(8, np.uint8), np.ones(9, np.uint8)])
+
+    def test_play_batch_matches_scalar(self):
+        speaker = SpeakerModel()
+        rng = np.random.default_rng(1)
+        signals = 0.2 * rng.standard_normal((4, 3000))
+        batch = speaker.play_batch(signals)
+        for i in range(signals.shape[0]):
+            assert np.array_equal(batch[i], speaker.play(signals[i]))
+
+    def test_convolve_rows_pairwise_matches_apply(self):
+        room = RoomImpulseResponse()
+        rng = np.random.default_rng(2)
+        signals = rng.standard_normal((4, 4000))
+        irs = np.stack(
+            [room.sample(np.random.default_rng(s)) for s in range(4)]
+        )
+        batch = convolve_rows_pairwise(signals, irs)
+        for s in range(4):
+            scalar = room.apply(signals[s], rng=np.random.default_rng(s))
+            assert np.array_equal(batch[s], scalar)
+
+    def test_jammed_scene_batch_matches_scalar_and_stream(self):
+        scene = NoiseScene(
+            spl_db=60.0, bands=BANDS,
+            jam_tones_hz=(2500.0, 4100.0), jam_spl_db=55.0,
+        )
+        gens = [np.random.default_rng(s) for s in (5, 6, 7)]
+        batch = scene.sample_batch(4000, gens)
+        for i, seed in enumerate((5, 6, 7)):
+            mirror = np.random.default_rng(seed)
+            assert np.array_equal(batch[i], scene.sample(4000, rng=mirror))
+            assert gens[i].bit_generator.state == mirror.bit_generator.state
+
+    def test_jammed_scene_draws_only_mode_advances_streams(self):
+        """``values=False`` must draw the jam phases too — the staged
+        caller hands the generators back to live code afterwards."""
+        scene = NoiseScene(
+            spl_db=60.0, bands=BANDS, jam_tones_hz=(3000.0,),
+            jam_spl_db=50.0,
+        )
+        gens = [np.random.default_rng(s) for s in (8, 9)]
+        out = scene.sample_batch(2048, gens, values=False)
+        assert not out.any()
+        for seed, gen in zip((8, 9), gens):
+            mirror = np.random.default_rng(seed)
+            scene.sample(2048, rng=mirror)
+            assert gen.bit_generator.state == mirror.bit_generator.state
+
+    def test_jammer_rejects_more_than_six_tones(self):
+        scene = NoiseScene(
+            spl_db=60.0, bands=BANDS,
+            jam_tones_hz=tuple(500.0 * k for k in range(1, 8)),
+            jam_spl_db=50.0,
+        )
+        from repro.errors import ChannelError
+
+        with pytest.raises(ChannelError):
+            scene.sample_batch(256, [np.random.default_rng(0)])
+        with pytest.raises(ChannelError):
+            tone_jammer(
+                256, FS, tuple(500.0 * k for k in range(1, 8)), 50.0
+            )
+
+    def test_fine_sync_rows_matches_per_frame(self):
+        config = ModemConfig()
+        rng = np.random.default_rng(3)
+        xs = rng.standard_normal((6, 6000))
+        # Interior anchors, plus one row with a boundary-clipped anchor
+        # (exercises the per-frame delegation path).
+        anchors = rng.integers(100, 5000, size=(6, 4))
+        anchors[5, 0] = 2
+        rows = fine_sync_offsets_rows(xs, anchors, config, search_range=24)
+        for r in range(6):
+            want = fine_sync_offsets_batch(
+                xs[r], anchors[r], config, search_range=24
+            )
+            assert np.array_equal(rows[r], want), r
+
+    def test_extract_bodies_rows_matches_scalar(self):
+        config = ModemConfig()
+        recs, _ = _frame_recordings(config, 4, seed=4, drop_row=2)
+        sync = Synchronizer(config)
+        layout = frame_layout(config, 2)
+        matches = [sync.locate(rec) for rec in recs]
+        # A row whose coarse sync failed arrives as None; the batch
+        # extractor must pass it through untouched.
+        matches[2] = None
+        results = sync.extract_bodies_rows(np.stack(recs), matches, layout)
+        for rec, match, res in zip(recs, matches, results):
+            if match is None:
+                assert res is None
+                continue
+            try:
+                want_bodies, want_offsets = sync.extract_bodies(
+                    rec, match, layout
+                )
+            except Exception as exc:  # noqa: BLE001 — mirrored verbatim
+                assert type(res) is type(exc)
+                continue
+            bodies, offsets = res
+            assert np.array_equal(bodies, want_bodies)
+            assert offsets == want_offsets
+
+    def test_receive_batch_matches_scalar(self):
+        config = ModemConfig()
+        recs, n_bits = _frame_recordings(
+            config, 5, seed=5, drop_row=1, cut_row=3
+        )
+        rx = OfdmReceiver(config, QPSK)
+        batch = rx.receive_batch(np.stack(recs), expected_bits=n_bits)
+        decoded = 0
+        for rec, got in zip(recs, batch):
+            try:
+                want = rx.receive(rec, n_bits)
+            except ModemError:
+                assert got is None
+                continue
+            decoded += 1
+            assert got is not None
+            assert np.array_equal(got.bits, want.bits)
+            assert got.preamble_score == want.preamble_score
+            assert got.psnr_db == want.psnr_db
+            assert got.ebn0_db == want.ebn0_db
+            assert got.fine_offsets == want.fine_offsets
+            assert got.noise_spl == want.noise_spl
+            assert np.array_equal(got.delay_profile, want.delay_profile)
+            assert np.array_equal(
+                got.equalized_symbols, want.equalized_symbols
+            )
+        assert decoded >= 3  # frames actually demodulated, not all-None
+
+    def test_receive_batch_grouped_mixes_plans(self):
+        # Two plans with the same geometry (12 data bins, one pilot
+        # comb) but different bin assignments: the wave driver's common
+        # case, where every session probes its own sub-channels.  The
+        # grouped path must still equal the matching scalar receive.
+        config = ModemConfig()
+        plan_a = ChannelPlan.from_config(config)
+        plan_b = ChannelPlan(
+            fft_size=config.fft_size,
+            data=(8, 9, 10, 12, 13, 14, 16, 17, 18, 20, 21, 22),
+            pilots=plan_a.pilots,
+        )
+        rng = np.random.default_rng(13)
+        rows = []
+        n_bits = 2 * len(plan_a.data)
+        for i, plan in enumerate([plan_a, plan_b, plan_a, plan_b, plan_a]):
+            tx = OfdmTransmitter(config, QPSK, plan=plan)
+            frame = tx.modulate(rng.integers(0, 2, n_bits)).waveform
+            rec = np.concatenate(
+                [np.zeros(300 + 40 * i), 0.4 * frame, np.zeros(900 - 40 * i)]
+            )
+            rec += 1e-4 * rng.standard_normal(rec.size)
+            if i == 2:
+                rec = 1e-4 * rng.standard_normal(rec.size)  # no frame
+            rows.append((plan, rec))
+        receivers = [
+            OfdmReceiver(config, QPSK, plan=plan) for plan, _ in rows
+        ]
+        grouped = receive_batch_grouped(
+            receivers, [rec for _, rec in rows], expected_bits=n_bits
+        )
+        decoded = 0
+        for rx, (_, rec), got in zip(receivers, rows, grouped):
+            try:
+                want = rx.receive(rec, n_bits)
+            except ModemError:
+                assert got is None
+                continue
+            decoded += 1
+            assert got is not None
+            assert np.array_equal(got.bits, want.bits)
+            assert got.preamble_score == want.preamble_score
+            assert got.psnr_db == want.psnr_db
+            assert got.ebn0_db == want.ebn0_db
+            assert got.fine_offsets == want.fine_offsets
+            assert got.noise_spl == want.noise_spl
+            assert np.array_equal(
+                got.equalized_symbols, want.equalized_symbols
+            )
+        assert decoded >= 3
+
+    def test_receive_batch_grouped_rejects_mixed_geometry(self):
+        config = ModemConfig()
+        recs, n_bits = _frame_recordings(config, 2, seed=6)
+        mismatched = [
+            OfdmReceiver(config, QPSK),
+            OfdmReceiver(config, QPSK, detection_threshold=0.9),
+        ]
+        with pytest.raises(ModemError):
+            receive_batch_grouped(mismatched, recs, expected_bits=n_bits)
+
+
+class TestStagedSessionEquivalence:
+    """begin → precompute_otp → feed/finish equals a live run()."""
+
+    @staticmethod
+    def _fingerprint(outcome):
+        return (
+            outcome.unlocked,
+            outcome.abort_reason,
+            outcome.mode,
+            outcome.raw_ber,
+            outcome.total_delay_s,
+            outcome.attempts,
+            outcome.reprobes,
+            outcome.watch_energy_j,
+            outcome.phone_energy_j,
+            tuple(
+                (r.name, r.score, r.passed, r.skipped)
+                for r in outcome.verifier_results
+            ),
+        )
+
+    def _run_staged(self, seed):
+        session = UnlockSession(SessionConfig(seed=seed))
+        pending = session.begin()
+        waves = 0
+        while pending.paused:
+            staged = precompute_otp([pending])[0]
+            waves += 1
+            if not pending.feed(staged):
+                break
+        return pending, waves
+
+    @pytest.mark.parametrize("seed", [7, 11, 23])
+    def test_staged_session_matches_live(self, seed):
+        live_pending = UnlockSession(SessionConfig(seed=seed)).begin(
+            pause_before=None
+        )
+        live = live_pending.finish()
+        staged_pending, _ = self._run_staged(seed)
+        staged = staged_pending.finish()
+        assert self._fingerprint(staged) == self._fingerprint(live)
+        if live.mode is not None:
+            # Phase 2 ran in both: the staged otp-tx stream must end at
+            # exactly the live generator position (a downgrade
+            # retransmission would continue from it).
+            assert (
+                staged_pending.ctx.rng_for("otp-tx").bit_generator.state
+                == live_pending.ctx.rng_for("otp-tx").bit_generator.state
+            )
+
+    def test_some_seed_reaches_phase_two(self):
+        reached = []
+        for seed in (7, 11, 23):
+            pending = UnlockSession(SessionConfig(seed=seed)).begin(
+                pause_before=None
+            )
+            reached.append(pending.finish().mode is not None)
+        assert any(reached), "no chosen seed exercises the OTP stage"
+
+
+class TestStagedOtpFleet:
+    """Whole-shard and scheduled-fleet identity at ``staging='otp'``."""
+
+    def test_records_identical_across_all_staging_levels(self):
+        cfg = FleetConfig(n_users=5, hours=24.0, seed=9)
+        per_level = {
+            level: run_shard(cfg, 0, 5, staging=level)
+            for level in STAGING_LEVELS
+        }
+        assert (
+            per_level["none"] == per_level["dtw"]
+            == per_level["probe"] == per_level["otp"]
+        )
+
+    def test_shard_split_invariance(self):
+        """The wave batching must not couple sessions across shard
+        boundaries: users [0,6) in one shard equal [0,3)+[3,6)."""
+        cfg = FleetConfig(n_users=6, hours=24.0, seed=3)
+        whole = run_shard(cfg, 0, 6, staging="otp")
+        halves = run_shard(cfg, 0, 3, staging="otp") + run_shard(
+            cfg, 3, 6, staging="otp"
+        )
+        assert whole == halves
+
+    def test_faulted_shard_degrades_but_stays_identical(self):
+        cfg = FleetConfig(
+            n_users=4, hours=24.0, seed=9, faults="msg_drop@otp-tx:p=0.5"
+        )
+        live = run_shard(cfg, 0, 4, staging="none")
+        staged = run_shard(cfg, 0, 4, staging="otp")
+        assert live == staged
+
+    def test_scheduler_staging_and_worker_invariance(self):
+        cfg = FleetConfig(n_users=8, hours=24.0, seed=4)
+
+        def doc(result):
+            return json.dumps(
+                result.aggregate.to_dict(hours=cfg.hours),
+                sort_keys=True, indent=2,
+            )
+
+        base = doc(FleetScheduler(cfg, workers=1, staging="none").run())
+        staged = doc(FleetScheduler(cfg, workers=1, staging="otp").run())
+        pooled = doc(
+            FleetScheduler(
+                cfg, workers=4, shard_users=2, staging="otp"
+            ).run()
+        )
+        assert base == staged == pooled
+
+
+class TestWaveInvariants:
+    """Hypothesis: the invariants the wave driver is built on."""
+
+    @given(st.lists(st.integers(0, 5), max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_partition_indices_is_order_preserving_partition(self, keys):
+        groups = partition_indices(keys)
+        # Keys appear in first-seen order.
+        seen = []
+        for k in keys:
+            if k not in seen:
+                seen.append(k)
+        assert list(groups) == seen
+        # Each position list is strictly ascending and holds exactly
+        # the positions of its key; together they partition range(n).
+        everything = []
+        for key, positions in groups.items():
+            assert positions == sorted(positions)
+            assert all(keys[p] == key for p in positions)
+            everything.extend(positions)
+        assert sorted(everything) == list(range(len(keys)))
+
+    @given(st.lists(st.integers(0, 3), max_size=120))
+    @settings(max_examples=200, deadline=None)
+    def test_splice_back_reproduces_session_order(self, keys):
+        """Scattering per-group results through the position lists
+        reconstructs the original order — the staged passes' core
+        assumption."""
+        out = [None] * len(keys)
+        for key, positions in partition_indices(keys).items():
+            group_result = [(key, p) for p in positions]  # batched work
+            for value, p in zip(group_result, positions):
+                out[p] = value
+        assert out == [(k, i) for i, k in enumerate(keys)]
+
+    @given(
+        st.sampled_from(STAGING_LEVELS),
+        st.booleans(),
+        st.booleans(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_effective_staging_monotone_degradation(
+        self, level, faulted, refaulted
+    ):
+        rank = {name: i for i, name in enumerate(STAGING_LEVELS)}
+        effective = effective_staging(level, faulted)
+        # Never stages more than requested; fault-free is untouched;
+        # faulted runs never keep an acoustic level.
+        assert rank[effective] <= rank[level]
+        if not faulted:
+            assert effective == level
+        else:
+            assert effective in ("none", "dtw")
+        # Degrading twice (any fault state) is idempotent: the ladder
+        # only ever steps down, so re-checking cannot re-raise it.
+        again = effective_staging(effective, refaulted)
+        assert rank[again] <= rank[effective]
+        assert effective_staging(again, refaulted) == again
