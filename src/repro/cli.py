@@ -6,6 +6,11 @@ Commands
 ``experiment``   regenerate one of the paper's figures/tables
 ``fleet``        population-scale simulation (``run``) and report
                  rendering (``report``)
+``trials``       the claim-checking harness: ``run`` a tier of the
+                 trial matrix, ``judge`` the results against
+                 paper-figure envelopes and the perf trajectory,
+                 ``report`` the generated results docs, and
+                 ``trajectory`` the per-PR bench ledger
 ``encode``       modulate a payload (hex) into a WAV file
 ``decode``       demodulate a WAV recording back to a payload
 ``info``         print the modem configuration and environments
@@ -237,6 +242,142 @@ def _cmd_fleet_report(args: argparse.Namespace) -> int:
         print(f"wrote {args.out}", file=sys.stderr)
     else:
         sys.stdout.write(markdown)
+    return 0
+
+
+def _trials_results_path(args: argparse.Namespace):
+    from .trials.runner import default_results_path
+
+    if getattr(args, "results", None):
+        from pathlib import Path
+
+        return Path(args.results)
+    return default_results_path(args.tier)
+
+
+def _cmd_trials_run(args: argparse.Namespace) -> int:
+    from .errors import WearLockError
+    from .trials.runner import canonical_json, run_tier, save_results
+
+    progress = lambda msg: print(msg, file=sys.stderr)  # noqa: E731
+    try:
+        doc = run_tier(args.tier, only_cell=args.cell, progress=progress)
+    except WearLockError as exc:
+        print(f"trials run failed: {exc}", file=sys.stderr)
+        return 2
+    if args.cell and not args.results:
+        # A single cell is an ad-hoc probe: print it, don't clobber
+        # the committed tier document.
+        sys.stdout.write(canonical_json(doc))
+        return 0
+    path = _trials_results_path(args)
+    save_results(doc, path)
+    print(
+        f"wrote {path} ({len(doc['results'])} cells)", file=sys.stderr
+    )
+    return 0
+
+
+def _cmd_trials_judge(args: argparse.Namespace) -> int:
+    from .errors import WearLockError
+    from .trials.config import cells_for_tier
+    from .trials.judges import judge_document
+    from .trials.runner import load_results, save_results
+    from .trials.trajectory import load_trajectory
+
+    path = _trials_results_path(args)
+    try:
+        doc = load_results(path)
+        trajectory = load_trajectory(args.trajectory)
+    except (WearLockError, FileNotFoundError) as exc:
+        print(f"trials judge failed: {exc}", file=sys.stderr)
+        return 2
+    tier = doc.get("tier", args.tier)
+    cells = [
+        c for c in cells_for_tier(tier)
+        if c.cell_id in doc.get("results", {})
+        or c.workload == "trajectory"
+    ]
+    verdicts, all_ok = judge_document(doc, cells, trajectory)
+    width = max((len(v.cell_id) for v in verdicts), default=10)
+    for v in verdicts:
+        state = "pass" if v.passed else "FAIL"
+        print(f"{v.cell_id:{width}s}  {v.judge:12s} {state:4s}  "
+              f"{v.rationale}")
+    doc["verdicts"] = [v.to_dict() for v in verdicts]
+    save_results(doc, path)
+    print(
+        f"{sum(v.passed for v in verdicts)}/{len(verdicts)} verdicts "
+        f"passed; wrote {path}",
+        file=sys.stderr,
+    )
+    return 0 if all_ok else 1
+
+
+def _cmd_trials_report(args: argparse.Namespace) -> int:
+    from .trials.report import write_generated_documents
+
+    written = write_generated_documents()
+    for path in written:
+        print(f"wrote {path}", file=sys.stderr)
+    if not written:
+        print(
+            "no artifacts found (run `trials run --tier smoke` first)",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def _cmd_trials_trajectory(args: argparse.Namespace) -> int:
+    from .errors import WearLockError
+    from .trials.trajectory import (
+        append_point,
+        load_trajectory,
+        metric_series,
+        point_from_benches,
+        save_trajectory,
+        sparkline,
+    )
+
+    try:
+        doc = load_trajectory(args.path)
+    except WearLockError as exc:
+        print(f"bad trajectory file: {exc}", file=sys.stderr)
+        return 2
+    if args.trajectory_command == "append":
+        try:
+            metrics = point_from_benches()
+        except WearLockError as exc:
+            print(f"trajectory append failed: {exc}", file=sys.stderr)
+            return 2
+        doc = append_point(doc, args.label, metrics, note=args.note)
+        save_trajectory(doc, args.path)
+        rendered = ", ".join(
+            f"{k}={v:.4g}" for k, v in sorted(metrics.items())
+        )
+        print(f"appended {args.label!r}: {rendered}", file=sys.stderr)
+        return 0
+    # show
+    metrics = sorted(
+        {
+            key
+            for point in doc.get("points", ())
+            for key in point.get("metrics", {})
+        }
+    )
+    if not metrics:
+        print("trajectory is empty")
+        return 0
+    for metric in metrics:
+        series = metric_series(doc, metric)
+        values = [v for _, v in series]
+        first_label, first = series[0]
+        last_label, last = series[-1]
+        print(
+            f"{metric:30s} {sparkline(values)}  "
+            f"{first:.4g} ({first_label}) -> {last:.4g} ({last_label})"
+        )
     return 0
 
 
@@ -480,6 +621,87 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="write markdown here (default stdout)"
     )
     fleet_report.set_defaults(func=_cmd_fleet_report)
+
+    trials = sub.add_parser(
+        "trials",
+        help="claim-checking trial harness (run / judge / report / "
+        "trajectory)",
+    )
+    trials_sub = trials.add_subparsers(dest="trials_command", required=True)
+
+    def _tier_args(p) -> None:
+        p.add_argument(
+            "--tier",
+            choices=("smoke", "nightly", "full-fleet"),
+            default="smoke",
+            help="trial tier (cumulative: nightly and full-fleet "
+            "include the cheaper tiers)",
+        )
+        p.add_argument(
+            "--results",
+            default=None,
+            metavar="PATH",
+            help="results document path "
+            "(default: docs/trials/<tier>.json)",
+        )
+
+    trials_run = trials_sub.add_parser(
+        "run", help="execute a tier of the trial matrix"
+    )
+    _tier_args(trials_run)
+    trials_run.add_argument(
+        "--cell",
+        default=None,
+        metavar="ID",
+        help="run a single cell; without --results it prints to stdout "
+        "instead of writing the tier document",
+    )
+    trials_run.set_defaults(func=_cmd_trials_run)
+
+    trials_judge = trials_sub.add_parser(
+        "judge",
+        help="score a results document; exit 1 on any failed verdict",
+    )
+    _tier_args(trials_judge)
+    trials_judge.add_argument(
+        "--trajectory",
+        default=None,
+        metavar="PATH",
+        help="perf ledger for the regression judge "
+        "(default: BENCH_trajectory.json)",
+    )
+    trials_judge.set_defaults(func=_cmd_trials_judge)
+
+    trials_report = trials_sub.add_parser(
+        "report",
+        help="regenerate docs/TRIALS_REPORT.md, docs/CLAIMS.md and the "
+        "EXPERIMENTS.md trial-matrix block from committed artifacts",
+    )
+    trials_report.set_defaults(func=_cmd_trials_report)
+
+    trials_traj = trials_sub.add_parser(
+        "trajectory", help="inspect or append to BENCH_trajectory.json"
+    )
+    traj_sub = trials_traj.add_subparsers(
+        dest="trajectory_command", required=True
+    )
+    traj_append = traj_sub.add_parser(
+        "append",
+        help="distill BENCH_*.json into a labeled point (idempotent)",
+    )
+    traj_append.add_argument("--label", required=True)
+    traj_append.add_argument("--note", default="")
+    traj_append.add_argument(
+        "--path", default=None, help="ledger path (default: repo root)"
+    )
+    traj_append.set_defaults(func=_cmd_trials_trajectory)
+    traj_show = traj_sub.add_parser(
+        "show", help="print every metric's trend as sparktext"
+    )
+    traj_show.add_argument(
+        "--path", default=None, help="ledger path (default: repo root)"
+    )
+    traj_show.set_defaults(func=_cmd_trials_trajectory)
 
     encode = sub.add_parser("encode", help="modulate hex payload to WAV")
     encode.add_argument("payload", help="payload as hex, e.g. deadbeef")

@@ -1,0 +1,338 @@
+"""Trial runner: execute matrix cells, emit canonical TrialResult JSON.
+
+One cell → one :class:`TrialResult`, a deterministic document (no
+wall-clock, no host telemetry — those go to the progress callback)
+whose canonical JSON is byte-identical across runs, worker counts,
+and staging levels.  Workloads reuse the existing engines:
+
+* ``experiment`` cells call the function registered in
+  :data:`repro.eval.runner.EXPERIMENT_REGISTRY` (whose sweeps already
+  run on :class:`~repro.eval.batch.BatchRunner` grids);
+* ``fleet`` and ``fleet-determinism`` cells drive
+  :class:`~repro.fleet.scheduler.FleetScheduler` and fingerprint the
+  canonical aggregate document with SHA-256;
+* ``trajectory`` cells execute nothing — they exist so the regression
+  judge has a cell to attach verdicts to.
+
+``"derive"`` seeds are folded from the matrix seed and the cell id
+with the same SHA-256 derivation every other sweep in the repo uses
+(:func:`repro.eval.batch.cell_seed`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from ..errors import ConfigurationError, WearLockError
+from ..eval.batch import cell_seed
+from .config import MATRIX_SEED, TrialCell, cell_by_id, cells_for_tier
+
+__all__ = [
+    "TrialResult",
+    "canonical_json",
+    "fleet_document",
+    "run_cell",
+    "run_tier",
+    "save_results",
+    "load_results",
+    "default_results_path",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class TrialResult:
+    """One cell's deterministic outcome."""
+
+    cell_id: str
+    workload: str
+    params: Mapping[str, Any]
+    metrics: Mapping[str, Any]
+    payload: Mapping[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cell_id": self.cell_id,
+            "workload": self.workload,
+            "params": dict(self.params),
+            "metrics": dict(self.metrics),
+            "payload": dict(self.payload),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "TrialResult":
+        return cls(
+            cell_id=doc["cell_id"],
+            workload=doc["workload"],
+            params=doc.get("params", {}),
+            metrics=doc.get("metrics", {}),
+            payload=doc.get("payload", {}),
+        )
+
+
+def canonical_json(doc: Mapping[str, Any]) -> str:
+    """The one serialization every trial artifact is compared in."""
+    return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _resolve_seed(cell: TrialCell, value: Any) -> Any:
+    if value == "derive":
+        return cell_seed(MATRIX_SEED, cell.cell_id)
+    return value
+
+
+def fleet_document(config, aggregate) -> str:
+    """The canonical fleet aggregate document (identical to what
+    ``python -m repro fleet run --out`` writes)."""
+    return canonical_json(
+        {
+            "config": dataclasses.asdict(config),
+            "aggregate": aggregate.to_dict(hours=config.hours),
+        }
+    )
+
+
+def _fleet_config(cell: TrialCell, params: Mapping[str, Any]):
+    from ..fleet import FleetConfig
+
+    return FleetConfig(
+        n_users=int(params["users"]),
+        hours=float(params.get("hours", 24.0)),
+        seed=int(_resolve_seed(cell, params.get("seed", 0))),
+        sessions_per_day=float(params.get("sessions_per_day", 4.0)),
+        faults=str(params.get("faults", "")),
+        retry=bool(params.get("retry", True)),
+        fusion_mix=str(params.get("fusion_mix", "legacy")),
+    )
+
+
+def _run_fleet_variant(
+    config,
+    workers: int,
+    staging: str,
+    shard_users: int,
+) -> tuple:
+    """(canonical document text, aggregate dict) for one fleet run."""
+    from ..fleet import FleetScheduler
+
+    result = FleetScheduler(
+        config,
+        workers=workers,
+        shard_users=shard_users,
+        staging=staging,
+    ).run()
+    agg = result.aggregate.to_dict(hours=config.hours)
+    return fleet_document(config, result.aggregate), agg
+
+
+def _fleet_summary_metrics(agg: Mapping[str, Any]) -> Dict[str, Any]:
+    """The headline scalars a fleet cell's envelopes judge."""
+    keys = (
+        "sessions",
+        "unlocked",
+        "success_rate",
+        "attempts",
+        "pin_fallbacks",
+        "stranger_unlocked",
+        "ber_p50",
+        "latency_p50_s",
+        "latency_p99_s",
+    )
+    return {k: agg[k] for k in keys if k in agg}
+
+
+def _scrub(payload: Any, paths) -> None:
+    """Delete wall-clock telemetry fields the cell declares in
+    ``scrub`` — the results document must stay byte-identical across
+    runs, and measured host time never is."""
+    for path in paths:
+        node = payload
+        segments = path.split("/")
+        for seg in segments[:-1]:
+            if isinstance(node, dict) and seg in node:
+                node = node[seg]
+            else:
+                node = None
+                break
+        if isinstance(node, dict):
+            node.pop(segments[-1], None)
+
+
+def _run_experiment_cell(cell: TrialCell,
+                         params: Mapping[str, Any]) -> TrialResult:
+    import inspect
+
+    from ..eval.runner import EXPERIMENT_REGISTRY, _jsonable
+
+    name = params["name"]
+    if name not in EXPERIMENT_REGISTRY:
+        raise ConfigurationError(
+            f"cell {cell.cell_id!r} names unknown experiment {name!r}"
+        )
+    fn = EXPERIMENT_REGISTRY[name]
+    kwargs = dict(params.get("overrides", {}))
+    if "seed" in kwargs:
+        kwargs["seed"] = _resolve_seed(cell, kwargs["seed"])
+    workers = params.get("workers")
+    if workers and "workers" in inspect.signature(fn).parameters:
+        kwargs["workers"] = workers
+    payload = _jsonable(fn(**kwargs))
+    _scrub(payload, params.get("scrub", ()))
+    resolved = dict(params)
+    if kwargs.get("seed") is not None:
+        resolved["overrides"] = dict(kwargs)
+    return TrialResult(
+        cell_id=cell.cell_id,
+        workload=cell.workload,
+        params=resolved,
+        metrics={"digest": _digest(canonical_json(payload))},
+        payload=payload,
+    )
+
+
+def _run_fleet_cell(cell: TrialCell,
+                    params: Mapping[str, Any]) -> TrialResult:
+    config = _fleet_config(cell, params)
+    document, agg = _run_fleet_variant(
+        config,
+        workers=int(params.get("workers", 1)),
+        staging=str(params.get("staging", "otp")),
+        shard_users=int(params.get("shard_users", 25)),
+    )
+    metrics = _fleet_summary_metrics(agg)
+    metrics["digest"] = _digest(document)
+    resolved = dict(params)
+    resolved["seed"] = config.seed
+    return TrialResult(
+        cell_id=cell.cell_id,
+        workload=cell.workload,
+        params=resolved,
+        metrics=metrics,
+        payload={
+            "aggregate_summary": metrics,
+            "config": dataclasses.asdict(config),
+        },
+    )
+
+
+def _run_fleet_determinism_cell(cell: TrialCell,
+                                params: Mapping[str, Any]) -> TrialResult:
+    config = _fleet_config(cell, params)
+    variants: List[Mapping[str, Any]] = list(params.get("variants", ()))
+    if len(variants) < 2:
+        raise ConfigurationError(
+            f"cell {cell.cell_id!r}: fleet-determinism needs >= 2 variants"
+        )
+    digests = []
+    rows = []
+    summary: Dict[str, Any] = {}
+    for variant in variants:
+        document, agg = _run_fleet_variant(
+            config,
+            workers=int(variant.get("workers", 1)),
+            staging=str(variant.get("staging", "otp")),
+            shard_users=int(variant.get("shard_users", 25)),
+        )
+        digest = _digest(document)
+        digests.append(digest)
+        rows.append(
+            {
+                "workers": int(variant.get("workers", 1)),
+                "staging": str(variant.get("staging", "otp")),
+                "digest": digest,
+            }
+        )
+        if not summary:
+            summary = _fleet_summary_metrics(agg)
+    metrics = dict(summary)
+    metrics["digests"] = digests
+    resolved = dict(params)
+    resolved["seed"] = config.seed
+    return TrialResult(
+        cell_id=cell.cell_id,
+        workload=cell.workload,
+        params=resolved,
+        metrics=metrics,
+        payload={"variants": rows},
+    )
+
+
+def run_cell(
+    cell: TrialCell,
+    progress: Optional[Callable[[str], None]] = None,
+) -> TrialResult:
+    """Execute one cell and return its deterministic result."""
+    t0 = time.perf_counter()
+    if cell.workload == "experiment":
+        result = _run_experiment_cell(cell, cell.params)
+    elif cell.workload == "fleet":
+        result = _run_fleet_cell(cell, cell.params)
+    elif cell.workload == "fleet-determinism":
+        result = _run_fleet_determinism_cell(cell, cell.params)
+    elif cell.workload == "trajectory":
+        result = TrialResult(
+            cell_id=cell.cell_id,
+            workload=cell.workload,
+            params=dict(cell.params),
+            metrics={},
+            payload={},
+        )
+    else:  # pragma: no cover - config validation rejects this earlier
+        raise WearLockError(f"unknown workload {cell.workload!r}")
+    if progress is not None:
+        progress(f"{cell.cell_id}: done in {time.perf_counter() - t0:.1f}s")
+    return result
+
+
+def run_tier(
+    tier: str,
+    only_cell: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run a whole tier (or one cell of it) into a results document."""
+    if only_cell is not None:
+        cells = [cell_by_id(only_cell)]
+    else:
+        cells = list(cells_for_tier(tier))
+    results: Dict[str, Any] = {}
+    for cell in cells:
+        if progress is not None:
+            progress(f"{cell.cell_id}: running ({cell.workload})")
+        results[cell.cell_id] = run_cell(cell, progress=progress).to_dict()
+    return {
+        "kind": "wearlock-trials",
+        "tier": tier,
+        "matrix_seed": MATRIX_SEED,
+        "results": results,
+    }
+
+
+def default_results_path(tier: str) -> Path:
+    """``docs/trials/<tier>.json`` at the repository root."""
+    import repro
+
+    root = Path(repro.__file__).resolve().parents[2]
+    return root / "docs" / "trials" / f"{tier}.json"
+
+
+def save_results(doc: Mapping[str, Any], path) -> None:
+    """Write a results document as canonical JSON."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(canonical_json(doc))
+
+
+def load_results(path) -> Dict[str, Any]:
+    """Read back a results document written by :func:`save_results`."""
+    doc = json.loads(Path(path).read_text())
+    if doc.get("kind") != "wearlock-trials":
+        raise WearLockError(f"{path} is not a trials results document")
+    return doc

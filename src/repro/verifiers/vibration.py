@@ -37,6 +37,8 @@ __all__ = [
     "VibrationResonanceVerifier",
     "vibration_similarity",
     "VIBRATION_MIN_SIMILARITY",
+    "VIBRATION_CALIBRATED_FRR",
+    "VIBRATION_CALIBRATED_FAR",
 ]
 
 #: Pass threshold on the cross-correlation peak.  Calibrated against
@@ -45,6 +47,12 @@ __all__ = [
 #: accepts are sitting pairs whose reach-and-settle transients happen
 #: to align inside the lag window).
 VIBRATION_MIN_SIMILARITY = 0.9
+
+#: Error rates measured by that calibration sweep at the deployed
+#: threshold.  Exposed as constants so generated claim docs
+#: (docs/CLAIMS.md) cite the code, not hand-copied prose.
+VIBRATION_CALIBRATED_FRR = 0.0
+VIBRATION_CALIBRATED_FAR = 0.02
 
 #: ± lag-search window in sensor samples (200 ms at 50 Hz) — generous
 #: next to the synthesized 3-sample wrist lag, tight enough that two

@@ -7,6 +7,7 @@ from pathlib import Path
 from repro.tools.gendocs import (
     default_output_path,
     iter_module_names,
+    lint_api_coverage,
     lint_module_docstrings,
     main,
     module_entries,
@@ -64,3 +65,24 @@ class TestCliModes:
         assert main(["--check", "--out", str(stale)]) == 1
         assert main(["--out", str(stale)]) == 0
         assert main(["--check", "--out", str(stale)]) == 0
+
+
+class TestApiCoverageLint:
+    def test_committed_api_md_covers_every_module(self):
+        assert lint_api_coverage() == []
+
+    def test_flags_modules_missing_from_a_stale_file(self, tmp_path: Path):
+        partial = tmp_path / "API.md"
+        # A file predating the trials package entirely.
+        partial.write_text("# API reference\n\n## `repro`\n")
+        missing = lint_api_coverage(partial)
+        assert "repro.trials" in missing
+        assert "repro.trials.judges" in missing
+        assert "repro" not in missing
+
+    def test_lint_mode_fails_on_uncovered_file(self, tmp_path: Path):
+        partial = tmp_path / "API.md"
+        partial.write_text("# API reference\n")
+        assert main(["--lint", "--out", str(partial)]) == 1
+        assert main(["--out", str(partial)]) == 0
+        assert main(["--lint", "--out", str(partial)]) == 0

@@ -1,0 +1,467 @@
+"""Trial harness: matrix integrity, judges, trajectory, report."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError, WearLockError
+from repro.trials import (
+    MATRIX_SEED,
+    TIERS,
+    TRIAL_MATRIX,
+    JudgeSpec,
+    TrialCell,
+    append_point,
+    cell_by_id,
+    cells_for_tier,
+    judge_document,
+    load_matrix_toml,
+    load_trajectory,
+    metric_series,
+    save_trajectory,
+    sparkline,
+)
+from repro.trials.judges import (
+    JUDGE_REGISTRY,
+    DeterminismJudge,
+    EnvelopeJudge,
+    RegressionJudge,
+    resolve_path,
+)
+from repro.trials.report import (
+    experiments_matrix_block,
+    refresh_experiments,
+    render_trials_report,
+    repo_root,
+)
+from repro.trials.runner import canonical_json
+
+
+# --------------------------------------------------------------- matrix
+
+
+class TestMatrixIntegrity:
+    def test_cell_ids_unique(self):
+        ids = [c.cell_id for c in TRIAL_MATRIX]
+        assert len(ids) == len(set(ids))
+
+    def test_every_judge_is_registered(self):
+        for cell in TRIAL_MATRIX:
+            for spec in cell.judges:
+                assert spec.judge in JUDGE_REGISTRY, cell.cell_id
+
+    def test_tiers_are_cumulative(self):
+        smoke = {c.cell_id for c in cells_for_tier("smoke")}
+        nightly = {c.cell_id for c in cells_for_tier("nightly")}
+        full = {c.cell_id for c in cells_for_tier("full-fleet")}
+        assert smoke < nightly < full
+        assert full == {c.cell_id for c in TRIAL_MATRIX}
+
+    def test_smoke_tier_carries_the_gates(self):
+        smoke = {c.cell_id for c in cells_for_tier("smoke")}
+        assert "perf/trend-gate" in smoke
+        assert "fleet/smoke-determinism" in smoke
+        assert "paper/fig12-delay" in smoke
+
+    def test_unknown_tier_and_cell_raise(self):
+        with pytest.raises(ConfigurationError):
+            cells_for_tier("weekly")
+        with pytest.raises(ConfigurationError):
+            cell_by_id("paper/fig99-nope")
+
+    def test_cell_validation_rejects_bad_specs(self):
+        judge = (JudgeSpec("envelope", {}),)
+        with pytest.raises(ConfigurationError):
+            TrialCell("x", "weekly", "experiment", {}, judge)
+        with pytest.raises(ConfigurationError):
+            TrialCell("x", "smoke", "quantum", {}, judge)
+        with pytest.raises(ConfigurationError):
+            TrialCell("x", "smoke", "experiment", {}, ())
+
+    def test_command_round_trips_cell_id(self):
+        cell = cell_by_id("paper/fig5-ber")
+        assert "--cell paper/fig5-ber" in cell.command()
+
+    def test_load_matrix_toml(self, tmp_path: Path):
+        toml = tmp_path / "pack.toml"
+        toml.write_text(
+            '[[cell]]\n'
+            'cell_id = "custom/one"\n'
+            'workload = "experiment"\n'
+            'tier = "nightly"\n'
+            'params = {name = "fig5"}\n'
+            '[[cell.judge]]\n'
+            'judge = "envelope"\n'
+            '[cell.judge.params]\n'
+            'checks = [{path = "payload/x", hi = 1.0}]\n'
+        )
+        cells = load_matrix_toml(toml)
+        assert len(cells) == 1
+        assert cells[0].cell_id == "custom/one"
+        assert cells[0].tier == "nightly"
+        assert cells[0].judges[0].judge == "envelope"
+        assert cells[0].judges[0].params["checks"][0]["path"] == "payload/x"
+
+
+# ---------------------------------------------------------- resolve_path
+
+
+class TestResolvePath:
+    DOC = {
+        "metrics": {"ber": 0.08, "digests": ["a", "a"]},
+        "payload": {
+            "rows": [{"v": 1.0}, {"v": 3.0}],
+            "by_mode": {"qpsk": 0.1, "bpsk": 0.05},
+        },
+    }
+
+    def test_dict_and_list_descent(self):
+        assert resolve_path(self.DOC, "metrics/ber") == 0.08
+        assert resolve_path(self.DOC, "payload/rows/1/v") == 3.0
+        assert resolve_path(self.DOC, "payload/rows/-1/v") == 3.0
+
+    def test_wildcard_fans_out_sorted(self):
+        assert resolve_path(self.DOC, "payload/rows/*/v") == [1.0, 3.0]
+        # dict fan-out is in sorted-key order: bpsk before qpsk.
+        assert resolve_path(self.DOC, "payload/by_mode/*") == [0.05, 0.1]
+
+    def test_missing_paths_raise_wearlock_error(self):
+        for path in ("metrics/nope", "payload/rows/7/v",
+                     "payload/rows/x", "metrics/ber/deeper"):
+            with pytest.raises(WearLockError):
+                resolve_path(self.DOC, path)
+
+
+# ---------------------------------------------------------------- judges
+
+
+def _env_verdict(result, **params):
+    return EnvelopeJudge().judge("t/cell", result, params, {})
+
+
+class TestEnvelopeJudge:
+    RESULT = {"metrics": {}, "payload": {"ber": 0.08, "other": 0.20}}
+
+    def test_passes_inside_band(self):
+        v = _env_verdict(
+            self.RESULT,
+            checks=[{"path": "payload/ber", "lo": 0.05, "hi": 0.1}],
+            orderings=[["payload/ber", "payload/other"]],
+        )
+        assert v.passed
+        assert "all 2 envelope checks" in v.rationale
+
+    def test_band_edges_are_inclusive(self):
+        for edge in ({"lo": 0.08}, {"hi": 0.08},
+                     {"lo": 0.08, "hi": 0.08}):
+            v = _env_verdict(
+                self.RESULT, checks=[{"path": "payload/ber", **edge}]
+            )
+            assert v.passed, edge
+
+    def test_fails_outside_band_either_side(self):
+        lo = _env_verdict(
+            self.RESULT, checks=[{"path": "payload/ber", "lo": 0.09}]
+        )
+        hi = _env_verdict(
+            self.RESULT, checks=[{"path": "payload/ber", "hi": 0.07}]
+        )
+        assert not lo.passed and "< lo" in lo.rationale
+        assert not hi.passed and "> hi" in hi.rationale
+
+    def test_ordering_violation_fails(self):
+        v = _env_verdict(
+            self.RESULT,
+            orderings=[["payload/other", "payload/ber"]],
+        )
+        assert not v.passed
+        assert "ordering violated" in v.rationale
+
+    def test_missing_path_is_a_failed_verdict_not_a_crash(self):
+        v = _env_verdict(
+            self.RESULT, checks=[{"path": "payload/absent", "hi": 1}]
+        )
+        assert not v.passed
+        assert v.details["checks"][0]["error"]
+
+    def test_reducers(self):
+        result = {"payload": {"xs": [0.1, 0.4, 0.3]}}
+        v = _env_verdict(
+            result,
+            checks=[
+                {"path": "payload/xs/*", "reduce": "max", "hi": 0.4},
+                {"path": "payload/xs/*", "reduce": "min", "lo": 0.1},
+                {"path": "payload/xs/*", "reduce": "mean", "hi": 0.3},
+                {"path": "payload/xs/*", "reduce": "len", "lo": 3},
+            ],
+        )
+        assert v.passed
+
+    def test_unknown_reducer_fails_the_check(self):
+        # ConfigurationError is a WearLockError, so the judge records
+        # it as a failed check rather than crashing the tier.
+        v = _env_verdict(
+            {"payload": {"xs": [0.1]}},
+            checks=[{"path": "payload/xs/*", "reduce": "median"}],
+        )
+        assert not v.passed
+        assert "median" in v.details["checks"][0]["error"]
+
+
+class TestDeterminismJudge:
+    def judge(self, digests):
+        return DeterminismJudge().judge(
+            "t/det", {"metrics": {"digests": digests}}, {}, {}
+        )
+
+    def test_identical_digests_pass(self):
+        v = self.judge(["abc123def456", "abc123def456", "abc123def456"])
+        assert v.passed
+        assert "byte-identical" in v.rationale
+
+    def test_any_divergence_fails(self):
+        v = self.judge(["abc123def456", "abc123def456", "fff000fff000"])
+        assert not v.passed
+        assert "2 distinct" in v.rationale
+
+    def test_fewer_than_two_digests_fail(self):
+        assert not self.judge(["only-one"]).passed
+        assert not self.judge([]).passed
+
+
+class TestRegressionJudge:
+    def judge(self, points, tolerance=0.15, direction="higher"):
+        trajectory = {"kind": "wearlock-trajectory", "points": points}
+        return RegressionJudge().judge(
+            "perf/gate",
+            {},
+            {"metric": "speedup", "tolerance": tolerance,
+             "direction": direction},
+            {"trajectory": trajectory},
+        )
+
+    @staticmethod
+    def pts(*values):
+        return [
+            {"label": f"pr{i}", "metrics": {"speedup": v}}
+            for i, v in enumerate(values)
+        ]
+
+    def test_no_points_fails_loudly(self):
+        assert not self.judge([]).passed
+
+    def test_single_point_passes_vacuously(self):
+        v = self.judge(self.pts(3.0))
+        assert v.passed
+        assert "no baseline" in v.rationale
+
+    def test_twenty_percent_slowdown_is_rejected(self):
+        """The acceptance criterion: a deliberately injected 20%
+        slowdown must fail the 15%-tolerance trend gate."""
+        v = self.judge(self.pts(3.0, 3.0 * 0.8))
+        assert not v.passed
+        assert "VIOLATED" in v.rationale
+
+    def test_slowdown_within_tolerance_passes(self):
+        assert self.judge(self.pts(3.0, 3.0 * 0.9)).passed
+        assert self.judge(self.pts(3.0, 3.2)).passed
+
+    def test_boundary_value_passes(self):
+        # latest == baseline * (1 - tolerance) exactly: bound holds.
+        assert self.judge(self.pts(2.0, 2.0 * 0.85)).passed
+
+    def test_lower_is_better_direction(self):
+        grew = self.pts(1.0, 1.3)
+        assert not self.judge(grew, direction="lower").passed
+        assert self.judge(self.pts(1.0, 1.1), direction="lower").passed
+
+    def test_baseline_is_previous_carrying_point(self):
+        # Points missing the metric are skipped when picking baseline.
+        points = self.pts(3.0, 2.95) + [
+            {"label": "prX", "metrics": {"other": 1.0}}
+        ]
+        v = self.judge(points)
+        assert v.passed
+        assert v.details["baseline"] == 3.0
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.judge(self.pts(1.0, 1.0), direction="sideways")
+
+
+class TestJudgeDocument:
+    def test_missing_cell_fails_the_document(self):
+        cell = cell_by_id("perf/trend-gate")
+        doc = {"kind": "wearlock-trials", "results": {}}
+        verdicts, ok = judge_document(doc, [cell], {})
+        assert not ok
+        assert verdicts[0].judge == "missing"
+
+
+# ------------------------------------------------------------ trajectory
+
+
+class TestTrajectory:
+    def test_append_is_idempotent(self):
+        doc = {"kind": "wearlock-trajectory", "points": []}
+        one = append_point(doc, "pr1", {"speedup": 2.0})
+        two = append_point(one, "pr1", {"speedup": 2.0})
+        assert one == two
+        assert len(two["points"]) == 1
+
+    def test_same_label_new_metrics_replaces_in_place(self):
+        doc = append_point(
+            {"kind": "wearlock-trajectory", "points": []},
+            "pr1", {"speedup": 2.0},
+        )
+        doc = append_point(doc, "pr2", {"speedup": 2.5})
+        doc = append_point(doc, "pr1", {"speedup": 2.1})
+        assert [p["label"] for p in doc["points"]] == ["pr1", "pr2"]
+        assert doc["points"][0]["metrics"]["speedup"] == 2.1
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(WearLockError):
+            append_point({"points": []}, "", {"speedup": 1.0})
+
+    def test_save_load_round_trip(self, tmp_path: Path):
+        path = tmp_path / "traj.json"
+        doc = append_point(
+            load_trajectory(path), "pr1", {"speedup": 2.0}, note="n"
+        )
+        save_trajectory(doc, path)
+        assert load_trajectory(path) == doc
+        # absent file loads as an empty ledger
+        assert load_trajectory(tmp_path / "nope.json")["points"] == []
+
+    def test_metric_series_filters_by_metric(self):
+        doc = {"points": [
+            {"label": "a", "metrics": {"x": 1.0}},
+            {"label": "b", "metrics": {"y": 2.0}},
+            {"label": "c", "metrics": {"x": 3.0}},
+        ]}
+        assert metric_series(doc, "x") == [("a", 1.0), ("c", 3.0)]
+
+    def test_sparkline(self):
+        assert sparkline([]) == ""
+        assert sparkline([1.0, 1.0]) == "▄▄"
+        line = sparkline([0.0, 0.5, 1.0])
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(line) == 3
+
+
+# ---------------------------------------------------------------- report
+
+
+def _synthetic_results():
+    cell = cell_by_id("perf/trend-gate")
+    doc = {
+        "kind": "wearlock-trials",
+        "tier": "smoke",
+        "matrix_seed": MATRIX_SEED,
+        "results": {
+            cell.cell_id: {
+                "cell_id": cell.cell_id,
+                "workload": "trajectory",
+                "params": {},
+                "metrics": {},
+                "payload": {},
+            }
+        },
+    }
+    trajectory = {
+        "kind": "wearlock-trajectory",
+        "points": [
+            {"label": "pr1", "metrics": {
+                "signal_plane_speedup": 2.4,
+                "fleet_speedup_total": 3.0,
+                "fleet_speedup_algorithmic": 3.2,
+            }},
+            {"label": "pr2", "metrics": {
+                "signal_plane_speedup": 2.5,
+                "fleet_speedup_total": 3.0,
+                "fleet_speedup_algorithmic": 3.1,
+            }},
+        ],
+    }
+    return doc, trajectory
+
+
+class TestReport:
+    def test_render_is_deterministic(self):
+        doc, trajectory = _synthetic_results()
+        assert render_trials_report(doc, trajectory) == \
+            render_trials_report(doc, trajectory)
+
+    def test_report_carries_verdicts_and_trend(self):
+        doc, trajectory = _synthetic_results()
+        text = render_trials_report(doc, trajectory)
+        assert "perf/trend-gate" in text
+        assert "## Perf trend" in text
+        assert "✅" in text and "❌" not in text
+
+    def test_report_surfaces_failures(self):
+        doc, trajectory = _synthetic_results()
+        # inject a 20% slowdown into the latest point
+        trajectory["points"][-1]["metrics"]["fleet_speedup_total"] = 2.4
+        text = render_trials_report(doc, trajectory)
+        assert "FAILURES PRESENT" in text
+        assert "VIOLATED" in text
+
+    def test_matrix_block_lists_every_cell(self):
+        block = experiments_matrix_block()
+        for cell in TRIAL_MATRIX:
+            assert f"`{cell.cell_id}`" in block
+
+    def test_refresh_experiments_splices_and_requires_markers(self):
+        text = ("pre\n<!-- BEGIN GENERATED: trial-matrix -->\nOLDBLOCK\n"
+                "<!-- END GENERATED: trial-matrix -->\npost\n")
+        out = refresh_experiments(text)
+        assert out.startswith("pre\n")
+        assert out.endswith("post\n")
+        assert "OLDBLOCK" not in out
+        assert "paper/fig5-ber" in out
+        with pytest.raises(WearLockError):
+            refresh_experiments("no markers here")
+
+    def test_canonical_json_is_stable(self):
+        doc = {"b": 1, "a": {"z": [1, 2], "y": 0.5}}
+        assert canonical_json(doc) == canonical_json(
+            json.loads(canonical_json(doc))
+        )
+
+
+# -------------------------------------------- committed artifacts fresh
+
+
+class TestCommittedArtifacts:
+    """CI's gates, as unit tests against the committed files."""
+
+    def test_committed_smoke_results_pass_their_judges(self):
+        root = repo_root()
+        smoke_path = root / "docs" / "trials" / "smoke.json"
+        assert smoke_path.exists(), "run `python -m repro trials run`"
+        doc = json.loads(smoke_path.read_text())
+        trajectory = load_trajectory(root / "BENCH_trajectory.json")
+        cells = [
+            c for c in cells_for_tier("smoke")
+            if c.cell_id in doc["results"] or c.workload == "trajectory"
+        ]
+        verdicts, ok = judge_document(doc, cells, trajectory)
+        failed = [v for v in verdicts if not v.passed]
+        assert ok, [f"{v.cell_id}/{v.judge}: {v.rationale}"
+                    for v in failed]
+
+    def test_committed_trajectory_is_a_valid_ledger(self):
+        doc = load_trajectory(repo_root() / "BENCH_trajectory.json")
+        assert doc["points"], "BENCH_trajectory.json must carry points"
+        labels = [p["label"] for p in doc["points"]]
+        assert len(labels) == len(set(labels))
+
+    def test_committed_results_book_is_fresh(self):
+        """gendocs --check for the trials-owned docs, as a unit test."""
+        from repro.tools.gendocs import check_generated_docs
+
+        assert check_generated_docs() == []
