@@ -188,6 +188,7 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
             faults=args.faults or "",
             retry=not args.no_retry,
             fusion_mix=args.fusion_mix,
+            scene_density=args.contention,
         )
     except WearLockError as exc:
         print(f"bad fleet config: {exc}", file=sys.stderr)
@@ -212,6 +213,7 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
         markdown = render_fleet_report(
             result.aggregate.to_dict(hours=config.hours),
             dataclasses.asdict(config),
+            report_path=args.report,
         )
         with open(args.report, "w") as fh:
             fh.write(markdown)
@@ -235,7 +237,11 @@ def _cmd_fleet_report(args: argparse.Namespace) -> int:
 
     with open(getattr(args, "from")) as fh:
         doc = json.load(fh)
-    markdown = render_fleet_report(doc["aggregate"], doc.get("config"))
+    markdown = render_fleet_report(
+        doc["aggregate"],
+        doc.get("config"),
+        report_path=args.out or "docs/FLEET_REPORT.md",
+    )
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(markdown)
@@ -582,6 +588,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="verifier/fusion assignment across the population: legacy = "
         "ambient+DTW AND for everyone, score = all four verifiers under "
         "score fusion, archetype = per-archetype sets and policies",
+    )
+    fleet_run.add_argument(
+        "--contention",
+        type=float,
+        default=0.0,
+        metavar="DENSITY",
+        help="shared-channel contention: target co-channel users per "
+        "public scene (scaled per environment by crowding); overlapping "
+        "Phase-1 probes contend CSMA-style with deterministic backoff. "
+        "0 (the default) reduces bit-for-bit to the independent path",
     )
     fleet_run.add_argument(
         "--no-batch",

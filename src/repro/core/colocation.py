@@ -107,6 +107,25 @@ class AmbientComparator:
             profiles[:, j] = np.log10(np.mean(band, axis=1) + 1e-20)
         return profiles
 
+    @staticmethod
+    def _profile_correlation(pa: np.ndarray, pb: np.ndarray) -> float:
+        """Pearson correlation of two band profiles, hardened to [-1, 1].
+
+        ``np.corrcoef`` can drift a hair past ±1 by float rounding and
+        returns NaN when a profile is near-constant *just above* the
+        std guard (the normalization divides by a denormal variance),
+        so the result is NaN-mapped to 0.0 ("no evidence either way",
+        matching the constant-profile guard) and clamped.  Both the
+        scalar and batch similarity paths call this one helper, which
+        is what keeps them bit-identical per pair.
+        """
+        if np.std(pa) < 1e-12 or np.std(pb) < 1e-12:
+            return 0.0
+        r = float(np.corrcoef(pa, pb)[0, 1])
+        if not np.isfinite(r):
+            return 0.0
+        return min(1.0, max(-1.0, r))
+
     def similarity_batch(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Row-wise :meth:`similarity` over two stacks of recordings.
 
@@ -119,11 +138,7 @@ class AmbientComparator:
         n = min(pa.shape[1], pb.shape[1])
         out = np.empty(pa.shape[0])
         for i in range(pa.shape[0]):
-            ra, rb = pa[i, :n], pb[i, :n]
-            if np.std(ra) < 1e-12 or np.std(rb) < 1e-12:
-                out[i] = 0.0
-            else:
-                out[i] = float(np.corrcoef(ra, rb)[0, 1])
+            out[i] = self._profile_correlation(pa[i, :n], pb[i, :n])
         return out
 
     def similarity(self, a: np.ndarray, b: np.ndarray) -> float:
@@ -131,10 +146,7 @@ class AmbientComparator:
         pa = self.band_profile(a)
         pb = self.band_profile(b)
         n = min(pa.size, pb.size)
-        pa, pb = pa[:n], pb[:n]
-        if np.std(pa) < 1e-12 or np.std(pb) < 1e-12:
-            return 0.0
-        return float(np.corrcoef(pa, pb)[0, 1])
+        return self._profile_correlation(pa[:n], pb[:n])
 
     def co_located(self, a: np.ndarray, b: np.ndarray) -> Tuple[bool, float]:
         """Decision + score: are these two recordings from one place?"""

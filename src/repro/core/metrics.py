@@ -11,6 +11,21 @@ from ..errors import WearLockError
 from ..protocol.session import UnlockOutcome
 
 
+def _finite_values(values: Sequence[float], what: str) -> np.ndarray:
+    """Drop ``None`` entries and build the float array every stats
+    constructor reduces.
+
+    Outcome streams legitimately interleave measured and absent values
+    (a session that aborts before Phase 2 has no BER; a staged record
+    can carry ``raw_ber=None``), so all ``from_values`` constructors
+    share one convention: ``None`` is "not measured", never a crash.
+    """
+    v = [x for x in values if x is not None]
+    if not v:
+        raise WearLockError(f"no {what} values to aggregate")
+    return np.asarray(v, dtype=np.float64)
+
+
 @dataclass(frozen=True)
 class BerStats:
     """Bit-error-rate statistics over a set of transmissions."""
@@ -22,10 +37,7 @@ class BerStats:
 
     @staticmethod
     def from_values(values: Sequence[float]) -> "BerStats":
-        v = [x for x in values if x is not None]
-        if not v:
-            raise WearLockError("no BER values to aggregate")
-        arr = np.asarray(v, dtype=np.float64)
+        arr = _finite_values(values, "BER")
         return BerStats(
             mean=float(np.mean(arr)),
             median=float(np.median(arr)),
@@ -45,9 +57,7 @@ class DelayStats:
 
     @staticmethod
     def from_values(values: Sequence[float]) -> "DelayStats":
-        if not values:
-            raise WearLockError("no delay values to aggregate")
-        arr = np.asarray(values, dtype=np.float64)
+        arr = _finite_values(values, "delay")
         return DelayStats(
             mean=float(np.mean(arr)),
             median=float(np.median(arr)),
@@ -78,7 +88,7 @@ class SuccessStats:
 
 @dataclass(frozen=True)
 class TailStats:
-    """Tail-latency summary (P50/P95/P99) over a value stream.
+    """Tail-latency summary (P50/P95/P99/P999) over a value stream.
 
     Both constructors estimate the *nearest-rank* sample quantile (the
     value at rank ``ceil(q * n)``): :meth:`from_values` reads it off
@@ -95,14 +105,18 @@ class TailStats:
     p50: float
     p95: float
     p99: float
+    #: The SLO tail: below ``n = 1000`` samples the nearest-rank P999
+    #: collapses onto the sample maximum, which is exactly what an SLO
+    #: burn-down wants from a small window.
+    p999: float
     n: int
 
     @staticmethod
     def from_values(values: Sequence[float]) -> "TailStats":
-        """Nearest-rank quantiles of the raw samples."""
-        if not values:
-            raise WearLockError("no values to aggregate")
-        arr = np.sort(np.asarray(values, dtype=np.float64))
+        """Nearest-rank quantiles of the raw samples (``None`` entries
+        mean "not measured" and are dropped, like every stats
+        constructor here)."""
+        arr = np.sort(_finite_values(values, "tail"))
 
         def rank_value(q: float) -> float:
             rank = max(1, int(np.ceil(q * arr.size)))
@@ -112,6 +126,7 @@ class TailStats:
             p50=rank_value(0.50),
             p95=rank_value(0.95),
             p99=rank_value(0.99),
+            p999=rank_value(0.999),
             n=arr.size,
         )
 
@@ -145,6 +160,7 @@ class TailStats:
             p50=rank_value(0.50),
             p95=rank_value(0.95),
             p99=rank_value(0.99),
+            p999=rank_value(0.999),
             n=total,
         )
 

@@ -11,6 +11,9 @@ Pipeline (see DESIGN.md §10)::
 
     population.py   N users ── device mix, scenario habits, diurnal
                     schedule ──> per-user SessionSpec streams
+    events.py       all schedules ── one time-ordered stream, shared
+                    scenes, CSMA backoff ──> per-session contention
+                    annotations (opt-in via scene_density)
     scheduler.py    users ── contiguous shards ──> worker pool
     executor.py     one shard ── batched prefilter + per-user security
                     state ──> compact SessionRecords
@@ -27,6 +30,12 @@ one.
 """
 
 from .aggregate import FleetAggregate, Histogram
+from .events import (
+    ContentionPlan,
+    SceneAnnotation,
+    build_contention_plan,
+    scene_of,
+)
 from .population import (
     DIURNAL_WEIGHTS,
     FleetConfig,
@@ -42,16 +51,20 @@ from .scheduler import FleetResult, FleetScheduler
 
 __all__ = [
     "DIURNAL_WEIGHTS",
+    "ContentionPlan",
     "FleetAggregate",
     "FleetConfig",
     "FleetResult",
     "FleetScheduler",
     "Histogram",
+    "SceneAnnotation",
     "SessionSpec",
     "UserProfile",
+    "build_contention_plan",
     "build_population",
     "render_fleet_report",
     "run_shard",
+    "scene_of",
     "synthesize_user",
     "user_sessions",
 ]

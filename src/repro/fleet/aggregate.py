@@ -35,7 +35,14 @@ import numpy as np
 
 from ..errors import ConfigurationError
 
-__all__ = ["Histogram", "SessionRecord", "FleetAggregate"]
+__all__ = [
+    "Histogram",
+    "SessionRecord",
+    "FleetAggregate",
+    "DENSITY_BUCKETS",
+    "density_bucket",
+    "RETRY_STORM_BACKOFFS",
+]
 
 
 class Histogram:
@@ -124,9 +131,33 @@ class Histogram:
 
     @classmethod
     def from_dict(cls, doc: Dict[str, Any]) -> "Histogram":
+        """Rebuild from :meth:`to_dict` output, validating bin indices.
+
+        Documents cross trust boundaries (re-read from JSON files the
+        CLI or a shard wrote), so malformed keys must surface as
+        :class:`~repro.errors.ConfigurationError` — not a raw
+        ``IndexError``, and never a silent negative-index wraparound
+        corrupting another bin's count.
+        """
         h = cls(doc["lo"], doc["hi"], doc["n_bins"])
         for idx, count in doc.get("counts", {}).items():
-            h.counts[int(idx)] = int(count)
+            try:
+                i = int(idx)
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"histogram bin index {idx!r} is not an integer"
+                ) from None
+            if not 0 <= i < h.n_bins:
+                raise ConfigurationError(
+                    f"histogram bin index {i} out of range "
+                    f"[0, {h.n_bins})"
+                )
+            c = int(count)
+            if c < 0:
+                raise ConfigurationError(
+                    f"histogram bin {i} has negative count {c}"
+                )
+            h.counts[i] = c
         h.underflow = int(doc.get("underflow", 0))
         h.overflow = int(doc.get("overflow", 0))
         return h
@@ -165,6 +196,16 @@ class SessionRecord:
     #: fusion policy consulted, in evaluation order.  Empty for PIN
     #: fallbacks and for sessions that aborted before the prefilter.
     verifier_results: Tuple[Tuple[str, Optional[float], bool, bool], ...] = ()
+    #: Shared-channel residue from the contention kernel
+    #: (:mod:`repro.fleet.events`).  ``scene_members == 0`` marks a
+    #: session outside any shared scene (private environment, or a run
+    #: with the kernel off) — the defaults keep legacy records
+    #: bit-identical.
+    scene_slot: int = -1
+    scene_members: int = 0
+    backoffs: int = 0
+    backoff_delay_s: float = 0.0
+    noise_penalty_db: float = 0.0
 
 
 @dataclass
@@ -257,6 +298,102 @@ class _VerifierStats:
         }
 
 
+#: ``scene_members`` → report bucket.  Buckets (not raw member counts)
+#: key the per-density block so its cardinality stays fixed no matter
+#: how crowded a config gets — the constant-memory rule every other
+#: sub-accumulator follows.
+DENSITY_BUCKETS: Tuple[Tuple[int, str], ...] = (
+    (1, "1"),
+    (4, "2-4"),
+    (9, "5-9"),
+    (19, "10-19"),
+    (49, "20-49"),
+)
+
+
+def density_bucket(members: int) -> str:
+    """The scene-density label a session with ``members`` co-channel
+    users reports under."""
+    for hi, label in DENSITY_BUCKETS:
+        if members <= hi:
+            return label
+    return "50+"
+
+
+#: A session with this many backoffs burned most of its retry budget —
+#: the "retry storm" threshold the SLO block counts.
+RETRY_STORM_BACKOFFS = 3
+
+
+@dataclass
+class _ContentionStats:
+    """Per-scene-density SLO accumulator: latency tails + channel health.
+
+    Keyed by :func:`density_bucket`; all state is integral or folded in
+    canonical order, so the block merges exactly like every other
+    sub-accumulator.
+    """
+
+    sessions: int = 0
+    unlocked: int = 0
+    backoffs: int = 0
+    backoff_delay_sum: float = 0.0
+    noise_penalty_sum: float = 0.0
+    retry_storms: int = 0
+    contention_aborts: int = 0
+    pin_fallbacks: int = 0
+    latency: Histogram = field(
+        default_factory=lambda: Histogram(*FleetAggregate.LATENCY_BINS)
+    )
+
+    def observe(self, rec: SessionRecord) -> None:
+        self.sessions += 1
+        self.unlocked += int(rec.unlocked)
+        self.backoffs += rec.backoffs
+        self.backoff_delay_sum += rec.backoff_delay_s
+        self.noise_penalty_sum += rec.noise_penalty_db
+        self.retry_storms += int(rec.backoffs >= RETRY_STORM_BACKOFFS)
+        self.contention_aborts += int(
+            rec.abort_reason == "channel_contention"
+        )
+        self.pin_fallbacks += int(rec.pin_fallback)
+        self.latency.add(rec.delay_s)
+
+    def merge(self, other: "_ContentionStats") -> None:
+        self.sessions += other.sessions
+        self.unlocked += other.unlocked
+        self.backoffs += other.backoffs
+        self.backoff_delay_sum += other.backoff_delay_sum
+        self.noise_penalty_sum += other.noise_penalty_sum
+        self.retry_storms += other.retry_storms
+        self.contention_aborts += other.contention_aborts
+        self.pin_fallbacks += other.pin_fallbacks
+        self.latency.merge(other.latency)
+
+    def to_dict(self) -> Dict[str, Any]:
+        n = self.sessions
+        return {
+            "sessions": n,
+            "unlocked": self.unlocked,
+            "success_rate": (self.unlocked / n if n else None),
+            "latency_p50_s": self.latency.quantile(0.50),
+            "latency_p99_s": self.latency.quantile(0.99),
+            "latency_p999_s": self.latency.quantile(0.999),
+            "backoffs": self.backoffs,
+            "backoffs_per_session": (self.backoffs / n if n else None),
+            "mean_backoff_delay_s": (
+                self.backoff_delay_sum / n if n else None
+            ),
+            "mean_noise_penalty_db": (
+                self.noise_penalty_sum / n if n else None
+            ),
+            "retry_storms": self.retry_storms,
+            "contention_aborts": self.contention_aborts,
+            "pin_fallbacks": self.pin_fallbacks,
+            "lockout_rate": (self.pin_fallbacks / n if n else None),
+        }
+
+
 @dataclass
 class _DeviceStats:
     """Per-phone-model energy accumulator (battery drain reporting)."""
@@ -304,7 +441,10 @@ class FleetAggregate:
         self.pin_fallbacks = 0
         self.strangers = 0
         self.stranger_unlocked = 0
+        self.backoffs = 0
+        self.retry_storms = 0
         self.delay_sum = 0.0
+        self.backoff_delay_sum = 0.0
         self.abort_reasons: Dict[str, int] = {}
         self.modes: Dict[str, int] = {}
         self.latency = Histogram(*self.LATENCY_BINS)
@@ -313,6 +453,7 @@ class FleetAggregate:
         self.per_band: Dict[str, _GroupStats] = {}
         self.per_device: Dict[str, _DeviceStats] = {}
         self.per_verifier: Dict[str, _VerifierStats] = {}
+        self.per_scene_density: Dict[str, _ContentionStats] = {}
 
     def observe(self, rec: SessionRecord) -> None:
         """Fold one record in (O(1) time and memory)."""
@@ -326,7 +467,10 @@ class FleetAggregate:
         if not rec.co_located:
             self.strangers += 1
             self.stranger_unlocked += int(rec.unlocked)
+        self.backoffs += rec.backoffs
+        self.retry_storms += int(rec.backoffs >= RETRY_STORM_BACKOFFS)
         self.delay_sum += rec.delay_s
+        self.backoff_delay_sum += rec.backoff_delay_s
         if rec.abort_reason:
             self.abort_reasons[rec.abort_reason] = (
                 self.abort_reasons.get(rec.abort_reason, 0) + 1
@@ -339,6 +483,10 @@ class FleetAggregate:
         self.per_scenario.setdefault(rec.environment, _GroupStats()).observe(rec)
         self.per_band.setdefault(rec.band, _GroupStats()).observe(rec)
         self.per_device.setdefault(rec.phone, _DeviceStats()).observe(rec)
+        if rec.scene_members > 0:
+            self.per_scene_density.setdefault(
+                density_bucket(rec.scene_members), _ContentionStats()
+            ).observe(rec)
         for name, score, did_pass, was_skipped in rec.verifier_results:
             self.per_verifier.setdefault(name, _VerifierStats()).observe(
                 score, did_pass, was_skipped
@@ -361,7 +509,10 @@ class FleetAggregate:
         self.pin_fallbacks += other.pin_fallbacks
         self.strangers += other.strangers
         self.stranger_unlocked += other.stranger_unlocked
+        self.backoffs += other.backoffs
+        self.retry_storms += other.retry_storms
         self.delay_sum += other.delay_sum
+        self.backoff_delay_sum += other.backoff_delay_sum
         for key, count in other.abort_reasons.items():
             self.abort_reasons[key] = self.abort_reasons.get(key, 0) + count
         for key, count in other.modes.items():
@@ -376,6 +527,10 @@ class FleetAggregate:
             self.per_device.setdefault(key, _DeviceStats()).merge(dev)
         for key, ver in other.per_verifier.items():
             self.per_verifier.setdefault(key, _VerifierStats()).merge(ver)
+        for key, con in other.per_scene_density.items():
+            self.per_scene_density.setdefault(
+                key, _ContentionStats()
+            ).merge(con)
         return self
 
     def _device_dict(self, hours: Optional[float]) -> Dict[str, Any]:
@@ -430,8 +585,12 @@ class FleetAggregate:
             "latency_p50_s": self.latency.quantile(0.50),
             "latency_p95_s": self.latency.quantile(0.95),
             "latency_p99_s": self.latency.quantile(0.99),
+            "latency_p999_s": self.latency.quantile(0.999),
             "ber_p50": self.ber.quantile(0.50),
             "ber_p95": self.ber.quantile(0.95),
+            "backoffs": self.backoffs,
+            "retry_storms": self.retry_storms,
+            "backoff_delay_sum_s": self.backoff_delay_sum,
             "abort_reasons": dict(sorted(self.abort_reasons.items())),
             "modes": dict(sorted(self.modes.items())),
             "per_scenario": {
@@ -445,6 +604,10 @@ class FleetAggregate:
             "per_verifier": {
                 k: self.per_verifier[k].to_dict()
                 for k in sorted(self.per_verifier)
+            },
+            "per_scene_density": {
+                k: self.per_scene_density[k].to_dict()
+                for k in sorted(self.per_scene_density)
             },
             "latency_histogram": self.latency.to_dict(),
             "ber_histogram": self.ber.to_dict(),

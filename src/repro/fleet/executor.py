@@ -111,6 +111,7 @@ from ..verifiers import (
     vibration_similarity,
 )
 from .aggregate import SessionRecord
+from .events import SceneAnnotation, build_contention_plan
 from .population import FleetConfig, SessionSpec, synthesize_user, user_sessions
 
 __all__ = [
@@ -771,9 +772,54 @@ def _stage_shard(
     ]
 
 
+def _scene_fields(ann: Optional[SceneAnnotation]) -> Dict[str, object]:
+    """The contention-kernel residue a record carries (all defaults when
+    the session ran outside any shared scene)."""
+    if ann is None:
+        return {}
+    return {
+        "scene_slot": ann.slot,
+        "scene_members": ann.members,
+        "backoffs": ann.backoffs,
+        "backoff_delay_s": ann.backoff_delay_s,
+        "noise_penalty_db": ann.noise_penalty_db,
+    }
+
+
+def _stage_shard_contended(
+    config: FleetConfig,
+    flat: Sequence[SessionSpec],
+    staging: str,
+    anns_flat: Sequence[Optional[SceneAnnotation]],
+) -> List[Optional[PrecomputedPrefilter]]:
+    """Phase A, minus the sessions the contention kernel aborted.
+
+    A contention-aborted session never executes, so staging its DSP
+    would be pure waste.  Every staged value is bit-identical per row
+    regardless of batch composition (the staging contract), so carving
+    aborted rows out of the batches cannot perturb the survivors.
+    """
+    aborted = [ann is not None and ann.aborted for ann in anns_flat]
+    if not any(aborted):
+        return _stage_shard(config, flat, staging)
+    live = [i for i, dead in enumerate(aborted) if not dead]
+    staged_live = _stage_shard(config, [flat[i] for i in live], staging)
+    staged_flat: List[Optional[PrecomputedPrefilter]] = [None] * len(flat)
+    for j, i in enumerate(live):
+        staged_flat[i] = staged_live[j]
+    return staged_flat
+
+
 def _record(
-    spec: SessionSpec, outcome, pin_fallback: bool
+    spec: SessionSpec,
+    outcome,
+    pin_fallback: bool,
+    ann: Optional[SceneAnnotation] = None,
 ) -> SessionRecord:
+    # Carrier-sense wait is wall time the user spent staring at a
+    # locked screen; it lands in the recorded latency, never in the
+    # session's own DSP (see repro.fleet.events).
+    extra_delay = ann.backoff_delay_s if ann is not None else 0.0
     return SessionRecord(
         user_id=spec.user_id,
         session_index=spec.session_index,
@@ -789,7 +835,7 @@ def _record(
             else ""
         ),
         mode=outcome.mode or "",
-        delay_s=outcome.total_delay_s,
+        delay_s=outcome.total_delay_s + extra_delay,
         raw_ber=outcome.raw_ber,
         attempts=outcome.attempts,
         reprobes=outcome.reprobes,
@@ -802,11 +848,20 @@ def _record(
             (r.name, r.score, bool(r.passed), bool(r.skipped))
             for r in outcome.verifier_results
         ),
+        **_scene_fields(ann),
     )
 
 
-def _pin_fallback_record(spec: SessionSpec) -> SessionRecord:
+def _pin_fallback_record(
+    spec: SessionSpec, ann: Optional[SceneAnnotation] = None
+) -> SessionRecord:
     """A lockout turned this attempt into a manual PIN entry."""
+    # A locked-out attempt never probes, so it contends with nobody —
+    # the scene identity is kept (the lockout belongs to this scene's
+    # density bucket) but the channel tallies are zeroed.
+    scene = _scene_fields(ann)
+    if scene:
+        scene.update(backoffs=0, backoff_delay_s=0.0, noise_penalty_db=0.0)
     return SessionRecord(
         user_id=spec.user_id,
         session_index=spec.session_index,
@@ -827,6 +882,37 @@ def _pin_fallback_record(spec: SessionSpec) -> SessionRecord:
         watch_energy_j=0.0,
         phone_energy_j=0.0,
         pin_fallback=True,
+        **scene,
+    )
+
+
+def _contention_abort_record(
+    spec: SessionSpec, ann: SceneAnnotation
+) -> SessionRecord:
+    """The CSMA kernel exhausted this session's backoff budget: the
+    probe never got airtime, the attempt fails without executing, and
+    the keyguard takes a strike (the caller updates that state)."""
+    return SessionRecord(
+        user_id=spec.user_id,
+        session_index=spec.session_index,
+        environment=spec.environment,
+        phone=spec.phone,
+        band=spec.band,
+        activity=spec.activity,
+        co_located=spec.co_located,
+        unlocked=False,
+        abort_reason=AbortReason.CHANNEL_CONTENTION.value,
+        mode="",
+        delay_s=ann.backoff_delay_s,
+        raw_ber=None,
+        attempts=0,
+        reprobes=0,
+        recovered=False,
+        faults_injected=0,
+        watch_energy_j=0.0,
+        phone_energy_j=0.0,
+        pin_fallback=False,
+        **_scene_fields(ann),
     )
 
 
@@ -877,6 +963,7 @@ def _run_shard_otp(
     retry: Optional[RetryPolicy],
     shard: Sequence[Tuple[object, List[SessionSpec], int]],
     staged_flat: List[Optional[PrecomputedPrefilter]],
+    anns_flat: Sequence[Optional[SceneAnnotation]],
 ) -> List[SessionRecord]:
     """Phase B with wave-batched Phase-2 staging (``staging="otp"``).
 
@@ -907,7 +994,7 @@ def _run_shard_otp(
         states.append([otp, phone, specs, offset, 0])
 
     records: List[SessionRecord] = []
-    active: Dict[int, Tuple[SessionSpec, PendingSession]] = {}
+    active: Dict[int, Tuple[SessionSpec, Optional[SceneAnnotation], PendingSession]] = {}
     while True:
         # Top-up sweep: every user without an in-flight session starts
         # sessions until one pauses at otp-tx or their day runs out.
@@ -919,11 +1006,20 @@ def _run_shard_otp(
                 spec = specs[cursor]
                 staged = staged_flat[offset + cursor]
                 staged_flat[offset + cursor] = None
+                ann = anns_flat[offset + cursor]
                 cursor += 1
                 if otp.locked_out or phone.keyguard.pin_required:
                     phone.keyguard.pin_unlock()
                     otp.unlock_with_pin()
-                    records.append(_pin_fallback_record(spec))
+                    records.append(_pin_fallback_record(spec, ann))
+                    continue
+                if ann is not None and ann.aborted:
+                    # The CSMA kernel starved this probe: a failed
+                    # trusted-unlock attempt that never reached the
+                    # air, striking the keyguard like any other.
+                    phone.keyguard.lock()
+                    phone.keyguard.trusted_failure()
+                    records.append(_contention_abort_record(spec, ann))
                     continue
                 phone.keyguard.lock()
                 session = UnlockSession(
@@ -933,11 +1029,11 @@ def _run_shard_otp(
                 )
                 pending = session.begin(precomputed=staged)
                 if pending.paused:
-                    active[ui] = (spec, pending)
+                    active[ui] = (spec, ann, pending)
                     break  # one in-flight session per user
                 # Aborted before otp-tx: the outcome is already final.
                 records.append(
-                    _record(spec, pending.finish(), pin_fallback=False)
+                    _record(spec, pending.finish(), pin_fallback=False, ann=ann)
                 )
             state[4] = cursor
         if not active:
@@ -945,12 +1041,12 @@ def _run_shard_otp(
         # One batched round: stage every in-flight transmission (first
         # attempts and retransmissions alike) and feed it back.
         wave = list(active.items())
-        staged_otps = precompute_otp([p for _, (_, p) in wave])
-        for (ui, (spec, pending)), staged_otp in zip(wave, staged_otps):
+        staged_otps = precompute_otp([p for _, (_, _, p) in wave])
+        for (ui, (spec, ann, pending)), staged_otp in zip(wave, staged_otps):
             if pending.feed(staged_otp):
                 continue  # paused again: next round stages the retry
             records.append(
-                _record(spec, pending.finish(), pin_fallback=False)
+                _record(spec, pending.finish(), pin_fallback=False, ann=ann)
             )
             del active[ui]
     records.sort(key=lambda r: (r.user_id, r.session_index))
@@ -963,6 +1059,7 @@ def run_shard(
     user_hi: int,
     batched: bool = True,
     staging: Optional[str] = None,
+    contention: Optional[Dict[Tuple[int, int], SceneAnnotation]] = None,
 ) -> List[SessionRecord]:
     """Simulate users ``[user_lo, user_hi)`` and return their records.
 
@@ -980,6 +1077,13 @@ def run_shard(
     ``"none"``.  Under fault injection the acoustic levels degrade to
     ``"dtw"`` (:func:`effective_staging`).  All levels produce
     byte-identical aggregates.
+
+    ``contention`` is this shard's slice of the discrete-event kernel's
+    plan (:func:`~repro.fleet.events.build_contention_plan`).  The
+    scheduler computes the plan once and passes slices; a direct caller
+    may omit it — the shard rebuilds the identical plan from the config
+    when ``scene_density > 0`` (a pure function, so the records cannot
+    depend on who computed it).
     """
     if staging is None:
         staging = "probe" if batched else "none"
@@ -987,6 +1091,10 @@ def run_shard(
     system = SystemConfig()
     retry = RetryPolicy() if config.retry else None
     faults = config.faults or None
+    if contention is None and config.scene_density > 0.0:
+        contention = build_contention_plan(config).for_user_range(
+            user_lo, user_hi
+        )
 
     # Synthesize the whole shard's specs up front so Phase A batches
     # across *users*, not just within one user's sessions.
@@ -999,12 +1107,20 @@ def run_shard(
             continue
         shard.append((user, specs, len(flat)))
         flat.extend(specs)
-    staged_flat = _stage_shard(config, flat, staging)
+    anns_flat: List[Optional[SceneAnnotation]] = [
+        contention.get((spec.user_id, spec.session_index))
+        if contention
+        else None
+        for spec in flat
+    ]
+    staged_flat = _stage_shard_contended(config, flat, staging, anns_flat)
 
     if staging == "otp":
         # effective_staging() already degraded faulted runs, so the
         # wave driver never sees an injector.
-        return _run_shard_otp(config, system, retry, shard, staged_flat)
+        return _run_shard_otp(
+            config, system, retry, shard, staged_flat, anns_flat
+        )
 
     records: List[SessionRecord] = []
     for user, specs, offset in shard:
@@ -1015,10 +1131,19 @@ def run_shard(
             # walks it, instead of accumulating until the shard ends).
             staged = staged_flat[offset + k]
             staged_flat[offset + k] = None
+            ann = anns_flat[offset + k]
             if otp.locked_out or phone.keyguard.pin_required:
                 phone.keyguard.pin_unlock()
                 otp.unlock_with_pin()
-                records.append(_pin_fallback_record(spec))
+                records.append(_pin_fallback_record(spec, ann))
+                continue
+            if ann is not None and ann.aborted:
+                # The CSMA kernel starved this probe: a failed
+                # trusted-unlock attempt that never reached the air,
+                # striking the keyguard like any other.
+                phone.keyguard.lock()
+                phone.keyguard.trusted_failure()
+                records.append(_contention_abort_record(spec, ann))
                 continue
             phone.keyguard.lock()
             session = UnlockSession(
@@ -1027,5 +1152,5 @@ def run_shard(
                 phone=phone,
             )
             outcome = session.run(precomputed=staged)
-            records.append(_record(spec, outcome, pin_fallback=False))
+            records.append(_record(spec, outcome, pin_fallback=False, ann=ann))
     return records

@@ -143,6 +143,12 @@ class FleetConfig:
     #: under score-weighted fusion; ``"archetype"`` assigns per
     #: archetype via :func:`verifier_assignment`.
     fusion_mix: str = "legacy"
+    #: Shared-channel contention: the target number of co-channel users
+    #: per public scene (scaled per environment by
+    #: :data:`repro.fleet.events.SCENE_CROWDING`).  ``0.0`` (the
+    #: default) disables the discrete-event kernel entirely — every
+    #: session runs on the independent path, bit-for-bit.
+    scene_density: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_users <= 0:
@@ -160,6 +166,8 @@ class FleetConfig:
                 f"fusion_mix must be one of {FUSION_MIXES}, "
                 f"got {self.fusion_mix!r}"
             )
+        if self.scene_density < 0:
+            raise ConfigurationError("scene_density must be >= 0")
 
 
 @dataclass(frozen=True)

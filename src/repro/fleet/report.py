@@ -27,15 +27,38 @@ def _num(value: Optional[float], unit: str = "", digits: int = 3) -> str:
     return f"{value:.{digits}f}{unit}"
 
 
+def _regenerate_command(
+    config: Mapping[str, Any], report_path: str
+) -> str:
+    """The ``fleet run`` line that reproduces this report byte-for-byte.
+
+    Non-default workload parameters must appear (a congestion report
+    regenerated without its ``--contention`` flag would silently
+    describe a different population), so flags are emitted whenever
+    the config differs from the CLI default.
+    """
+    cmd = (
+        "python -m repro fleet run --users {n_users} --hours {hours}"
+        " --seed {seed}".format(**config)
+    )
+    if config.get("sessions_per_day", 4.0) != 4.0:
+        cmd += " --sessions-per-day {sessions_per_day:g}".format(**config)
+    if config.get("scene_density", 0.0) != 0.0:
+        cmd += " --contention {scene_density:g}".format(**config)
+    return cmd + f" --report {report_path}"
+
+
 def render_fleet_report(
     doc: Mapping[str, Any],
     config: Optional[Mapping[str, Any]] = None,
+    report_path: str = "docs/FLEET_REPORT.md",
 ) -> str:
     """Markdown report from ``FleetAggregate.to_dict()`` output.
 
     ``config`` (the :class:`~repro.fleet.population.FleetConfig` as a
     mapping) is echoed in the header so a report is self-describing —
-    rerunning the printed command regenerates the identical file.
+    rerunning the printed command regenerates the identical file at
+    ``report_path``.
     """
     lines = ["# Fleet simulation report", ""]
     if config:
@@ -43,8 +66,7 @@ def render_fleet_report(
             "Deterministic population run — regenerate with:",
             "",
             "```",
-            "python -m repro fleet run --users {n_users} --hours {hours}"
-            " --seed {seed} --report docs/FLEET_REPORT.md".format(**config),
+            _regenerate_command(config, report_path),
             "```",
             "",
             format_markdown_table(
@@ -66,6 +88,7 @@ def render_fleet_report(
                 ["latency P50", _num(doc["latency_p50_s"], " s")],
                 ["latency P95", _num(doc["latency_p95_s"], " s")],
                 ["latency P99", _num(doc["latency_p99_s"], " s")],
+                ["latency P999", _num(doc.get("latency_p999_s"), " s")],
                 ["BER P50", _num(doc["ber_p50"], "", 4)],
                 ["BER P95", _num(doc["ber_p95"], "", 4)],
                 ["Phase-2 transmissions", doc["attempts"]],
@@ -75,10 +98,63 @@ def render_fleet_report(
                 ["PIN fallbacks (lockouts)", doc["pin_fallbacks"]],
                 ["stranger attempts", doc["strangers"]],
                 ["stranger unlocks (false accepts)", doc["stranger_unlocked"]],
+                ["channel backoffs", doc.get("backoffs", 0)],
+                ["retry storms", doc.get("retry_storms", 0)],
             ],
         ),
         "",
     ]
+
+    densities: Dict[str, Any] = doc.get("per_scene_density", {})
+    if densities:
+        # Buckets render sparsest-to-densest (the monotonicity the
+        # congestion report demonstrates), not in JSON key order.
+        order = ("1", "2-4", "5-9", "10-19", "20-49", "50+")
+        rows = []
+        for label in order:
+            g = densities.get(label)
+            if g is None:
+                continue
+            rows.append(
+                [
+                    label,
+                    g["sessions"],
+                    _pct(g["success_rate"]),
+                    _num(g["latency_p50_s"], " s"),
+                    _num(g["latency_p99_s"], " s"),
+                    _num(g["latency_p999_s"], " s"),
+                    _num(g["backoffs_per_session"], "", 2),
+                    g["retry_storms"],
+                    g["contention_aborts"],
+                    _pct(g["lockout_rate"]),
+                ]
+            )
+        lines += [
+            "## Contention by scene density",
+            "",
+            "Sessions grouped by how many co-channel users share their "
+            "scene (the discrete-event CSMA kernel, `--contention`). "
+            "Denser scenes mean more carrier-sense backoff, fatter "
+            "latency tails, and more keyguard strikes from starved "
+            "probes.",
+            "",
+            format_markdown_table(
+                [
+                    "scene density",
+                    "sessions",
+                    "success",
+                    "P50",
+                    "P99",
+                    "P999",
+                    "backoffs/session",
+                    "retry storms",
+                    "aborts",
+                    "lockout rate",
+                ],
+                rows,
+            ),
+            "",
+        ]
 
     scenarios: Dict[str, Any] = doc.get("per_scenario", {})
     if scenarios:

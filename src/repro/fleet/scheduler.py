@@ -25,6 +25,7 @@ from typing import List, Optional, Tuple
 from ..core.trace import NullTracer, Tracer
 from ..errors import ConfigurationError
 from .aggregate import FleetAggregate
+from .events import build_contention_plan
 from .executor import STAGING_LEVELS, run_shard
 from .population import FleetConfig
 
@@ -125,6 +126,20 @@ class FleetScheduler:
         agg = FleetAggregate()
         t0 = time.perf_counter()
         with self.tracer.span("fleet.run"):
+            # The contention kernel is global by nature (scenes span
+            # shards), so its plan is computed once here and sliced per
+            # shard — each worker receives only its users' annotations.
+            # The plan is a pure function of the config, which is what
+            # keeps the aggregate byte-identical for any worker count.
+            plan = (
+                build_contention_plan(self.config)
+                if self.config.scene_density > 0.0
+                else None
+            )
+
+            def _slice(lo: int, hi: int):
+                return plan.for_user_range(lo, hi) if plan else None
+
             if self.workers > 1:
                 with ProcessPoolExecutor(max_workers=self.workers) as pool:
                     futures = [
@@ -135,6 +150,7 @@ class FleetScheduler:
                             hi,
                             self.batched,
                             self.staging,
+                            _slice(lo, hi),
                         )
                         for lo, hi in bounds
                     ]
@@ -149,7 +165,12 @@ class FleetScheduler:
                 for lo, hi in bounds:
                     agg.merge_records(
                         run_shard(
-                            self.config, lo, hi, self.batched, self.staging
+                            self.config,
+                            lo,
+                            hi,
+                            self.batched,
+                            self.staging,
+                            _slice(lo, hi),
                         )
                     )
             self.tracer.counter("users", float(self.config.n_users))

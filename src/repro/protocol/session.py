@@ -111,6 +111,11 @@ class AbortReason(str, Enum):
     DATA_NOT_DETECTED = "data_not_detected"
     LOCKED_OUT = "locked_out"
     RETRIES_EXHAUSTED = "retries_exhausted"
+    #: The fleet's CSMA kernel exhausted its backoff budget: a
+    #: co-channel neighbor held the scene through every retry window
+    #: (see :mod:`repro.fleet.events`).  Counts as a failed
+    #: trusted-unlock attempt toward the keyguard's three-strike rule.
+    CHANNEL_CONTENTION = "channel_contention"
 
 
 @dataclass(frozen=True)

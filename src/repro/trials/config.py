@@ -286,6 +286,35 @@ TRIAL_MATRIX: Tuple[TrialCell, ...] = (
         describes="aggregate byte-identical across workers and staging",
     ),
     TrialCell(
+        cell_id="fleet/contention-smoke",
+        tier="smoke",
+        workload="fleet-determinism",
+        params={
+            "users": 40,
+            "hours": 24.0,
+            "seed": "derive",
+            "sessions_per_day": 12.0,
+            "scene_density": 24.0,
+            "variants": [
+                {"workers": 1, "staging": "otp"},
+                {"workers": 2, "staging": "otp"},
+                {"workers": 1, "staging": "none"},
+            ],
+        },
+        judges=(
+            JudgeSpec("determinism", {"path": "metrics/digests"}),
+            _envelope(
+                checks=[
+                    # The CSMA kernel must actually engage: a packed
+                    # 40-user day has to produce carrier-sense backoffs.
+                    {"path": "metrics/backoffs", "lo": 1},
+                    {"path": "metrics/sessions", "lo": 1},
+                ],
+            ),
+        ),
+        describes="contended day byte-identical across workers/staging",
+    ),
+    TrialCell(
         cell_id="perf/trend-gate",
         tier="smoke",
         workload="trajectory",

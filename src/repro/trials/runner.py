@@ -111,6 +111,7 @@ def _fleet_config(cell: TrialCell, params: Mapping[str, Any]):
         faults=str(params.get("faults", "")),
         retry=bool(params.get("retry", True)),
         fusion_mix=str(params.get("fusion_mix", "legacy")),
+        scene_density=float(params.get("scene_density", 0.0)),
     )
 
 
@@ -145,6 +146,9 @@ def _fleet_summary_metrics(agg: Mapping[str, Any]) -> Dict[str, Any]:
         "ber_p50",
         "latency_p50_s",
         "latency_p99_s",
+        "latency_p999_s",
+        "backoffs",
+        "retry_storms",
     )
     return {k: agg[k] for k in keys if k in agg}
 

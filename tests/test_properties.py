@@ -204,7 +204,7 @@ class TestTailStatsProperties:
         exact = TailStats.from_values(values)
         binned = TailStats.from_counts(counts, lo, hi)
         assert binned.n == exact.n == len(values)
-        for q in ("p50", "p95", "p99"):
+        for q in ("p50", "p95", "p99", "p999"):
             assert abs(getattr(binned, q) - getattr(exact, q)) <= (
                 width / 2 + 1e-12
             )
@@ -222,4 +222,5 @@ class TestTailStatsProperties:
         assert tail.p50 in values
         assert tail.p95 in values
         assert tail.p99 in values
-        assert tail.p50 <= tail.p95 <= tail.p99
+        assert tail.p999 in values
+        assert tail.p50 <= tail.p95 <= tail.p99 <= tail.p999
